@@ -1,0 +1,33 @@
+// Shared helpers for the reproduction bench binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace wdmlat::bench {
+
+// Virtual measurement minutes per experiment cell. The default keeps every
+// bench under ~a minute of wall time; set WDMLAT_MINUTES for deeper tails
+// (the paper collected 4-12.5 hours per workload).
+inline double MeasurementMinutes(double default_minutes = 8.0) {
+  if (const char* env = std::getenv("WDMLAT_MINUTES")) {
+    const double value = std::atof(env);
+    if (value > 0.0) {
+      return value;
+    }
+  }
+  return default_minutes;
+}
+
+inline std::uint64_t BenchSeed() {
+  if (const char* env = std::getenv("WDMLAT_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return 1999;  // OSDI '99
+}
+
+}  // namespace wdmlat::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,103 @@
+// Reproduction of Figure 4: "Measured Interrupt and Thread Latencies under
+// Load on Windows NT 4.0 and Windows 98" — six log-log panels, each with one
+// series per application workload:
+//
+//   1. Windows NT 4.0 DPC interrupt latency           (1 .. 128 ms axis)
+//   2. Windows 98 interrupt + DPC latency             (1 .. 128 ms axis)
+//   3. Windows NT 4.0 thread latency, RT priority 28  (0.125 .. 128 ms)
+//   4. Windows 98 thread latency, RT priority 28      (0.125 .. 128 ms)
+//   5. Windows NT 4.0 thread latency, RT priority 24  (0.125 .. 128 ms)
+//   6. Windows 98 thread latency, RT priority 24      (0.125 .. 128 ms)
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/report/loglog_plot.h"
+#include "src/workload/stress_profile.h"
+
+namespace {
+
+using namespace wdmlat;
+
+struct Cell {
+  std::unique_ptr<lab::LabReport> report;
+};
+
+}  // namespace
+
+int main() {
+  const double minutes = bench::MeasurementMinutes(10.0);
+  const std::uint64_t seed = bench::BenchSeed();
+  std::printf(
+      "Figure 4 reproduction: latency distributions under load, %.1f virtual\n"
+      "minutes per cell (WDMLAT_MINUTES to change).\n\n",
+      minutes);
+
+  const std::vector<workload::StressProfile> loads = {
+      workload::OfficeStress(), workload::WorkstationStress(), workload::GamesStress(),
+      workload::WebStress()};
+  const char kMarks[] = {'B', 'W', 'G', 'w'};
+
+  // One run per (OS, workload, priority) cell, as in the paper's lab work.
+  auto run = [&](const kernel::KernelProfile& os, const workload::StressProfile& stress,
+                 int priority) {
+    lab::LabConfig config;
+    config.os = os;
+    config.stress = stress;
+    config.thread_priority = priority;
+    config.stress_minutes = minutes;
+    config.seed = seed;
+    return std::make_unique<lab::LabReport>(lab::RunLatencyExperiment(config));
+  };
+
+  std::vector<std::unique_ptr<lab::LabReport>> nt28, nt24, w98_28, w98_24;
+  for (const auto& stress : loads) {
+    std::printf("  measuring %s (NT 28/24, 98 28/24)...\n", stress.name.c_str());
+    nt28.push_back(run(kernel::MakeNt4Profile(), stress, 28));
+    nt24.push_back(run(kernel::MakeNt4Profile(), stress, 24));
+    w98_28.push_back(run(kernel::MakeWin98Profile(), stress, 28));
+    w98_24.push_back(run(kernel::MakeWin98Profile(), stress, 24));
+  }
+  std::printf("\n");
+
+  auto panel = [&](const char* title,
+                   const std::vector<std::unique_ptr<lab::LabReport>>& cells,
+                   const stats::LatencyHistogram lab::LabReport::* hist, double lo_ms) {
+    std::vector<report::LatencySeries> series;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      series.push_back(report::LatencySeries{loads[i].name, kMarks[i], &((*cells[i]).*hist)});
+    }
+    std::fputs(report::RenderLatencyLogLog(title, series, lo_ms, 128.0).c_str(), stdout);
+    std::printf("\n");
+  };
+
+  panel("Windows NT 4.0 DPC Interrupt Latency in Milliseconds", nt28,
+        &lab::LabReport::dpc_interrupt, 1.0);
+  panel("Windows 98 Interrupt + DPC Latency in Milliseconds", w98_28,
+        &lab::LabReport::dpc_interrupt, 1.0);
+  panel("Windows NT4 Kernel Mode Thread (RT Priority 28) Latency in Millisecs", nt28,
+        &lab::LabReport::thread, 0.125);
+  panel("Windows 98 Kernel Mode Thread (RT Priority 28) Latency in Millisecs", w98_28,
+        &lab::LabReport::thread, 0.125);
+  panel("Windows NT4 Kernel Mode Thread (RT Priority 24) Latency in Millisecs", nt24,
+        &lab::LabReport::thread, 0.125);
+  panel("Windows 98 Kernel Mode Thread (RT Priority 24) Latency in Millisecs", w98_24,
+        &lab::LabReport::thread, 0.125);
+
+  // The paper's headline orderings (Section 4.2).
+  std::printf("Headline checks (99.99th percentile thread latency, 3D games):\n");
+  const double nt_hi = nt28[2]->thread.QuantileMs(0.9999);
+  const double nt_med = nt24[2]->thread.QuantileMs(0.9999);
+  const double w98_hi = w98_28[2]->thread.QuantileMs(0.9999);
+  const double w98_dpc = w98_28[2]->isr_to_dpc.QuantileMs(0.9999);
+  std::printf("  NT prio 28: %.3f ms   NT prio 24: %.3f ms   98 prio 28: %.3f ms\n", nt_hi,
+              nt_med, w98_hi);
+  std::printf("  98 DPC-from-ISR: %.3f ms\n", w98_dpc);
+  std::printf("  98 thread / NT thread (28): %.1fx   98 thread / 98 DPC: %.1fx\n",
+              w98_hi / nt_hi, w98_hi / w98_dpc);
+  return 0;
+}

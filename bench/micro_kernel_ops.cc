@@ -1,0 +1,117 @@
+// Supporting microbenchmarks (google-benchmark): wall-clock cost of the
+// simulator's kernel primitives on both OS personalities, plus raw engine
+// throughput. These are *simulator* performance numbers (how fast virtual
+// time runs), used to size experiment durations — the latency results
+// themselves are virtual-time measurements and do not depend on host speed.
+
+#include <benchmark/benchmark.h>
+
+#include "src/drivers/latency_driver.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/profile.h"
+#include "src/lab/test_system.h"
+#include "src/sim/engine.h"
+#include "src/workload/stress_load.h"
+#include "src/workload/stress_profile.h"
+
+namespace {
+
+using namespace wdmlat;
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  sim::Engine engine;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    engine.ScheduleAfter(100, [&] { ++counter; });
+    engine.Step();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineCancelledEvent(benchmark::State& state) {
+  sim::Engine engine;
+  for (auto _ : state) {
+    sim::EventHandle handle = engine.ScheduleAfter(100, [] {});
+    handle.Cancel();
+    engine.Step();
+  }
+}
+BENCHMARK(BM_EngineCancelledEvent);
+
+// One full virtual second of an idle kernel (clock ticks, worker thread).
+template <kernel::KernelProfile (*MakeProfile)()>
+void BM_IdleKernelSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    lab::TestSystemOptions options;
+    options.kernel_self_noise = false;
+    lab::TestSystem system(MakeProfile(), 42, options);
+    system.RunFor(1.0);
+    benchmark::DoNotOptimize(system.kernel().dispatcher().interrupts_accepted());
+  }
+}
+BENCHMARK(BM_IdleKernelSecond<kernel::MakeNt4Profile>)->Name("BM_IdleKernelSecond_NT4");
+BENCHMARK(BM_IdleKernelSecond<kernel::MakeWin98Profile>)->Name("BM_IdleKernelSecond_Win98");
+
+// One virtual second of the full measurement stack under the games load —
+// the unit of the Figure 4 experiment grid.
+template <kernel::KernelProfile (*MakeProfile)()>
+void BM_LoadedMeasurementSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    lab::TestSystem system(MakeProfile(), 42);
+    workload::StressLoad load(system.deps(), workload::GamesStress(), system.ForkRng());
+    drivers::LatencyDriver driver(system.kernel(), drivers::LatencyDriver::Config{});
+    load.Start();
+    driver.Start();
+    system.RunFor(1.0);
+    benchmark::DoNotOptimize(driver.sample_count());
+  }
+}
+BENCHMARK(BM_LoadedMeasurementSecond<kernel::MakeNt4Profile>)
+    ->Name("BM_LoadedMeasurementSecond_NT4");
+BENCHMARK(BM_LoadedMeasurementSecond<kernel::MakeWin98Profile>)
+    ->Name("BM_LoadedMeasurementSecond_Win98");
+
+// DPC enqueue + dispatch round trip (virtual microseconds of kernel work,
+// host nanoseconds of simulation).
+void BM_DpcRoundTrip(benchmark::State& state) {
+  lab::TestSystemOptions options;
+  options.kernel_self_noise = false;
+  lab::TestSystem system(kernel::MakeNt4Profile(), 42, options);
+  std::uint64_t fired = 0;
+  kernel::KDpc dpc([&] { ++fired; }, sim::DurationDist::Constant(1.0),
+                   kernel::Label{"BM", "_dpc"});
+  for (auto _ : state) {
+    system.kernel().KeInsertQueueDpc(&dpc);
+    system.RunFor(0.0001);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_DpcRoundTrip);
+
+// Thread wake + context switch round trip.
+void BM_ThreadWakeRoundTrip(benchmark::State& state) {
+  lab::TestSystemOptions options;
+  options.kernel_self_noise = false;
+  lab::TestSystem system(kernel::MakeNt4Profile(), 42, options);
+  kernel::KEvent event;
+  std::uint64_t wakes = 0;
+  std::function<void()> loop = [&] {
+    system.kernel().Wait(&event, [&] {
+      ++wakes;
+      loop();
+    });
+  };
+  system.kernel().PsCreateSystemThread("bm", 28, [&] { loop(); });
+  system.RunFor(0.001);
+  for (auto _ : state) {
+    system.kernel().KeSetEvent(&event);
+    system.RunFor(0.0001);
+  }
+  benchmark::DoNotOptimize(wakes);
+}
+BENCHMARK(BM_ThreadWakeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Reproduction of the Section 5.2 procedure: "Schedulability Analysis on a
+// Non-Real-Time OS."
+//
+// 1. Measure the latency distribution (our Table 3 data).
+// 2. Choose a worst case as a function of the permissible error rate (one
+//    dropped buffer per hour for a soft modem; one per 5-10 minutes for low
+//    latency audio).
+// 3. Feed the resulting "pseudo worst case" as a blocking term into a
+//    standard fixed-priority schedulability analysis (a PERTS-style
+//    response-time analysis).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/rma.h"
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/report/ascii_table.h"
+#include "src/workload/stress_profile.h"
+
+int main() {
+  using namespace wdmlat;
+  const double minutes = bench::MeasurementMinutes(15.0);
+  std::printf(
+      "Section 5.2 reproduction: schedulability analysis with pseudo worst-case\n"
+      "OS latency, measured under the 3D games load. %.1f virtual minutes per OS.\n\n",
+      minutes);
+
+  auto measure = [&](kernel::KernelProfile os) {
+    lab::LabConfig config;
+    config.os = std::move(os);
+    config.stress = workload::GamesStress();
+    config.thread_priority = 28;
+    config.stress_minutes = minutes;
+    config.seed = bench::BenchSeed();
+    return lab::RunLatencyExperiment(config);
+  };
+  std::printf("  measuring Windows 98...\n");
+  const lab::LabReport w98 = measure(kernel::MakeWin98Profile());
+  std::printf("  measuring Windows NT 4.0...\n\n");
+  const lab::LabReport nt = measure(kernel::MakeNt4Profile());
+
+  // The task set: a soft modem datapump (16 ms cycle, 25% CPU => 4 ms), a
+  // low-latency audio renderer and a video decoder.
+  std::vector<analysis::Task> tasks{
+      {"soft modem datapump", 16.0, 4.0, 0.0},
+      {"low latency audio", 10.0, 1.5, 0.0},
+      {"soft video decode", 33.0, 8.0, 0.0},
+  };
+
+  report::AsciiTable table({"OS / mode", "Error budget", "Pseudo worst case (ms)",
+                            "Utilization", "Schedulable?", "Worst response (ms)"});
+  struct Case {
+    const char* name;
+    const stats::LatencyHistogram* latency;
+    double samples_per_hour;
+    double errors_per_hour;
+    const char* budget;
+  };
+  const std::vector<Case> cases{
+      {"Win98, thread datapump", &w98.thread_interrupt, w98.samples_per_hour, 1.0,
+       "1 drop/hour"},
+      {"Win98, thread datapump", &w98.thread_interrupt, w98.samples_per_hour, 12.0,
+       "1 drop/5 min"},
+      {"Win98, DPC datapump", &w98.dpc_interrupt, w98.samples_per_hour, 1.0, "1 drop/hour"},
+      {"NT 4.0, thread datapump", &nt.thread_interrupt, nt.samples_per_hour, 1.0,
+       "1 drop/hour"},
+      {"NT 4.0, DPC datapump", &nt.dpc_interrupt, nt.samples_per_hour, 1.0, "1 drop/hour"},
+  };
+  for (const Case& c : cases) {
+    // The datapump activates every 16 ms => 225,000 activations per hour.
+    const double activations_per_hour = 3600.0 * 1000.0 / 16.0;
+    (void)c.samples_per_hour;
+    const double pseudo =
+        analysis::PseudoWorstCaseMs(*c.latency, c.errors_per_hour, activations_per_hour);
+    const auto result = analysis::AnalyzeRateMonotonic(tasks, pseudo);
+    double worst_response = 0.0;
+    for (const auto& response : result.responses) {
+      worst_response = std::max(worst_response, response.response_ms);
+    }
+    table.AddRow({std::string(c.name), c.budget, report::AsciiTable::Fmt(pseudo, 2),
+                  report::AsciiTable::Fmt(result.utilization, 2),
+                  result.schedulable ? "yes" : "NO",
+                  report::AsciiTable::Fmt(worst_response, 1)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape (Section 5/6): the Windows 98 thread-based datapump is\n"
+      "unschedulable at tight error budgets — \"many compute-intensive drivers\n"
+      "will be forced to use DPCs on Windows 98, whereas on Windows NT\n"
+      "high-priority, real-time kernel mode threads should provide service\n"
+      "indistinguishable from DPCs.\"\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduction of Table 1: "Range of Latency Tolerances for Several
+// Multimedia and Signal Processing Applications."
+//
+// Pure model output: latency tolerance is (n-1)*t for n buffers of t ms.
+// We print the buffer parameter ranges, the paper's printed tolerance range,
+// and the ranges computed from the caption's formula and from the full
+// parameter span (the paper's rows are not all consistent with its own
+// caption formula — see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "src/analysis/tolerance.h"
+#include "src/report/ascii_table.h"
+
+int main() {
+  using wdmlat::analysis::ComputeToleranceRange;
+  using wdmlat::analysis::Table1Apps;
+  using wdmlat::analysis::ToleranceRange;
+  using wdmlat::report::AsciiTable;
+
+  std::printf(
+      "Table 1 reproduction: latency tolerances, tolerance = (n-1) * t for n\n"
+      "buffers of t milliseconds.\n\n");
+
+  AsciiTable table({"Application", "Buffer size t (ms)", "Buffers n", "Paper tolerance (ms)",
+                    "Caption formula (ms)", "Full span (ms)"});
+  for (const auto& app : Table1Apps()) {
+    const ToleranceRange range = ComputeToleranceRange(app);
+    table.AddRow({app.name,
+                  AsciiTable::Fmt(app.buffer_ms_min, 0) + " to " +
+                      AsciiTable::Fmt(app.buffer_ms_max, 0),
+                  std::to_string(app.buffers_min) + " to " + std::to_string(app.buffers_max),
+                  AsciiTable::Fmt(app.paper_tolerance_lo_ms, 0) + " to " +
+                      AsciiTable::Fmt(app.paper_tolerance_hi_ms, 0),
+                  AsciiTable::Fmt(range.caption_lo_ms, 0) + " to " +
+                      AsciiTable::Fmt(range.caption_hi_ms, 0),
+                  AsciiTable::Fmt(range.full_lo_ms, 0) + " to " +
+                      AsciiTable::Fmt(range.full_hi_ms, 0)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nNote (paper Section 1): \"the two most processor-intensive applications,\n"
+      "ADSL and video at 20 to 30 fps, are at opposite ends of the latency\n"
+      "tolerance spectrum.\"\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+// wdmlat_run — command-line front end for the latency laboratory.
+//
+// Runs one experiment cell (OS personality × workload × measured thread
+// priority × virtual duration), prints a summary, and optionally renders the
+// Figure-4 style plot and/or exports CSVs for external plotting.
+//
+//   wdmlat_run --os=win98 --workload=games --priority=28 --minutes=10
+//   wdmlat_run --os=nt4 --workload=web --priority=24 --plot
+//   wdmlat_run --os=win98 --workload=office --csv-dir=out/ --scanner
+//
+// Flags:
+//   --os=nt4|win98|w2kbeta     OS personality             (default win98)
+//   --workload=office|workstation|games|web|idle          (default games)
+//   --priority=<16..31>        measured RT thread priority (default 28)
+//   --minutes=<float>          virtual measurement minutes (default 10)
+//   --seed=<uint>              RNG seed                    (default 1999)
+//   --scanner                  enable the Plus!98 virus scanner (98 only)
+//   --sounds                   enable the default sound scheme  (98 only)
+//   --plot                     render the log-log distribution panel
+//   --csv-dir=<dir>            export distributions as CSV
+//   --worst-cases              print hourly/daily/weekly expected worst cases
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/kernel/profile.h"
+#include "src/lab/csv_export.h"
+#include "src/lab/lab.h"
+#include "src/report/loglog_plot.h"
+#include "src/stats/usage_model.h"
+#include "src/workload/stress_profile.h"
+
+namespace {
+
+using namespace wdmlat;
+
+[[noreturn]] void Usage(const char* bad = nullptr) {
+  if (bad != nullptr) {
+    std::fprintf(stderr, "wdmlat_run: unrecognized argument '%s'\n\n", bad);
+  }
+  std::fprintf(stderr,
+               "usage: wdmlat_run [--os=nt4|win98|w2kbeta] "
+               "[--workload=office|workstation|games|web|idle]\n"
+               "                  [--priority=N] [--minutes=F] [--seed=N] [--scanner] "
+               "[--sounds]\n"
+               "                  [--plot] [--csv-dir=DIR] [--worst-cases]\n");
+  std::exit(2);
+}
+
+bool MatchFlag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return false;
+  }
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string os_name = "win98";
+  std::string workload_name = "games";
+  int priority = 28;
+  double minutes = 10.0;
+  std::uint64_t seed = 1999;
+  bool scanner = false;
+  bool sounds = false;
+  bool plot = false;
+  bool worst_cases = false;
+  std::string csv_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (MatchFlag(argv[i], "--os", &value)) {
+      os_name = value;
+    } else if (MatchFlag(argv[i], "--workload", &value)) {
+      workload_name = value;
+    } else if (MatchFlag(argv[i], "--priority", &value)) {
+      priority = std::atoi(value.c_str());
+    } else if (MatchFlag(argv[i], "--minutes", &value)) {
+      minutes = std::atof(value.c_str());
+    } else if (MatchFlag(argv[i], "--seed", &value)) {
+      seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (MatchFlag(argv[i], "--scanner", &value)) {
+      scanner = true;
+    } else if (MatchFlag(argv[i], "--sounds", &value)) {
+      sounds = true;
+    } else if (MatchFlag(argv[i], "--plot", &value)) {
+      plot = true;
+    } else if (MatchFlag(argv[i], "--worst-cases", &value)) {
+      worst_cases = true;
+    } else if (MatchFlag(argv[i], "--csv-dir", &value)) {
+      csv_dir = value;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      Usage();
+    } else {
+      Usage(argv[i]);
+    }
+  }
+  if (priority < kernel::kMinRealTimePriority || priority > kernel::kMaxPriority) {
+    std::fprintf(stderr, "wdmlat_run: --priority must be a real-time priority (16..31)\n");
+    return 2;
+  }
+  if (minutes <= 0.0) {
+    std::fprintf(stderr, "wdmlat_run: --minutes must be positive\n");
+    return 2;
+  }
+
+  lab::LabConfig config;
+  if (os_name == "nt4") {
+    config.os = kernel::MakeNt4Profile();
+  } else if (os_name == "win98") {
+    config.os = kernel::MakeWin98Profile();
+  } else if (os_name == "w2kbeta") {
+    config.os = kernel::MakeWin2000BetaProfile();
+  } else {
+    Usage(("--os=" + os_name).c_str());
+  }
+  if (workload_name == "office") {
+    config.stress = workload::OfficeStress();
+  } else if (workload_name == "workstation") {
+    config.stress = workload::WorkstationStress();
+  } else if (workload_name == "games") {
+    config.stress = workload::GamesStress();
+  } else if (workload_name == "web") {
+    config.stress = workload::WebStress();
+  } else if (workload_name == "idle") {
+    config.stress = workload::IdleStress();
+  } else {
+    Usage(("--workload=" + workload_name).c_str());
+  }
+  config.thread_priority = priority;
+  config.stress_minutes = minutes;
+  config.seed = seed;
+  config.options.virus_scanner = scanner;
+  config.options.sound_scheme =
+      sounds ? vmm98::SchemeKind::kDefault : vmm98::SchemeKind::kNoSounds;
+
+  std::printf("wdmlat_run: %s, %s, priority %d, %.1f virtual minutes, seed %llu\n",
+              config.os.name.c_str(), config.stress.name.c_str(), priority, minutes,
+              static_cast<unsigned long long>(seed));
+  const lab::LabReport report = lab::RunLatencyExperiment(config);
+
+  std::printf("\n%llu samples (%.0f per hour)\n",
+              static_cast<unsigned long long>(report.samples), report.samples_per_hour);
+  auto line = [](const char* name, const stats::LatencyHistogram& hist) {
+    std::printf("  %-22s p50 %8.3f  p99 %8.3f  p99.99 %8.3f  max %8.3f ms\n", name,
+                hist.QuantileMs(0.5), hist.QuantileMs(0.99), hist.QuantileMs(0.9999),
+                hist.max_ms());
+  };
+  line("DPC interrupt latency", report.dpc_interrupt);
+  line("thread latency", report.thread);
+  line("thread int latency", report.thread_interrupt);
+  if (report.has_interrupt_latency) {
+    line("interrupt latency", report.interrupt);
+    line("ISR to DPC", report.isr_to_dpc);
+  }
+
+  if (worst_cases) {
+    std::printf("\nExpected worst cases (hourly / daily / weekly, ms) under the %s usage "
+                "model:\n",
+                report.usage.category.c_str());
+    auto worst = [&](const char* name, const stats::LatencyHistogram& hist) {
+      const auto wc = stats::ComputeWorstCases(hist, report.samples_per_hour, report.usage);
+      std::printf("  %-22s %6.1f / %6.1f / %6.1f\n", name, wc.hourly_ms, wc.daily_ms,
+                  wc.weekly_ms);
+    };
+    worst("DPC interrupt latency", report.dpc_interrupt);
+    worst("thread latency", report.thread);
+    worst("thread int latency", report.thread_interrupt);
+    if (report.has_interrupt_latency) {
+      worst("interrupt latency", report.interrupt);
+    }
+  }
+
+  if (plot) {
+    std::printf("\n");
+    std::vector<report::LatencySeries> series{
+        {"DPC interrupt latency", 'D', &report.dpc_interrupt},
+        {"thread latency", 'T', &report.thread},
+    };
+    std::fputs(report::RenderLatencyLogLog(report.os_name + " / " + report.workload_name,
+                                           series, 0.125, 128.0)
+                   .c_str(),
+               stdout);
+  }
+
+  if (!csv_dir.empty()) {
+    const std::string prefix = lab::DefaultCsvPrefix(report);
+    const int files = lab::WriteReportCsv(report, csv_dir, prefix);
+    std::printf("\nwrote %d CSV files to %s/%s_*.csv\n", files, csv_dir.c_str(),
+                prefix.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Live audio-glitch counting: the Figure 5 story, end to end.
+//
+// The paper's team heard it from Intel's audio experts before they measured
+// it: "the virus scanner causes breakup of low latency audio." This example
+// runs a *live* low-latency audio renderer model (a 16 ms-period thread-
+// modality periodic task at high real-time priority, as KMixer-era audio
+// worked) on Windows 98 under the office load, with and without the Plus! 98
+// virus scanner, and counts actual buffer underruns — then compares the
+// glitch rate with the prediction from the measured thread-latency
+// distribution.
+
+#include <cstdio>
+
+#include "src/drivers/latency_driver.h"
+#include "src/drivers/periodic_load_tool.h"
+#include "src/kernel/profile.h"
+#include "src/lab/test_system.h"
+#include "src/workload/stress_load.h"
+#include "src/workload/stress_profile.h"
+
+namespace {
+
+using namespace wdmlat;
+
+struct Outcome {
+  std::uint64_t buffers = 0;
+  std::uint64_t glitches = 0;
+  double predicted_p_glitch = 0.0;
+};
+
+Outcome Run(bool with_scanner, double minutes) {
+  lab::TestSystemOptions options;
+  options.virus_scanner = with_scanner;
+  lab::TestSystem system(kernel::MakeWin98Profile(), 1998, options);
+  workload::StressLoad load(system.deps(), workload::OfficeStress(), system.ForkRng());
+
+  // The audio renderer: 16 ms buffers, double buffered, ~20% CPU, woken by
+  // the audio DPC at high real-time priority.
+  drivers::PeriodicTask::Config audio;
+  audio.modality = drivers::Modality::kThread;
+  audio.period_ms = 16.0;
+  audio.compute_ms = 3.2;
+  audio.buffers = 2;
+  audio.thread_priority = 28;
+  drivers::PeriodicTask renderer(system.kernel(), audio);
+
+  // The measurement driver runs alongside to make the prediction.
+  drivers::LatencyDriver driver(system.kernel(), drivers::LatencyDriver::Config{});
+
+  load.Start();
+  system.RunFor(2.0);
+  renderer.Start();
+  driver.Start();
+  system.RunForMinutes(minutes);
+
+  Outcome outcome;
+  outcome.buffers = renderer.cycles_completed();
+  outcome.glitches = renderer.deadline_misses();
+  // Prediction: a glitch when the wake is later than tolerance - compute.
+  outcome.predicted_p_glitch =
+      driver.thread_latency().FractionAtOrAbove(renderer.tolerance_ms() - audio.compute_ms);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  const double minutes = 15.0;
+  std::printf(
+      "Low-latency audio on Windows 98 (office load): live glitch counting,\n"
+      "%.0f virtual minutes per configuration.\n\n",
+      minutes);
+
+  for (const bool scanner : {false, true}) {
+    std::printf("%s the Plus! 98 virus scanner:\n", scanner ? "WITH" : "Without");
+    const Outcome outcome = Run(scanner, minutes);
+    const double rate = static_cast<double>(outcome.glitches) /
+                        static_cast<double>(outcome.buffers);
+    std::printf("  %llu buffers rendered, %llu glitches (%.3g per buffer)\n",
+                static_cast<unsigned long long>(outcome.buffers),
+                static_cast<unsigned long long>(outcome.glitches), rate);
+    std::printf("  predicted from the latency table: %.3g per wait\n",
+                outcome.predicted_p_glitch);
+    if (outcome.glitches > 0) {
+      std::printf("  one audible breakup every %.0f seconds\n",
+                  minutes * 60.0 / static_cast<double>(outcome.glitches));
+    } else {
+      std::printf("  no breakups in the run\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper Section 4.3: with the scanner, 16 ms latencies 'occur over two\n"
+      "orders of magnitude more frequently' — roughly every 16 seconds for a\n"
+      "16 ms audio thread, versus every ~44 minutes without it.\n");
+  return 0;
+}

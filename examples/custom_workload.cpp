@@ -1,0 +1,95 @@
+// Building a custom stress workload.
+//
+// The four built-in loads model the paper's application categories; this
+// example defines a new one — a "home studio" machine doing low-latency
+// audio recording while a backup job hammers the disk — and compares the
+// latency profile it induces on the two OS personalities, including a
+// Figure-4 style log-log rendering.
+
+#include <cstdio>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/report/loglog_plot.h"
+#include "src/workload/stress_profile.h"
+
+namespace {
+
+using namespace wdmlat;
+
+workload::StressProfile HomeStudioStress() {
+  workload::StressProfile p;
+  p.name = "Home Studio";
+  p.usage = stats::UsageModel{"Home Studio", 1.0, 4.0, 20.0};
+
+  // The backup job: sustained large sequential reads.
+  p.file_ops_per_s = 30.0;
+  p.file_bytes_mean = 512.0 * 1024;
+  p.file_op_cpu_us = 150.0;
+  p.file_bursts_per_s = 1.0;
+  p.file_burst_ops = 50;
+
+  // The audio application: one CPU-bound mixing thread plus a running
+  // stream with an 8 ms hardware buffer (aggressively low latency).
+  p.cpu_threads = 1;
+  p.cpu_burst_us = 2500.0;
+  p.cpu_priority = 10;
+  p.cpu_label = kernel::Label{"CAKEWALK", "_MixEngine"};
+  p.audio_stream = true;
+  p.audio_period_ms = 8.0;
+
+  // Disk-heavy activity exercises the file-system's legacy paths.
+  p.masked_rate_per_s = 3.0;
+  p.masked_len_us = sim::DurationDist::BoundedPareto(2.2, 30.0, 2000.0);
+  p.masked_label = kernel::Label{"VFAT", "_BackupRead_cli"};
+  p.dispatch_rate_per_s = 5.0;
+  p.dispatch_len_us = sim::DurationDist::BoundedPareto(2.0, 40.0, 900.0);
+  p.dispatch_label = kernel::Label{"VCACHE", "_Prefetch"};
+  p.lockout_rate_per_s = 3.0;
+  p.lockout_len_us = sim::DurationDist::BoundedPareto(1.6, 150.0, 30000.0);
+
+  p.work_items_per_s = 25.0;
+  p.work_item_us = sim::DurationDist::BoundedPareto(2.3, 120.0, 10000.0);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Custom workload: \"Home Studio\" (low-latency audio + disk backup)\n\n");
+
+  lab::LabReport nt;
+  lab::LabReport w98;
+  for (auto* slot : {&nt, &w98}) {
+    lab::LabConfig config;
+    config.os = slot == &nt ? kernel::MakeNt4Profile() : kernel::MakeWin98Profile();
+    config.stress = HomeStudioStress();
+    config.thread_priority = 28;
+    config.stress_minutes = 5.0;
+    config.seed = 31;
+    *slot = lab::RunLatencyExperiment(config);
+  }
+
+  std::vector<report::LatencySeries> series{
+      {"Windows NT 4.0", 'N', &nt.thread},
+      {"Windows 98", '9', &w98.thread},
+  };
+  std::fputs(report::RenderLatencyLogLog(
+                 "Home Studio: Kernel Mode Thread (RT Priority 28) Latency in Millisecs",
+                 series, 0.125, 128.0)
+                 .c_str(),
+             stdout);
+
+  // Can an 8 ms-buffer audio engine survive? (Tolerance with double
+  // buffering: 8 ms; the engine needs its thread within that.)
+  std::printf("\nP[thread latency >= 8 ms] while recording:\n");
+  std::printf("  NT 4.0:     %.3g per wait\n", nt.thread.FractionAtOrAbove(8.0));
+  std::printf("  Windows 98: %.3g per wait — ", w98.thread.FractionAtOrAbove(8.0));
+  const double p98 = w98.thread.FractionAtOrAbove(8.0);
+  if (p98 > 0.0) {
+    std::printf("a dropout roughly every %.0f seconds at a 8 ms period\n", 0.008 / p98);
+  } else {
+    std::printf("none observed in this run\n");
+  }
+  return 0;
+}

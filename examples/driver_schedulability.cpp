@@ -1,0 +1,69 @@
+// Driver schedulability on a non-real-time OS (the paper's Section 5.2
+// procedure, as a downstream user would apply it).
+//
+// Scenario: you are shipping a WDM driver suite — a soft modem, a low
+// latency audio renderer and a USB polling task — and must decide, per OS,
+// whether to implement the time-critical paths as DPCs or as real-time
+// threads. The procedure: measure latency tables under a representative
+// load, pick a permissible error rate, extract the pseudo worst case, run
+// response-time analysis.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/analysis/rma.h"
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/report/ascii_table.h"
+#include "src/workload/stress_profile.h"
+
+int main() {
+  using namespace wdmlat;
+  std::printf(
+      "Driver-suite schedulability analysis (Section 5.2 procedure), measured\n"
+      "under the web-browsing load, 8 virtual minutes per OS.\n\n");
+
+  const std::vector<analysis::Task> suite{
+      {"usb poll", 8.0, 0.6, 0.0},
+      {"soft modem", 16.0, 4.0, 0.0},
+      {"audio render", 20.0, 3.0, 0.0},
+  };
+  std::printf("Task set: usb poll (8 ms / 0.6 ms), soft modem (16 ms / 4 ms),\n"
+              "audio render (20 ms / 3 ms). Utilization %.2f; Liu-Layland bound for\n"
+              "3 tasks %.2f — schedulable on a real-time OS with margin.\n\n",
+              0.6 / 8 + 4.0 / 16 + 3.0 / 20, analysis::LiuLaylandBound(3));
+
+  report::AsciiTable table(
+      {"OS", "Dispatch", "Pseudo worst case (ms)", "Schedulable?", "Worst response (ms)"});
+  for (auto make_os : {kernel::MakeNt4Profile, kernel::MakeWin98Profile}) {
+    lab::LabConfig config;
+    config.os = make_os();
+    config.stress = workload::WebStress();
+    config.thread_priority = 28;
+    config.stress_minutes = 8.0;
+    config.seed = 37;
+    const lab::LabReport report = lab::RunLatencyExperiment(config);
+
+    // One permitted drop per hour at the modem's 16 ms activation period.
+    const double activations_per_hour = 3600.0 * 1000.0 / 16.0;
+    for (const bool use_thread : {false, true}) {
+      const auto& latency = use_thread ? report.thread_interrupt : report.dpc_interrupt;
+      const double pseudo = analysis::PseudoWorstCaseMs(latency, 1.0, activations_per_hour);
+      const auto result = analysis::AnalyzeRateMonotonic(suite, pseudo);
+      double worst = 0.0;
+      for (const auto& response : result.responses) {
+        worst = std::max(worst, response.response_ms);
+      }
+      table.AddRow({report.os_name, use_thread ? "RT thread (28)" : "DPC",
+                    report::AsciiTable::Fmt(pseudo, 2), result.schedulable ? "yes" : "NO",
+                    report::AsciiTable::Fmt(worst, 1)});
+    }
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::printf(
+      "\nEngineering conclusion (paper Section 6): on Windows 98 the suite must\n"
+      "use DPCs (and may still need error concealment); on NT 4.0 real-time\n"
+      "threads are as good as DPCs, with all the software-engineering benefits\n"
+      "of thread-based code.\n");
+  return 0;
+}

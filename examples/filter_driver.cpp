@@ -1,0 +1,121 @@
+// Writing a WDM filter driver against the wdmlat I/O manager.
+//
+// The Plus! 98 virus scanner of Figure 5 was, structurally, a file-system
+// filter: a device attached on top of the file system's device object, so
+// every IRP_MJ_READ flows through it before reaching the real driver. This
+// example builds that stack explicitly:
+//
+//   app -> \Device\Fat0 (top of stack = VSCAN filter) -> FASTFAT -> disk
+//
+// and measures what the interposition costs: per-read completion latency
+// with the filter detached versus attached (on Windows 98, where the
+// scanner's VMM critical sections bite every thread in the system).
+
+#include <cstdio>
+
+#include "src/kernel/io_manager.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/profile.h"
+#include "src/lab/test_system.h"
+#include "src/stats/histogram.h"
+#include "src/vmm98/virus_scanner.h"
+
+namespace {
+
+using namespace wdmlat;
+
+struct FileSystemStack {
+  kernel::DriverObject* fastfat = nullptr;
+  kernel::DeviceObject* fat_device = nullptr;
+  kernel::DriverObject* vscan = nullptr;
+  kernel::DeviceObject* vscan_device = nullptr;
+};
+
+// Build the FASTFAT function driver: IRP_MJ_READ does a disk transfer and
+// completes the IRP from the completion DPC.
+FileSystemStack BuildStack(lab::TestSystem& system, vmm98::VirusScanner* scanner) {
+  FileSystemStack stack;
+  kernel::Kernel& k = system.kernel();
+  stack.fastfat = k.io().IoCreateDriver("FASTFAT");
+  stack.fastfat->SetMajorFunction(
+      kernel::IrpMajor::kRead, [&system, &k](kernel::DeviceObject&, kernel::Irp& irp) {
+        irp.asb[0] = k.GetCycleCount();  // dispatch timestamp
+        system.disk_driver().SubmitIo(32 * 1024, [&k, &irp] { k.IoCompleteRequest(&irp); });
+      });
+  stack.fat_device = k.io().IoCreateDevice(stack.fastfat, "\\Device\\Fat0");
+
+  // The filter: scan the buffer (lockout + raised IRQL on 98!), then pass
+  // the IRP down the stack with a completion routine to stamp unwind time.
+  stack.vscan = k.io().IoCreateDriver("VSCAN");
+  stack.vscan->SetMajorFunction(
+      kernel::IrpMajor::kRead,
+      [&k, scanner](kernel::DeviceObject& device, kernel::Irp& irp) {
+        if (scanner != nullptr) {
+          scanner->OnFileOperation(32 * 1024);
+        }
+        k.io().IoSetCompletionRoutine(
+            &irp, &device,
+            [&k](kernel::DeviceObject&, kernel::Irp& completing) {
+              completing.asb[1] = k.GetCycleCount();  // completion unwind
+            });
+        k.io().IoCallDriver(device.lower(), &irp, kernel::IrpMajor::kRead);
+      });
+  stack.vscan_device = k.io().IoCreateDevice(stack.vscan, "\\Device\\VScan0");
+  return stack;
+}
+
+stats::LatencyHistogram MeasureReads(lab::TestSystem& system, int reads) {
+  kernel::Kernel& k = system.kernel();
+  stats::LatencyHistogram latency;
+  auto irp = std::make_shared<kernel::Irp>();
+  auto done = std::make_shared<kernel::KEvent>();
+  irp->on_complete = [&k, done](kernel::Irp*) { k.KeSetEvent(done.get()); };
+  auto remaining = std::make_shared<int>(reads);
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&, irp, done, remaining, loop] {
+    if (--*remaining < 0) {
+      k.ExitThread();
+      return;
+    }
+    const sim::Cycles start = k.GetCycleCount();
+    k.io().IoCallDriver(k.io().TopOfStack("\\Device\\Fat0"), irp.get(),
+                        kernel::IrpMajor::kRead);
+    k.Wait(done.get(), [&, start, loop] {
+      latency.Record(k.GetCycleCount() - start);
+      (*loop)();
+    });
+  };
+  k.PsCreateSystemThread("reader", 9, [loop] { (*loop)(); });
+  system.RunFor(60.0 * 5);
+  return latency;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A virus scanner as a WDM file-system filter driver (Windows 98)\n\n");
+
+  lab::TestSystemOptions options;
+  options.virus_scanner = true;
+  lab::TestSystem system(kernel::MakeWin98Profile(), 77, options);
+  FileSystemStack stack = BuildStack(system, system.virus_scanner());
+
+  std::printf("Reading 1000 files through the bare FASTFAT stack...\n");
+  const stats::LatencyHistogram bare = MeasureReads(system, 1000);
+
+  std::printf("Attaching VSCAN above FASTFAT and reading 1000 more...\n");
+  system.kernel().io().IoAttachDeviceToStack(stack.vscan_device, stack.fat_device);
+  const stats::LatencyHistogram filtered = MeasureReads(system, 1000);
+
+  std::printf("\nPer-read completion latency (ms):\n");
+  std::printf("  %-18s median %7.2f   p99 %7.2f   max %7.2f\n", "bare FASTFAT",
+              bare.QuantileMs(0.5), bare.QuantileMs(0.99), bare.max_ms());
+  std::printf("  %-18s median %7.2f   p99 %7.2f   max %7.2f\n", "with VSCAN filter",
+              filtered.QuantileMs(0.5), filtered.QuantileMs(0.99), filtered.max_ms());
+  std::printf(
+      "\nThe filter's own reads barely slow down (the scan overlaps the disk\n"
+      "seek); the damage is to EVERYONE ELSE: each scan locks out thread\n"
+      "dispatching system-wide — the Figure 5 mechanism. Run\n"
+      "examples/audio_glitch_predictor to see the victim's side.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: measure WDM latency distributions on both OS personalities.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The LatencyLab API runs one cell of the paper's measurement matrix: pick
+// an OS (Windows NT 4.0 or Windows 98), an application stress load, the
+// measured thread priority, and a virtual duration — and get back the full
+// latency distributions the paper's figures are built from.
+
+#include <cstdio>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/workload/stress_profile.h"
+
+int main() {
+  using namespace wdmlat;
+
+  std::printf("wdmlat quickstart: 2 virtual minutes of 3D-games load per OS\n\n");
+
+  for (auto make_os : {kernel::MakeNt4Profile, kernel::MakeWin98Profile}) {
+    lab::LabConfig config;
+    config.os = make_os();
+    config.stress = workload::GamesStress();
+    config.thread_priority = 28;  // high real-time priority, as in Figure 4
+    config.stress_minutes = 2.0;
+    config.seed = 7;
+
+    const lab::LabReport report = lab::RunLatencyExperiment(config);
+
+    std::printf("%s, %s, thread priority %d (%llu samples)\n", report.os_name.c_str(),
+                report.workload_name.c_str(), report.thread_priority,
+                static_cast<unsigned long long>(report.samples));
+    std::printf("  DPC interrupt latency: median %.3f ms, 99.99%% %.3f ms, max %.3f ms\n",
+                report.dpc_interrupt.QuantileMs(0.5), report.dpc_interrupt.QuantileMs(0.9999),
+                report.dpc_interrupt.max_ms());
+    std::printf("  thread latency:        median %.3f ms, 99.99%% %.3f ms, max %.3f ms\n",
+                report.thread.QuantileMs(0.5), report.thread.QuantileMs(0.9999),
+                report.thread.max_ms());
+    if (report.has_interrupt_latency) {
+      std::printf("  interrupt latency:     median %.3f ms, max %.3f ms "
+                  "(legacy timer hook, Windows 9x only)\n",
+                  report.interrupt.QuantileMs(0.5), report.interrupt.max_ms());
+    } else {
+      std::printf("  interrupt latency:     not measurable without OS source access "
+                  "(paper Section 2.2)\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: similar medians (throughput metrics see no difference), but a\n"
+      "thread-latency tail one to two orders of magnitude longer on Windows 98.\n");
+  return 0;
+}

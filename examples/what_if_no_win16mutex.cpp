@@ -1,0 +1,69 @@
+// Counterfactual OS surgery: what if Windows 98 had no dispatch lockouts?
+//
+// The model attributes Windows 98's thread-latency tail to legacy VMM
+// critical sections (Win16Mutex-style) during which DPCs run but no thread
+// can be dispatched. Because the kernel personality is a parameter block,
+// we can perform the surgery the paper could only speculate about: take the
+// Windows 98 profile, zero out the lockout mechanisms, and re-measure.
+// Thread latency collapses toward NT levels while interrupt latency —
+// caused by a different mechanism (long cli sections) — barely moves.
+// That separation is the heart of the paper's causal story.
+
+#include <cstdio>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/report/ascii_table.h"
+#include "src/workload/stress_profile.h"
+
+namespace {
+
+using namespace wdmlat;
+
+lab::LabReport Measure(kernel::KernelProfile os, const char* tag) {
+  std::printf("  measuring %s...\n", tag);
+  lab::LabConfig config;
+  config.os = std::move(os);
+  config.stress = workload::GamesStress();
+  config.thread_priority = 28;
+  config.stress_minutes = 8.0;
+  config.seed = 1998;
+  return lab::RunLatencyExperiment(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("What if Windows 98 had no Win16Mutex? (3D games load)\n\n");
+
+  kernel::KernelProfile surgical = kernel::MakeWin98Profile();
+  surgical.name = "Windows 98 (no lockouts)";
+  surgical.lockout_rate_per_s = 0.0;
+  surgical.lockout_stress_scale = 0.0;
+
+  const lab::LabReport stock = Measure(kernel::MakeWin98Profile(), "stock Windows 98");
+  const lab::LabReport modified = Measure(surgical, "Windows 98 without lockouts");
+  const lab::LabReport nt = Measure(kernel::MakeNt4Profile(), "Windows NT 4.0");
+  std::printf("\n");
+
+  report::AsciiTable table({"System", "Thread lat p99.99 (ms)", "Thread lat max (ms)",
+                            "Interrupt lat max (ms)"});
+  auto row = [&](const lab::LabReport& report) {
+    table.AddRow({report.os_name, report::AsciiTable::Fmt(report.thread.QuantileMs(0.9999), 2),
+                  report::AsciiTable::Fmt(report.thread.max_ms(), 2),
+                  report::AsciiTable::Fmt(report.true_pit_interrupt_latency.max_ms(), 2)});
+  };
+  row(stock);
+  row(modified);
+  row(nt);
+  std::fputs(table.Render().c_str(), stdout);
+
+  std::printf(
+      "\nRemoving the lockouts collapses the thread-latency tail by ~%.0fx while\n"
+      "interrupt latency stays essentially unchanged (%.1f vs %.1f ms): the two\n"
+      "tails have different causes, exactly as the paper's analysis says.\n",
+      stock.thread.max_ms() / modified.thread.max_ms(),
+      stock.true_pit_interrupt_latency.max_ms(),
+      modified.true_pit_interrupt_latency.max_ms());
+  return 0;
+}

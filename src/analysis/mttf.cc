@@ -1,0 +1,36 @@
+#include "src/analysis/mttf.h"
+
+#include <cassert>
+
+namespace wdmlat::analysis {
+
+double MeanTimeToUnderrunSeconds(const stats::LatencyHistogram& latency, double buffering_ms,
+                                 const DatapumpModel& model) {
+  assert(buffering_ms > 0.0 && model.buffers >= 2);
+  // buffering = (n-1) * t  =>  t = buffering / (n-1); c = fraction * t.
+  const double t = buffering_ms / (model.buffers - 1);
+  const double c = model.cpu_fraction * t;
+  const double slack_ms = buffering_ms - c;
+  if (slack_ms <= 0.0) {
+    return 0.0;  // no slack: every cycle underruns
+  }
+  const double p_miss = latency.FractionAtOrAbove(slack_ms);
+  if (p_miss <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // One service opportunity per cycle; cycle time approximated as the total
+  // buffering (n-1)*t, per the paper.
+  const double cycle_s = buffering_ms / 1e3;
+  return cycle_s / p_miss;
+}
+
+std::vector<MttfPoint> MttfSweep(const stats::LatencyHistogram& latency, double lo_ms,
+                                 double hi_ms, double step_ms, const DatapumpModel& model) {
+  std::vector<MttfPoint> points;
+  for (double b = lo_ms; b <= hi_ms * 1.0001; b += step_ms) {
+    points.push_back(MttfPoint{b, MeanTimeToUnderrunSeconds(latency, b, model)});
+  }
+  return points;
+}
+
+}  // namespace wdmlat::analysis

@@ -1,0 +1,52 @@
+// Mean time to buffer underrun for a soft-modem datapump
+// (paper Section 5 / 5.1, Figures 6 and 7).
+//
+// "The plots are derived from our tables of latency data by calculating the
+// slack time for each amount of buffering (i.e., t * (n-1) - c, where n is
+// the number of buffers, t is the buffer size in milliseconds and c is the
+// compute time for 1 buffer). This number is used to index into the latency
+// table to determine the frequency with which such latencies occur, and this
+// frequency is divided by an approximation of the cycle time (for
+// simplicity, (n-1) * t). Thus the calculation is strictly accurate only for
+// double buffered implementations but is reasonably accurate if n is small."
+
+#ifndef SRC_ANALYSIS_MTTF_H_
+#define SRC_ANALYSIS_MTTF_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace wdmlat::analysis {
+
+struct DatapumpModel {
+  // "We have estimated that the datapump requires 25% of a system with a
+  // 300 MHz Pentium II processor during data transmission mode, which is a
+  // conservative (high) estimate." Compute per buffer c = fraction * t.
+  double cpu_fraction = 0.25;
+  int buffers = 2;  // the paper's calculation is exact for double buffering
+};
+
+// Mean time in seconds to a buffer underrun given the latency distribution
+// of the datapump's dispatch mechanism (DPC interrupt latency for a
+// DPC-based datapump; thread interrupt latency for a thread-based one) and
+// total buffering (n-1)*t milliseconds. Returns +infinity when the
+// distribution contains no latency at or above the slack.
+double MeanTimeToUnderrunSeconds(const stats::LatencyHistogram& latency, double buffering_ms,
+                                 const DatapumpModel& model = DatapumpModel{});
+
+struct MttfPoint {
+  double buffering_ms = 0.0;
+  double mttf_seconds = 0.0;  // +inf if no underruns observed
+};
+
+// Sweep buffering from `lo_ms` to `hi_ms` in `step_ms` steps (the x axes of
+// Figures 6 and 7).
+std::vector<MttfPoint> MttfSweep(const stats::LatencyHistogram& latency, double lo_ms,
+                                 double hi_ms, double step_ms,
+                                 const DatapumpModel& model = DatapumpModel{});
+
+}  // namespace wdmlat::analysis
+
+#endif  // SRC_ANALYSIS_MTTF_H_

@@ -1,0 +1,75 @@
+#include "src/analysis/rma.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wdmlat::analysis {
+
+double LiuLaylandBound(int task_count) {
+  assert(task_count > 0);
+  const double n = static_cast<double>(task_count);
+  return n * (std::exp2(1.0 / n) - 1.0);
+}
+
+SchedulabilityResult AnalyzeRateMonotonic(std::vector<Task> tasks, double blocking_ms) {
+  SchedulabilityResult result;
+  if (tasks.empty()) {
+    result.schedulable = true;
+    return result;
+  }
+  // Rate-monotonic priority order: shortest period first.
+  std::sort(tasks.begin(), tasks.end(),
+            [](const Task& a, const Task& b) { return a.period_ms < b.period_ms; });
+
+  for (const Task& task : tasks) {
+    assert(task.period_ms > 0.0 && task.compute_ms >= 0.0);
+    result.utilization += task.compute_ms / task.period_ms;
+  }
+
+  result.schedulable = true;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& task = tasks[i];
+    const double deadline = task.deadline_ms > 0.0 ? task.deadline_ms : task.period_ms;
+    TaskResponse response;
+    response.name = task.name;
+    response.deadline_ms = deadline;
+
+    // R = C + B + sum_{j higher prio} ceil(R / T_j) * C_j, iterated to a
+    // fixed point.
+    double r = task.compute_ms + blocking_ms;
+    bool converged = false;
+    for (int iter = 0; iter < 1000; ++iter) {
+      double next = task.compute_ms + blocking_ms;
+      for (std::size_t j = 0; j < i; ++j) {
+        next += std::ceil(r / tasks[j].period_ms) * tasks[j].compute_ms;
+      }
+      if (next == r) {
+        converged = true;
+        break;
+      }
+      r = next;
+      if (r > 100.0 * deadline) {
+        break;  // diverging: hopelessly unschedulable
+      }
+    }
+    response.response_ms = r;
+    response.converged = converged;
+    response.meets_deadline = converged && r <= deadline;
+    if (!response.meets_deadline) {
+      result.schedulable = false;
+    }
+    result.responses.push_back(response);
+  }
+  return result;
+}
+
+double PseudoWorstCaseMs(const stats::LatencyHistogram& latency,
+                         double permissible_errors_per_hour, double activations_per_hour) {
+  assert(permissible_errors_per_hour > 0.0 && activations_per_hour > 0.0);
+  const double exceedance = permissible_errors_per_hour / activations_per_hour;
+  const double q = std::clamp(1.0 - exceedance, 0.0, 1.0);
+  return latency.QuantileMs(q);
+}
+
+}  // namespace wdmlat::analysis

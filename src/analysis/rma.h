@@ -1,0 +1,67 @@
+// Schedulability analysis on a non-real-time OS (paper Section 5.2).
+//
+// "The procedure is to use the information from Table 3 as input to a
+// Schedulability Analysis tool. One chooses the worst case latency as a
+// function of the permissible error rate [...] The worst-case is then used
+// to calculate a 'pseudo worst-case' which is input into a standard
+// schedulability analysis tool such as PERTS. This technique amortizes the
+// overhead of an unusually long latency over a number of 'average' latencies
+// to enable analysis techniques designed for deterministic real-time OSs to
+// be applied on a general purpose OS."
+//
+// We implement classic fixed-priority response-time analysis (the engine
+// behind PERTS-style tools), the Liu-Layland utilization bound, and the
+// pseudo-worst-case extraction from a measured latency distribution.
+
+#ifndef SRC_ANALYSIS_RMA_H_
+#define SRC_ANALYSIS_RMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace wdmlat::analysis {
+
+struct Task {
+  std::string name;
+  double period_ms = 0.0;
+  double compute_ms = 0.0;
+  // Defaults to the period when <= 0.
+  double deadline_ms = 0.0;
+};
+
+struct TaskResponse {
+  std::string name;
+  double response_ms = 0.0;
+  double deadline_ms = 0.0;
+  bool meets_deadline = false;
+  bool converged = true;
+};
+
+struct SchedulabilityResult {
+  bool schedulable = false;
+  double utilization = 0.0;
+  std::vector<TaskResponse> responses;
+};
+
+// Liu-Layland bound for n tasks: U <= n (2^(1/n) - 1).
+double LiuLaylandBound(int task_count);
+
+// Exact response-time analysis for fixed-priority preemptive scheduling with
+// rate-monotonic priority assignment (shorter period = higher priority).
+// `blocking_ms` is the per-activation blocking term — the pseudo worst-case
+// OS latency added to every task's response.
+SchedulabilityResult AnalyzeRateMonotonic(std::vector<Task> tasks, double blocking_ms = 0.0);
+
+// The pseudo worst case: the latency quantile such that the expected number
+// of exceedances per hour equals the permissible error rate. "One chooses
+// the worst case latency as a function of the permissible error rate: for
+// example, one dropped buffer every five or ten minutes for low latency
+// audio, one dropped buffer per hour for a soft modem."
+double PseudoWorstCaseMs(const stats::LatencyHistogram& latency, double permissible_errors_per_hour,
+                         double activations_per_hour);
+
+}  // namespace wdmlat::analysis
+
+#endif  // SRC_ANALYSIS_RMA_H_

@@ -1,0 +1,28 @@
+#include "src/analysis/tolerance.h"
+
+#include <algorithm>
+
+namespace wdmlat::analysis {
+
+std::vector<StreamingApp> Table1Apps() {
+  return {
+      // name, t_min, t_max, n_min, n_max, paper range
+      {"ADSL", 2.0, 4.0, 2, 6, 4.0, 10.0},
+      {"Modem", 4.0, 16.0, 2, 6, 12.0, 20.0},
+      // "8 is the maximum number of buffers used by Microsoft's KMixer and is
+      // on the high side."
+      {"RT audio", 8.0, 24.0, 2, 8, 20.0, 60.0},
+      {"RT video", 33.0, 50.0, 2, 3, 33.0, 100.0},
+  };
+}
+
+ToleranceRange ComputeToleranceRange(const StreamingApp& app) {
+  ToleranceRange range;
+  range.caption_lo_ms = LatencyToleranceMs(app.buffer_ms_min, app.buffers_max);
+  range.caption_hi_ms = LatencyToleranceMs(app.buffer_ms_max, app.buffers_min);
+  range.full_lo_ms = LatencyToleranceMs(app.buffer_ms_min, app.buffers_min);
+  range.full_hi_ms = LatencyToleranceMs(app.buffer_ms_max, app.buffers_max);
+  return range;
+}
+
+}  // namespace wdmlat::analysis

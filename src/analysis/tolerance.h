@@ -1,0 +1,49 @@
+// Latency tolerance model (paper Table 1).
+//
+// "If an application has n buffers each of length t, then we say that its
+// latency tolerance is (n-1) * t." Before an application or driver misses a
+// deadline all buffered data must be consumed.
+
+#ifndef SRC_ANALYSIS_TOLERANCE_H_
+#define SRC_ANALYSIS_TOLERANCE_H_
+
+#include <string>
+#include <vector>
+
+namespace wdmlat::analysis {
+
+// The latency tolerance of an n-buffer configuration with buffer length t.
+constexpr double LatencyToleranceMs(double buffer_ms, int buffers) {
+  return buffer_ms * (buffers - 1);
+}
+
+struct StreamingApp {
+  std::string name;
+  double buffer_ms_min = 0.0;
+  double buffer_ms_max = 0.0;
+  int buffers_min = 0;
+  int buffers_max = 0;
+  // The tolerance range as printed in the paper's Table 1. The caption's
+  // formula ((nmax-1)*tmin .. (nmin-1)*tmax) does not reproduce every row
+  // exactly (e.g. the video row matches (nmin-1)*tmin .. (nmax-1)*tmax
+  // instead); we carry the paper's printed values alongside the computed
+  // ones and note the discrepancy in EXPERIMENTS.md.
+  double paper_tolerance_lo_ms = 0.0;
+  double paper_tolerance_hi_ms = 0.0;
+};
+
+struct ToleranceRange {
+  double caption_lo_ms = 0.0;  // (nmax-1) * tmin
+  double caption_hi_ms = 0.0;  // (nmin-1) * tmax
+  double full_lo_ms = 0.0;     // (nmin-1) * tmin: smallest achievable
+  double full_hi_ms = 0.0;     // (nmax-1) * tmax: largest achievable
+};
+
+// The four applications of Table 1: ADSL, modem, RT audio, RT video.
+std::vector<StreamingApp> Table1Apps();
+
+ToleranceRange ComputeToleranceRange(const StreamingApp& app);
+
+}  // namespace wdmlat::analysis
+
+#endif  // SRC_ANALYSIS_TOLERANCE_H_

@@ -1,0 +1,31 @@
+#include "src/hw/audio_device.h"
+
+namespace wdmlat::hw {
+
+AudioDevice::AudioDevice(sim::Engine& engine, InterruptController& pic, int line)
+    : engine_(engine), pic_(pic), line_(line) {}
+
+void AudioDevice::StartStream(double period_ms) {
+  period_ = sim::MsToCycles(period_ms);
+  if (streaming_) {
+    return;
+  }
+  streaming_ = true;
+  next_ = engine_.ScheduleAfter(period_, [this] { BufferComplete(); });
+}
+
+void AudioDevice::StopStream() {
+  streaming_ = false;
+  next_.Cancel();
+}
+
+void AudioDevice::BufferComplete() {
+  if (!streaming_) {
+    return;
+  }
+  ++buffers_completed_;
+  pic_.Assert(line_);
+  next_ = engine_.ScheduleAfter(period_, [this] { BufferComplete(); });
+}
+
+}  // namespace wdmlat::hw

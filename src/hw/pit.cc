@@ -1,0 +1,39 @@
+#include "src/hw/pit.h"
+
+#include <cassert>
+
+namespace wdmlat::hw {
+
+Pit::Pit(sim::Engine& engine, InterruptController& pic, int line)
+    : engine_(engine), pic_(pic), line_(line) {}
+
+void Pit::SetFrequencyHz(double hz) {
+  assert(hz > 0.0);
+  hz_ = hz;
+  period_ = static_cast<sim::Cycles>(static_cast<double>(sim::kCyclesPerSec) / hz + 0.5);
+  assert(period_ > 0);
+}
+
+void Pit::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  next_tick_ = engine_.ScheduleAfter(period_, [this] { Tick(); });
+}
+
+void Pit::Stop() {
+  running_ = false;
+  next_tick_.Cancel();
+}
+
+void Pit::Tick() {
+  if (!running_) {
+    return;
+  }
+  ++ticks_;
+  pic_.Assert(line_);
+  next_tick_ = engine_.ScheduleAfter(period_, [this] { Tick(); });
+}
+
+}  // namespace wdmlat::hw

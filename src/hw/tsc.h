@@ -1,0 +1,29 @@
+// The Pentium time-stamp counter (RDTSC).
+//
+// The paper's GetCycleCount() (Section 2.2.5) emits the raw 0F 31 opcode
+// because period inline assemblers did not know RDTSC. Our equivalent reads
+// the engine's virtual cycle clock; it is exactly as non-invasive as the
+// original (a register read, no kernel service).
+
+#ifndef SRC_HW_TSC_H_
+#define SRC_HW_TSC_H_
+
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace wdmlat::hw {
+
+class Tsc {
+ public:
+  explicit Tsc(const sim::Engine& engine) : engine_(engine) {}
+
+  // RDTSC.
+  sim::Cycles GetCycleCount() const { return engine_.now(); }
+
+ private:
+  const sim::Engine& engine_;
+};
+
+}  // namespace wdmlat::hw
+
+#endif  // SRC_HW_TSC_H_

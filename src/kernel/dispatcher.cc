@@ -1,0 +1,522 @@
+#include "src/kernel/dispatcher.h"
+
+#include <cassert>
+#include <utility>
+
+namespace wdmlat::kernel {
+
+Dispatcher::Dispatcher(sim::Engine& engine, sim::Rng rng, hw::InterruptController& pic,
+                       ReadyQueue& ready, DpcQueue& dpcs, Config config)
+    : engine_(engine), rng_(rng), pic_(pic), ready_(ready), dpcs_(dpcs), cfg_(config) {
+  pic_.set_pending_notifier([this] { OnInterruptPending(); });
+  dpcs_.set_notifier([this] { OnDpcQueued(); });
+}
+
+void Dispatcher::RegisterInterrupt(KInterrupt* interrupt) {
+  assert(interrupt != nullptr);
+  const int line = interrupt->line();
+  if (line >= static_cast<int>(interrupts_.size())) {
+    interrupts_.resize(line + 1, nullptr);
+  }
+  assert(interrupts_[line] == nullptr && "line already connected");
+  interrupts_[line] = interrupt;
+  Gate gate(this);  // the line may already be pending
+}
+
+void Dispatcher::OnInterruptPending() { Gate gate(this); }
+
+void Dispatcher::OnDpcQueued() { Gate gate(this); }
+
+void Dispatcher::Poke() { Gate gate(this); }
+
+void Dispatcher::RunGated(const std::function<void()>& fn) {
+  Gate gate(this);
+  fn();
+}
+
+void Dispatcher::OnClockTick(sim::Cycles period) {
+  // Called from inside the clock ISR handler; a gate is already open.
+  if (current_ != nullptr && thread_phase_ == ThreadPhase::kSegment) {
+    if (quantum_remaining_ <= period) {
+      quantum_expired_ = true;
+      quantum_remaining_ = cfg_.quantum;
+    } else {
+      quantum_remaining_ -= period;
+    }
+  }
+}
+
+Irql Dispatcher::EffectiveIrql() const {
+  if (!stack_.empty()) {
+    return stack_.back()->irql;
+  }
+  if (dpc_frame_) {
+    return Irql::kDispatch;
+  }
+  if (current_ != nullptr && thread_phase_ != ThreadPhase::kNone) {
+    return thread_irql_;
+  }
+  return Irql::kPassive;
+}
+
+Label Dispatcher::CurrentLabel() const {
+  if (!stack_.empty()) {
+    return stack_.back()->label;
+  }
+  if (dpc_frame_) {
+    return dpc_frame_->label;
+  }
+  if (current_ != nullptr) {
+    if (thread_phase_ == ThreadPhase::kSwitch) {
+      return kDispatcherLabel;
+    }
+    if (current_->has_segment_) {
+      return current_->seg_label_;
+    }
+  }
+  return kIdleLabel;
+}
+
+Label Dispatcher::InterruptedLabel() const {
+  if (stack_.size() >= 2) {
+    return stack_[stack_.size() - 2]->label;
+  }
+  if (!stack_.empty()) {
+    // Only one interrupt frame: what it interrupted is the DPC/thread level.
+    if (dpc_frame_) {
+      return dpc_frame_->label;
+    }
+    if (current_ != nullptr) {
+      if (thread_phase_ == ThreadPhase::kSwitch) {
+        return kDispatcherLabel;
+      }
+      if (current_->has_segment_) {
+        return current_->seg_label_;
+      }
+    }
+    return kIdleLabel;
+  }
+  return CurrentLabel();
+}
+
+bool Dispatcher::idle() const {
+  return stack_.empty() && !dpc_frame_ && current_ == nullptr;
+}
+
+bool Dispatcher::InjectSection(Irql irql, sim::Cycles length, Label label) {
+  Gate gate(this);
+  if (EffectiveIrql() >= irql) {
+    ++sections_skipped_;
+    return false;
+  }
+  PauseActive();
+  auto frame = std::make_unique<Frame>();
+  frame->irql = irql;
+  frame->label = label;
+  frame->is_isr = false;
+  frame->remaining = length;
+  frame->created_at = engine_.now();
+  Frame* fp = frame.get();
+  frame->on_elapsed = [this, fp] { PopFrame(fp); };
+  stack_.push_back(std::move(frame));
+  ++sections_run_;
+  Emit(TraceEventType::kSectionStart, label, -1, length);
+  return true;
+}
+
+void Dispatcher::LockDispatch(sim::Cycles duration) {
+  Gate gate(this);
+  Emit(TraceEventType::kDispatchLockout, kDispatcherLabel, -1, duration);
+  const sim::Cycles until = engine_.now() + duration;
+  if (until > lock_until_) {
+    lock_until_ = until;
+    // Wake the dispatcher when the lockout expires so readied threads run.
+    engine_.ScheduleAt(until, [this] { Poke(); });
+  }
+}
+
+void Dispatcher::ReadyThread(KThread* thread, sim::Cycles signaled_at) {
+  Gate gate(this);
+  assert(thread->state_ == ThreadState::kWaiting ||
+         thread->state_ == ThreadState::kInitialized);
+  thread->state_ = ThreadState::kReady;
+  thread->readied_at_ = engine_.now();
+  thread->wait_signaled_at_ = signaled_at;
+  ready_.Push(thread);
+  Emit(TraceEventType::kThreadReady, kDispatcherLabel, thread->priority(), 0);
+}
+
+void Dispatcher::CurrentThreadSetSegment(sim::Cycles length, Irql irql, Label label,
+                                         KThread::Continuation done) {
+  assert(in_continuation_ && current_ != nullptr);
+  assert(!current_->has_segment_ && "one compute segment at a time");
+  current_->has_segment_ = true;
+  current_->seg_remaining_ = length;
+  current_->seg_irql_ = irql;
+  current_->seg_label_ = label;
+  current_->seg_done_ = std::move(done);
+}
+
+void Dispatcher::CurrentThreadMarkWaiting() {
+  assert(in_continuation_ && current_ != nullptr);
+  cont_blocked_ = true;
+}
+
+void Dispatcher::CurrentThreadExit() {
+  assert(in_continuation_ && current_ != nullptr);
+  cont_exited_ = true;
+}
+
+void Dispatcher::RequeueReadyThread(KThread* thread) {
+  Gate gate(this);
+  if (thread->state_ == ThreadState::kReady) {
+    const bool removed = ready_.Remove(thread);
+    assert(removed);
+    (void)removed;
+    ready_.Push(thread);
+  }
+}
+
+// --- Core reevaluation -------------------------------------------------------
+
+void Dispatcher::ReevaluateOnce() {
+  // 1. Accept pending interrupts, most privileged first.
+  while (true) {
+    const int line = pic_.HighestPending(EffectiveIrql());
+    if (line == hw::InterruptController::kNoLine) {
+      break;
+    }
+    AcceptInterrupt(line);
+  }
+  // 2. Drain the DPC queue when nothing above DISPATCH is active and the
+  // thread level is below DISPATCH.
+  const bool thread_allows_dpc =
+      current_ == nullptr || thread_phase_ == ThreadPhase::kNone || thread_irql_ < Irql::kDispatch;
+  if (stack_.empty() && !dpc_frame_ && !dpcs_.empty() && thread_allows_dpc) {
+    StartNextDpc();
+  }
+  // 3. Thread dispatch decisions.
+  if (stack_.empty() && !dpc_frame_) {
+    MaybeDispatchThread();
+  }
+  // 4. Make sure whatever is now on top is actually executing.
+  EnsureActiveRunning();
+}
+
+void Dispatcher::AcceptInterrupt(int line) {
+  const sim::Cycles asserted = pic_.Acknowledge(line);
+  KInterrupt* ki = line < static_cast<int>(interrupts_.size()) ? interrupts_[line] : nullptr;
+  if (ki == nullptr) {
+    ++spurious_interrupts_;
+    return;
+  }
+  PauseActive();
+  auto frame = std::make_unique<Frame>();
+  frame->irql = ki->irql();
+  frame->label = kTrapDispatchLabel;
+  frame->is_isr = true;
+  frame->line = line;
+  frame->asserted = asserted;
+  frame->interrupt = ki;
+  frame->remaining = cfg_.isr_dispatch_overhead.Sample(rng_);
+  Frame* fp = frame.get();
+  frame->on_elapsed = [this, fp] { IsrEntry(fp); };
+  stack_.push_back(std::move(frame));
+  ++interrupts_accepted_;
+}
+
+void Dispatcher::IsrEntry(Frame* frame) {
+  KInterrupt* ki = frame->interrupt;
+  frame->label = ki->label();
+  frame->entered_at = engine_.now();
+  ++ki->fire_count_;
+  Emit(TraceEventType::kIsrEnter, frame->label, frame->line, 0);
+  if (on_isr_entry) {
+    on_isr_entry(frame->line, frame->asserted, engine_.now());
+  }
+  for (const auto& hook : ki->pre_hooks_) {
+    hook();
+  }
+  const sim::Cycles body = ki->isr_ ? ki->isr_() : 0;
+  frame->remaining = body;
+  frame->on_elapsed = [this, frame] { PopFrame(frame); };
+}
+
+void Dispatcher::PopFrame(Frame* frame) {
+  assert(!stack_.empty() && stack_.back().get() == frame);
+  if (frame->is_isr) {
+    Emit(TraceEventType::kIsrExit, frame->label, frame->line,
+         engine_.now() - frame->entered_at);
+  } else {
+    Emit(TraceEventType::kSectionEnd, frame->label, -1, engine_.now() - frame->created_at);
+  }
+  stack_.pop_back();
+}
+
+void Dispatcher::StartNextDpc() {
+  KDpc* dpc = dpcs_.Pop();
+  assert(dpc != nullptr);
+  const sim::Cycles enqueued = dpc->enqueue_time();
+  PauseActive();
+  auto frame = std::make_unique<Frame>();
+  frame->irql = Irql::kDispatch;
+  frame->label = kDispatcherLabel;  // dequeue overhead phase
+  frame->is_isr = false;
+  frame->remaining = cfg_.dpc_dispatch_cost.Sample(rng_);
+  Frame* fp = frame.get();
+  frame->on_elapsed = [this, fp, dpc, enqueued] { DpcEntry(fp, dpc, enqueued); };
+  dpc_frame_ = std::move(frame);
+  ++dpcs_dispatched_;
+}
+
+void Dispatcher::DpcEntry(Frame* frame, KDpc* dpc, sim::Cycles enqueued) {
+  frame->label = dpc->label();
+  ++dpc->dispatch_count_;
+  if (on_dpc_start) {
+    on_dpc_start(*dpc, enqueued, engine_.now());
+  }
+  Emit(TraceEventType::kDpcStart, dpc->label(), -1, engine_.now() - enqueued);
+  if (dpc->routine_) {
+    dpc->routine_();
+  }
+  frame->remaining = dpc->body_.Sample(rng_);
+  const sim::Cycles started = engine_.now();
+  frame->on_elapsed = [this, dpc, started] { FinishDpc(dpc, started); };
+}
+
+void Dispatcher::FinishDpc(KDpc* dpc, sim::Cycles started) {
+  dpc_frame_.reset();
+  Emit(TraceEventType::kDpcEnd, dpc->label(), -1, engine_.now() - started);
+  if (dpc->on_complete_) {
+    dpc->on_complete_();
+  }
+}
+
+void Dispatcher::MaybeDispatchThread() {
+  const bool locked = lock_until_ > engine_.now();
+  if (current_ == nullptr) {
+    if (locked || ready_.empty()) {
+      return;
+    }
+    SwitchTo(ready_.Pop());
+    return;
+  }
+  if (thread_phase_ == ThreadPhase::kSwitch) {
+    return;  // let the in-progress dispatch finish
+  }
+  if (thread_irql_ >= Irql::kDispatch) {
+    return;  // a raised-IRQL segment cannot be switched away from
+  }
+  if (locked) {
+    return;
+  }
+  const int top = ready_.top_priority();
+  if (top < 0) {
+    quantum_expired_ = false;
+    return;
+  }
+  if (top > current_->priority_) {
+    PreemptCurrent(/*to_front=*/true);
+    SwitchTo(ready_.Pop());
+  } else if (quantum_expired_ && top == current_->priority_) {
+    quantum_expired_ = false;
+    PreemptCurrent(/*to_front=*/false);
+    SwitchTo(ready_.Pop());
+  } else {
+    quantum_expired_ = false;
+  }
+}
+
+void Dispatcher::SwitchTo(KThread* thread) {
+  assert(current_ == nullptr);
+  assert(thread->state_ == ThreadState::kReady);
+  current_ = thread;
+  thread->state_ = ThreadState::kRunning;
+  thread_phase_ = ThreadPhase::kSwitch;
+  thread_irql_ = Irql::kDispatch;
+  switch_remaining_ = cfg_.context_switch_cost.Sample(rng_);
+  thread_running_ = false;
+  quantum_remaining_ = cfg_.quantum;
+  quantum_expired_ = false;
+  ++context_switches_;
+  Emit(TraceEventType::kContextSwitch, kDispatcherLabel, thread->priority(), 0);
+}
+
+void Dispatcher::PreemptCurrent(bool to_front) {
+  assert(current_ != nullptr && thread_phase_ == ThreadPhase::kSegment);
+  PauseThreadTimer();
+  KThread* thread = current_;
+  thread->state_ = ThreadState::kReady;
+  thread->readied_at_ = engine_.now();
+  ready_.Push(thread, to_front);
+  current_ = nullptr;
+  thread_phase_ = ThreadPhase::kNone;
+  thread_irql_ = Irql::kPassive;
+}
+
+void Dispatcher::ThreadEntry() {
+  KThread* thread = current_;
+  ++thread->dispatch_count_;
+  if (thread->has_segment_) {
+    // Resuming a compute segment that was preempted earlier.
+    thread_phase_ = ThreadPhase::kSegment;
+    thread_irql_ = thread->seg_irql_;
+    return;
+  }
+  thread_phase_ = ThreadPhase::kSegment;
+  thread_irql_ = Irql::kPassive;
+  if (on_thread_dispatch) {
+    on_thread_dispatch(*thread, thread->wait_signaled_at_, engine_.now());
+  }
+  KThread::Continuation cont = std::move(thread->next_);
+  thread->next_ = nullptr;
+  RunContinuation(std::move(cont));
+}
+
+void Dispatcher::RunContinuation(KThread::Continuation cont) {
+  assert(!in_continuation_);
+  in_continuation_ = true;
+  cont_blocked_ = false;
+  cont_exited_ = false;
+  if (cont) {
+    cont();
+  }
+  in_continuation_ = false;
+  AfterContinuation();
+}
+
+void Dispatcher::AfterContinuation() {
+  KThread* thread = current_;
+  assert(thread != nullptr);
+  if (cont_exited_) {
+    thread->state_ = ThreadState::kTerminated;
+    current_ = nullptr;
+    thread_phase_ = ThreadPhase::kNone;
+    thread_irql_ = Irql::kPassive;
+    return;
+  }
+  if (cont_blocked_) {
+    thread->state_ = ThreadState::kWaiting;
+    current_ = nullptr;
+    thread_phase_ = ThreadPhase::kNone;
+    thread_irql_ = Irql::kPassive;
+    return;
+  }
+  if (thread->has_segment_) {
+    thread_phase_ = ThreadPhase::kSegment;
+    thread_irql_ = thread->seg_irql_;
+    return;
+  }
+  // The continuation returned without computing, waiting, or exiting:
+  // nothing left to run — treat it as thread termination.
+  thread->state_ = ThreadState::kTerminated;
+  current_ = nullptr;
+  thread_phase_ = ThreadPhase::kNone;
+  thread_irql_ = Irql::kPassive;
+}
+
+void Dispatcher::OnThreadElapsed() {
+  Gate gate(this);
+  thread_running_ = false;
+  assert(current_ != nullptr);
+  if (thread_phase_ == ThreadPhase::kSwitch) {
+    ThreadEntry();
+    return;
+  }
+  assert(thread_phase_ == ThreadPhase::kSegment && current_->has_segment_);
+  current_->has_segment_ = false;
+  thread_irql_ = Irql::kPassive;
+  KThread::Continuation done = std::move(current_->seg_done_);
+  current_->seg_done_ = nullptr;
+  RunContinuation(std::move(done));
+}
+
+void Dispatcher::OnFrameElapsed(Frame* frame) {
+  Gate gate(this);
+  frame->running = false;
+  auto handler = std::move(frame->on_elapsed);
+  frame->on_elapsed = nullptr;
+  handler();  // may mutate or destroy `frame`
+}
+
+// --- Pause / resume machinery -------------------------------------------------
+
+void Dispatcher::PauseActive() {
+  if (!stack_.empty()) {
+    PauseFrame(stack_.back().get());
+    return;
+  }
+  if (dpc_frame_) {
+    PauseFrame(dpc_frame_.get());
+    return;
+  }
+  PauseThreadTimer();
+}
+
+void Dispatcher::EnsureActiveRunning() {
+  if (!stack_.empty()) {
+    ResumeFrame(stack_.back().get());
+    return;
+  }
+  if (dpc_frame_) {
+    ResumeFrame(dpc_frame_.get());
+    return;
+  }
+  if (current_ != nullptr && thread_phase_ != ThreadPhase::kNone) {
+    ResumeThreadTimer();
+  }
+}
+
+void Dispatcher::PauseFrame(Frame* frame) {
+  if (!frame->running) {
+    return;
+  }
+  const sim::Cycles elapsed = engine_.now() - frame->resumed_at;
+  frame->remaining = frame->remaining > elapsed ? frame->remaining - elapsed : 0;
+  frame->completion.Cancel();
+  frame->running = false;
+}
+
+void Dispatcher::ResumeFrame(Frame* frame) {
+  if (frame->running) {
+    return;
+  }
+  frame->resumed_at = engine_.now();
+  frame->running = true;
+  frame->completion =
+      engine_.ScheduleAfter(frame->remaining, [this, frame] { OnFrameElapsed(frame); });
+}
+
+sim::Cycles& Dispatcher::ActiveThreadRemaining() {
+  return thread_phase_ == ThreadPhase::kSwitch ? switch_remaining_ : current_->seg_remaining_;
+}
+
+void Dispatcher::PauseThreadTimer() {
+  if (!thread_running_) {
+    return;
+  }
+  assert(current_ != nullptr);
+  const sim::Cycles elapsed = engine_.now() - thread_resumed_at_;
+  sim::Cycles& remaining = ActiveThreadRemaining();
+  remaining = remaining > elapsed ? remaining - elapsed : 0;
+  thread_completion_.Cancel();
+  thread_running_ = false;
+}
+
+void Dispatcher::ResumeThreadTimer() {
+  if (thread_running_) {
+    return;
+  }
+  assert(current_ != nullptr && thread_phase_ != ThreadPhase::kNone);
+  // A segment phase with no segment means a continuation is mid-flight on
+  // this very timestamp; it will resolve before the gate closes.
+  if (thread_phase_ == ThreadPhase::kSegment && !current_->has_segment_) {
+    return;
+  }
+  thread_resumed_at_ = engine_.now();
+  thread_running_ = true;
+  thread_completion_ =
+      engine_.ScheduleAfter(ActiveThreadRemaining(), [this] { OnThreadElapsed(); });
+}
+
+}  // namespace wdmlat::kernel

@@ -1,0 +1,244 @@
+// The CPU execution model / dispatcher: the heart of the simulation.
+//
+// A single CPU executes, at any instant, exactly one of (from most to least
+// privileged):
+//   1. the top entry of the interrupt stack — an ISR at its device IRQL, or
+//      an injected kernel section (a legacy cli region or a raised-IRQL code
+//      path from a driver/VMM);
+//   2. the running DPC (at DISPATCH level);
+//   3. the current thread's compute segment (at the segment's IRQL,
+//      usually PASSIVE), or the in-progress context switch (at DISPATCH);
+//   4. nothing (idle).
+//
+// Each timed entity is preemptible: when a more privileged entity becomes
+// runnable, the active one is paused (its remaining work saved) and resumed
+// when the stack above it drains. Pending interrupts are accepted only when
+// the effective IRQL drops below their line's IRQL — the time from assertion
+// to ISR entry is the paper's interrupt latency. DPCs drain FIFO when no ISR
+// is active — queueing delay is the paper's DPC latency. Threads dispatch
+// when nothing above them is active, the scheduler picks them, and thread
+// dispatching is not locked out — on Windows 98, legacy VMM critical sections
+// lock dispatching for milliseconds while DPCs still run, which is exactly
+// the asymmetry the paper measures (Section 4.2).
+
+#ifndef SRC_KERNEL_DISPATCHER_H_
+#define SRC_KERNEL_DISPATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/hw/interrupt_controller.h"
+#include "src/kernel/dpc.h"
+#include "src/kernel/interrupt.h"
+#include "src/kernel/irql.h"
+#include "src/kernel/label.h"
+#include "src/kernel/ready_queue.h"
+#include "src/kernel/thread.h"
+#include "src/kernel/trace.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+
+namespace wdmlat::kernel {
+
+class Dispatcher {
+ public:
+  struct Config {
+    sim::DurationDist isr_dispatch_overhead;
+    sim::DurationDist context_switch_cost;
+    sim::DurationDist dpc_dispatch_cost;
+    sim::Cycles quantum = 20 * sim::kCyclesPerMs;
+  };
+
+  Dispatcher(sim::Engine& engine, sim::Rng rng, hw::InterruptController& pic,
+             ReadyQueue& ready, DpcQueue& dpcs, Config config);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // --- Wiring ---------------------------------------------------------------
+  void RegisterInterrupt(KInterrupt* interrupt);
+
+  // --- Notifications (also wired to the PIC and DPC queue automatically) ---
+  void OnInterruptPending();
+  void OnDpcQueued();
+  // Re-run dispatch decisions after external state changes (priority change
+  // etc.).
+  void Poke();
+  // Run `fn` with the dispatch decision deferred until it returns, so a
+  // batch of state changes (e.g. readying all waiters of a notification
+  // event) is folded into a single scheduling decision, as a real kernel
+  // does under the dispatcher lock.
+  void RunGated(const std::function<void()>& fn);
+  // Quantum accounting, called by the clock ISR with the tick period.
+  void OnClockTick(sim::Cycles period);
+
+  // --- Introspection ---------------------------------------------------------
+  Irql EffectiveIrql() const;
+  // Label of the innermost executing activity.
+  Label CurrentLabel() const;
+  // Label of the activity beneath the top interrupt frame: what the latest
+  // interrupt interrupted. This is what the cause tool's IDT hook samples.
+  Label InterruptedLabel() const;
+  KThread* current_thread() const { return current_; }
+  bool in_thread_continuation() const { return in_continuation_; }
+  bool dispatch_locked() const { return lock_until_ > engine_.now(); }
+  bool idle() const;
+
+  // --- Legacy / stress injection ---------------------------------------------
+  // Run a kernel code section at `irql` for `length` cycles, preempting
+  // whatever is below that level. Returns false (and runs nothing) if the
+  // CPU is already at or above `irql`.
+  bool InjectSection(Irql irql, sim::Cycles length, Label label);
+  // Disable thread dispatching for `duration` (Windows 98 Win16Mutex / VMM
+  // critical section model). Overlapping lockouts extend the window.
+  void LockDispatch(sim::Cycles duration);
+
+  // --- Thread control (called by the Kernel facade) ---------------------------
+  // Move a waiting/new thread to the ready state. `signaled_at` is the
+  // instant of the event signal that readied it (ground truth for thread
+  // latency; pass the current time for plain starts).
+  void ReadyThread(KThread* thread, sim::Cycles signaled_at);
+  // The following three must be called from within a thread continuation.
+  void CurrentThreadSetSegment(sim::Cycles length, Irql irql, Label label,
+                               KThread::Continuation done);
+  void CurrentThreadMarkWaiting();
+  void CurrentThreadExit();
+  // Reposition a ready thread after a priority change.
+  void RequeueReadyThread(KThread* thread);
+
+  // --- Event tracing -----------------------------------------------------------
+  // Install (or remove, with nullptr) a structured trace sink receiving every
+  // dispatcher transition. Zero cost when unset.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  // --- Ground-truth observers (tests, NT interrupt-latency collection) -------
+  std::function<void(int line, sim::Cycles asserted, sim::Cycles isr_entry)> on_isr_entry;
+  std::function<void(const KDpc& dpc, sim::Cycles enqueued, sim::Cycles start)> on_dpc_start;
+  std::function<void(const KThread& thread, sim::Cycles signaled, sim::Cycles dispatched)>
+      on_thread_dispatch;
+
+  // --- Statistics --------------------------------------------------------------
+  std::uint64_t interrupts_accepted() const { return interrupts_accepted_; }
+  std::uint64_t spurious_interrupts() const { return spurious_interrupts_; }
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t dpcs_dispatched() const { return dpcs_dispatched_; }
+  std::uint64_t sections_skipped() const { return sections_skipped_; }
+  std::uint64_t sections_run() const { return sections_run_; }
+
+ private:
+  enum class ThreadPhase : std::uint8_t { kNone, kSwitch, kSegment };
+
+  struct Frame {
+    Irql irql = Irql::kHigh;
+    Label label{};
+    bool is_isr = false;
+    int line = -1;
+    sim::Cycles asserted = 0;
+    KInterrupt* interrupt = nullptr;
+    sim::Cycles remaining = 0;
+    sim::Cycles resumed_at = 0;
+    sim::Cycles created_at = 0;
+    sim::Cycles entered_at = 0;
+    bool running = false;
+    sim::EventHandle completion;
+    std::function<void()> on_elapsed;
+  };
+
+  // Re-entrancy gate: every public entry point opens one; the outermost gate
+  // runs the reevaluation loop on exit, so state changes made inside
+  // continuations and handlers are folded into a single consistent pass.
+  class Gate {
+   public:
+    explicit Gate(Dispatcher* d) : d_(d), outer_(!d->busy_) { d_->busy_ = true; }
+    ~Gate() {
+      if (!outer_) {
+        d_->pending_ = true;
+        return;
+      }
+      do {
+        d_->pending_ = false;
+        d_->ReevaluateOnce();
+      } while (d_->pending_);
+      d_->busy_ = false;
+    }
+
+   private:
+    Dispatcher* d_;
+    bool outer_;
+  };
+  friend class Gate;
+
+  void ReevaluateOnce();
+  void AcceptInterrupt(int line);
+  void IsrEntry(Frame* frame);
+  void PopFrame(Frame* frame);
+  void StartNextDpc();
+  void DpcEntry(Frame* frame, KDpc* dpc, sim::Cycles enqueued);
+  void FinishDpc(KDpc* dpc, sim::Cycles started);
+  void MaybeDispatchThread();
+  void SwitchTo(KThread* thread);
+  void PreemptCurrent(bool to_front);
+  void ThreadEntry();
+  void RunContinuation(KThread::Continuation cont);
+  void AfterContinuation();
+  void OnThreadElapsed();
+  void OnFrameElapsed(Frame* frame);
+
+  void PauseActive();
+  void EnsureActiveRunning();
+  void PauseFrame(Frame* frame);
+  void ResumeFrame(Frame* frame);
+  void PauseThreadTimer();
+  void ResumeThreadTimer();
+  sim::Cycles& ActiveThreadRemaining();
+
+  sim::Engine& engine_;
+  sim::Rng rng_;
+  hw::InterruptController& pic_;
+  ReadyQueue& ready_;
+  DpcQueue& dpcs_;
+  Config cfg_;
+
+  std::vector<KInterrupt*> interrupts_;  // indexed by line
+
+  std::vector<std::unique_ptr<Frame>> stack_;
+  std::unique_ptr<Frame> dpc_frame_;
+
+  KThread* current_ = nullptr;
+  ThreadPhase thread_phase_ = ThreadPhase::kNone;
+  sim::Cycles switch_remaining_ = 0;
+  Irql thread_irql_ = Irql::kPassive;
+  sim::Cycles thread_resumed_at_ = 0;
+  bool thread_running_ = false;
+  sim::EventHandle thread_completion_;
+  sim::Cycles quantum_remaining_ = 0;
+  bool quantum_expired_ = false;
+
+  sim::Cycles lock_until_ = 0;
+
+  TraceSink* trace_sink_ = nullptr;
+  void Emit(TraceEventType type, Label label, int arg, sim::Cycles duration) {
+    if (trace_sink_ != nullptr) {
+      trace_sink_->OnTraceEvent(TraceEvent{type, engine_.now(), label, arg, duration});
+    }
+  }
+
+  bool busy_ = false;
+  bool pending_ = false;
+  bool in_continuation_ = false;
+  bool cont_blocked_ = false;
+  bool cont_exited_ = false;
+
+  std::uint64_t interrupts_accepted_ = 0;
+  std::uint64_t spurious_interrupts_ = 0;
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t dpcs_dispatched_ = 0;
+  std::uint64_t sections_skipped_ = 0;
+  std::uint64_t sections_run_ = 0;
+};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_DISPATCHER_H_

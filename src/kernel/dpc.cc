@@ -1,0 +1,33 @@
+#include "src/kernel/dpc.h"
+
+namespace wdmlat::kernel {
+
+bool DpcQueue::Insert(KDpc* dpc, sim::Cycles now) {
+  if (dpc->queued_) {
+    return false;
+  }
+  dpc->queued_ = true;
+  dpc->enqueue_time_ = now;
+  const bool was_empty = queue_.empty();
+  if (dpc->importance_ == KDpc::Importance::kHigh) {
+    queue_.push_front(dpc);
+  } else {
+    queue_.push_back(dpc);
+  }
+  if (was_empty && notifier_) {
+    notifier_();
+  }
+  return true;
+}
+
+KDpc* DpcQueue::Pop() {
+  if (queue_.empty()) {
+    return nullptr;
+  }
+  KDpc* dpc = queue_.front();
+  queue_.pop_front();
+  dpc->queued_ = false;
+  return dpc;
+}
+
+}  // namespace wdmlat::kernel

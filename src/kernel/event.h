@@ -1,0 +1,39 @@
+// Kernel event objects.
+//
+// The paper's measurement driver waits on a Synchronization Event, "an event
+// that auto-clears after a single wait is satisfied" (Section 2.2), in
+// contrast with a Notification Event which satisfies all outstanding waits.
+
+#ifndef SRC_KERNEL_EVENT_H_
+#define SRC_KERNEL_EVENT_H_
+
+#include <deque>
+
+#include "src/sim/time.h"
+
+namespace wdmlat::kernel {
+
+class KThread;
+
+enum class EventType { kSynchronization, kNotification };
+
+class KEvent {
+ public:
+  explicit KEvent(EventType type = EventType::kSynchronization, bool initial_state = false)
+      : type_(type), signaled_(initial_state) {}
+
+  EventType type() const { return type_; }
+  bool signaled() const { return signaled_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  friend class Kernel;
+
+  EventType type_;
+  bool signaled_;
+  std::deque<KThread*> waiters_;
+};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_EVENT_H_

@@ -1,0 +1,59 @@
+// Interrupt request levels (IRQLs), the WDM preemption hierarchy.
+//
+// The paper (Section 4.1) abstracts WDM into a scheduling hierarchy: ISRs at
+// device IRQLs preempt DPCs, which preempt all threads; real-time priority
+// threads (16-31) preempt normal threads (1-15). This header defines the IRQL
+// axis of that hierarchy; thread priorities live in kernel/thread.h.
+
+#ifndef SRC_KERNEL_IRQL_H_
+#define SRC_KERNEL_IRQL_H_
+
+#include <cstdint>
+
+namespace wdmlat::kernel {
+
+// Matches the x86 NT HAL layout closely enough for the simulation.
+enum class Irql : std::uint8_t {
+  kPassive = 0,   // normal thread execution
+  kApc = 1,       // asynchronous procedure calls
+  kDispatch = 2,  // DPC execution / dispatcher; blocks thread scheduling
+  // Device IRQLs (DIRQL) occupy 3..26; devices get assigned levels here.
+  kDevice = 3,
+  kDeviceMax = 26,
+  kProfile = 27,
+  kClock = 28,  // the PIT / system clock interrupt
+  kHigh = 31,   // interrupts disabled (cli); legacy Win9x code lives here
+};
+
+constexpr std::uint8_t ToLevel(Irql irql) { return static_cast<std::uint8_t>(irql); }
+
+constexpr bool operator<(Irql a, Irql b) { return ToLevel(a) < ToLevel(b); }
+constexpr bool operator<=(Irql a, Irql b) { return ToLevel(a) <= ToLevel(b); }
+constexpr bool operator>(Irql a, Irql b) { return ToLevel(a) > ToLevel(b); }
+constexpr bool operator>=(Irql a, Irql b) { return ToLevel(a) >= ToLevel(b); }
+
+constexpr Irql MaxIrql(Irql a, Irql b) { return a >= b ? a : b; }
+
+// Returns the name of the IRQL band for reports.
+constexpr const char* IrqlName(Irql irql) {
+  switch (irql) {
+    case Irql::kPassive:
+      return "PASSIVE";
+    case Irql::kApc:
+      return "APC";
+    case Irql::kDispatch:
+      return "DISPATCH";
+    case Irql::kProfile:
+      return "PROFILE";
+    case Irql::kClock:
+      return "CLOCK";
+    case Irql::kHigh:
+      return "HIGH";
+    default:
+      return "DIRQL";
+  }
+}
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_IRQL_H_

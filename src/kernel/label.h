@@ -1,0 +1,40 @@
+// Execution labels: (module, function) pairs attached to every simulated
+// activity. The latency cause tool (Section 2.3 of the paper) samples the
+// instruction pointer on each PIT interrupt and attributes it, via symbol
+// files, to a module+function; our simulator attributes samples via these
+// labels instead, producing Table 4-style episode reports.
+
+#ifndef SRC_KERNEL_LABEL_H_
+#define SRC_KERNEL_LABEL_H_
+
+#include <string>
+
+namespace wdmlat::kernel {
+
+// Both strings must have static storage duration (string literals); labels
+// are copied freely and compared by content.
+struct Label {
+  const char* module = "IDLE";
+  const char* function = "_idle";
+};
+
+inline bool operator==(const Label& a, const Label& b) {
+  // Content comparison: labels are built from literals but may come from
+  // different translation units.
+  return std::string_view(a.module) == b.module &&
+         std::string_view(a.function) == b.function;
+}
+
+inline std::string ToString(const Label& label) {
+  return std::string(label.module) + "!" + label.function;
+}
+
+// Well-known labels used by the kernel itself.
+inline constexpr Label kIdleLabel{"IDLE", "_idle"};
+inline constexpr Label kDispatcherLabel{"NTOSKRNL", "_SwapContext"};
+inline constexpr Label kClockIsrLabel{"HAL", "_HalpClockInterrupt"};
+inline constexpr Label kTrapDispatchLabel{"HAL", "_KiInterruptDispatch"};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_LABEL_H_

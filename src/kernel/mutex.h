@@ -1,0 +1,37 @@
+// Kernel mutex objects (KMUTEX).
+//
+// Ownership-tracked, recursively acquirable by the owning thread, released
+// in FIFO order to waiters. The closest real-world relative of the Windows
+// 98 Win16Mutex whose long hold times the paper blames for thread-latency
+// tails — here available to drivers so that priority-inversion experiments
+// can be built on top.
+
+#ifndef SRC_KERNEL_MUTEX_H_
+#define SRC_KERNEL_MUTEX_H_
+
+#include <deque>
+
+namespace wdmlat::kernel {
+
+class KThread;
+
+class KMutex {
+ public:
+  KMutex() = default;
+
+  bool held() const { return owner_ != nullptr; }
+  const KThread* owner() const { return owner_; }
+  int recursion() const { return recursion_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  friend class Kernel;
+
+  KThread* owner_ = nullptr;
+  int recursion_ = 0;
+  std::deque<KThread*> waiters_;
+};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_MUTEX_H_

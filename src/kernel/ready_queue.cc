@@ -1,0 +1,62 @@
+#include "src/kernel/ready_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wdmlat::kernel {
+
+void ReadyQueue::Push(KThread* thread, bool front) {
+  assert(thread != nullptr);
+  const int prio = thread->priority();
+  assert(prio >= kMinPriority && prio <= kMaxPriority);
+  if (front) {
+    queues_[prio].push_front(thread);
+  } else {
+    queues_[prio].push_back(thread);
+  }
+  ++count_;
+}
+
+KThread* ReadyQueue::Peek() const {
+  for (int prio = kMaxPriority; prio >= kMinPriority; --prio) {
+    if (!queues_[prio].empty()) {
+      return queues_[prio].front();
+    }
+  }
+  return nullptr;
+}
+
+KThread* ReadyQueue::Pop() {
+  for (int prio = kMaxPriority; prio >= kMinPriority; --prio) {
+    if (!queues_[prio].empty()) {
+      KThread* thread = queues_[prio].front();
+      queues_[prio].pop_front();
+      --count_;
+      return thread;
+    }
+  }
+  return nullptr;
+}
+
+bool ReadyQueue::Remove(KThread* thread) {
+  for (auto& queue : queues_) {
+    auto it = std::find(queue.begin(), queue.end(), thread);
+    if (it != queue.end()) {
+      queue.erase(it);
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+int ReadyQueue::top_priority() const {
+  for (int prio = kMaxPriority; prio >= kMinPriority; --prio) {
+    if (!queues_[prio].empty()) {
+      return prio;
+    }
+  }
+  return -1;
+}
+
+}  // namespace wdmlat::kernel

@@ -1,0 +1,43 @@
+// Per-priority ready queues for the fixed-priority preemptive scheduler.
+
+#ifndef SRC_KERNEL_READY_QUEUE_H_
+#define SRC_KERNEL_READY_QUEUE_H_
+
+#include <array>
+#include <cstddef>
+#include <deque>
+
+#include "src/kernel/thread.h"
+
+namespace wdmlat::kernel {
+
+class ReadyQueue {
+ public:
+  // Push at the back (normal readying / quantum-end round robin) or front
+  // (a preempted thread resumes ahead of its peers, as on NT).
+  void Push(KThread* thread, bool front = false);
+
+  // Highest-priority ready thread without removing it; nullptr if empty.
+  KThread* Peek() const;
+
+  // Remove and return the highest-priority ready thread; nullptr if empty.
+  KThread* Pop();
+
+  // Remove a specific thread (priority change while ready). Returns true if
+  // it was present.
+  bool Remove(KThread* thread);
+
+  // Highest priority with a ready thread, or -1.
+  int top_priority() const;
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+ private:
+  std::array<std::deque<KThread*>, kMaxPriority + 1> queues_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_READY_QUEUE_H_

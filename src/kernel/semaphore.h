@@ -1,0 +1,36 @@
+// Kernel semaphore objects (KSEMAPHORE).
+//
+// A counted dispatcher object: each satisfied wait decrements the count,
+// each release increments it (up to the limit) and satisfies that many
+// waits. WDM drivers use semaphores for producer/consumer queues between
+// DPCs and worker threads.
+
+#ifndef SRC_KERNEL_SEMAPHORE_H_
+#define SRC_KERNEL_SEMAPHORE_H_
+
+#include <deque>
+
+namespace wdmlat::kernel {
+
+class KThread;
+
+class KSemaphore {
+ public:
+  explicit KSemaphore(int initial_count = 0, int limit = 0x7fffffff)
+      : count_(initial_count), limit_(limit) {}
+
+  int count() const { return count_; }
+  int limit() const { return limit_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  friend class Kernel;
+
+  int count_;
+  int limit_;
+  std::deque<KThread*> waiters_;
+};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_SEMAPHORE_H_

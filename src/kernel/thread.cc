@@ -1,0 +1,18 @@
+#include "src/kernel/thread.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/kernel/dpc.h"
+#include "src/kernel/timer.h"
+
+namespace wdmlat::kernel {
+
+KThread::KThread(std::string name, int priority)
+    : name_(std::move(name)), priority_(priority), base_priority_(priority) {
+  assert(priority >= kMinPriority && priority <= kMaxPriority);
+}
+
+KThread::~KThread() = default;
+
+}  // namespace wdmlat::kernel

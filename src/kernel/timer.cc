@@ -1,0 +1,58 @@
+#include "src/kernel/timer.h"
+
+#include <cassert>
+
+namespace wdmlat::kernel {
+
+void TimerQueue::Set(KTimer* timer, sim::Cycles due, sim::Cycles period, KDpc* dpc) {
+  assert(timer != nullptr);
+  if (timer->active_) {
+    // Implicit cancel of the previous arming.
+    --active_count_;
+  }
+  ++timer->generation_;
+  timer->due_ = due;
+  timer->period_ = period;
+  timer->dpc_ = dpc;
+  timer->active_ = true;
+  ++active_count_;
+  heap_.push(HeapEntry{due, next_seq_++, timer, timer->generation_});
+}
+
+bool TimerQueue::Cancel(KTimer* timer) {
+  assert(timer != nullptr);
+  if (!timer->active_) {
+    return false;
+  }
+  ++timer->generation_;  // invalidate the heap entry lazily
+  timer->active_ = false;
+  --active_count_;
+  return true;
+}
+
+int TimerQueue::ExpireDue(sim::Cycles now, const std::function<void(KTimer*, KDpc*)>& fire) {
+  int expired = 0;
+  while (!heap_.empty() && heap_.top().due <= now) {
+    HeapEntry entry = heap_.top();
+    heap_.pop();
+    KTimer* timer = entry.timer;
+    if (!timer->active_ || entry.generation != timer->generation_) {
+      continue;  // stale
+    }
+    ++expired;
+    if (timer->period_ > 0) {
+      // Periodic: re-arm relative to the due time, not the tick, so the
+      // period does not drift.
+      timer->due_ += timer->period_;
+      ++timer->generation_;
+      heap_.push(HeapEntry{timer->due_, next_seq_++, timer, timer->generation_});
+    } else {
+      timer->active_ = false;
+      --active_count_;
+    }
+    fire(timer, timer->dpc_);
+  }
+  return expired;
+}
+
+}  // namespace wdmlat::kernel

@@ -1,0 +1,84 @@
+// Kernel timers.
+//
+// KeSetTimer arms a timer whose expiry is detected by the clock (PIT) ISR at
+// the next tick at or after the due time; expiry queues the timer's DPC.
+// This matches the paper's tool exactly: "The PIT ISR will enqueue
+// LatDpcRoutine in the DPC queue" (Section 2.2.2), and gives timer expiry the
+// ±1-tick resolution the paper describes. Single-shot timers are WDM
+// original; NT 4.0 added periodic timers (paper Section 2.2), which we also
+// support.
+
+#ifndef SRC_KERNEL_TIMER_H_
+#define SRC_KERNEL_TIMER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/kernel/dpc.h"
+#include "src/sim/time.h"
+
+namespace wdmlat::kernel {
+
+class KTimer {
+ public:
+  KTimer() = default;
+  KTimer(const KTimer&) = delete;
+  KTimer& operator=(const KTimer&) = delete;
+
+  bool active() const { return active_; }
+  sim::Cycles due() const { return due_; }
+
+ private:
+  friend class TimerQueue;
+
+  sim::Cycles due_ = 0;
+  sim::Cycles period_ = 0;  // 0 = single shot
+  KDpc* dpc_ = nullptr;
+  bool active_ = false;
+  std::uint64_t generation_ = 0;  // invalidates stale heap entries
+};
+
+class TimerQueue {
+ public:
+  // Arm `timer` to expire `due` cycles absolute; `period` > 0 re-arms it
+  // after each expiry. Re-setting an active timer implicitly cancels the
+  // previous arming (KeSetTimer semantics).
+  void Set(KTimer* timer, sim::Cycles due, sim::Cycles period, KDpc* dpc);
+
+  // Returns true if the timer was active (KeCancelTimer semantics).
+  bool Cancel(KTimer* timer);
+
+  // Called from the clock ISR: fire every timer due at or before `now`.
+  // `fire` receives the timer's DPC (never nullptr entries with null DPCs are
+  // delivered — timers without DPCs simply complete). Returns the number of
+  // timers expired.
+  int ExpireDue(sim::Cycles now, const std::function<void(KTimer*, KDpc*)>& fire);
+
+  std::size_t pending() const { return active_count_; }
+
+ private:
+  struct HeapEntry {
+    sim::Cycles due;
+    std::uint64_t seq;
+    KTimer* timer;
+    std::uint64_t generation;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.due != b.due) {
+        return a.due > b.due;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace wdmlat::kernel
+
+#endif  // SRC_KERNEL_TIMER_H_

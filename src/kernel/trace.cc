@@ -1,0 +1,87 @@
+#include "src/kernel/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wdmlat::kernel {
+
+TraceSession::TraceSession(std::size_t capacity) { ring_.resize(capacity); }
+
+void TraceSession::OnTraceEvent(const TraceEvent& event) {
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  wrapped_ |= next_ == 0;
+  ++total_;
+  ++counts_[static_cast<std::size_t>(event.type)];
+
+  // Time accounting for the "exit" style events that carry a duration.
+  if (event.type == TraceEventType::kIsrExit || event.type == TraceEventType::kSectionEnd ||
+      event.type == TraceEventType::kDpcEnd) {
+    auto it = std::find_if(label_times_.begin(), label_times_.end(),
+                           [&](const LabelTime& entry) { return entry.label == event.label; });
+    if (it == label_times_.end()) {
+      label_times_.push_back(LabelTime{event.label, event.duration, 1});
+    } else {
+      it->total += event.duration;
+      ++it->occurrences;
+    }
+  }
+}
+
+std::vector<TraceEvent> TraceSession::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t count = wrapped_ ? ring_.size() : next_;
+  out.reserve(count);
+  const std::size_t begin = wrapped_ ? next_ : 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceSession::LabelTime> TraceSession::TopTimeConsumers(
+    std::size_t max_entries) const {
+  std::vector<LabelTime> sorted = label_times_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LabelTime& a, const LabelTime& b) { return a.total > b.total; });
+  if (sorted.size() > max_entries) {
+    sorted.resize(max_entries);
+  }
+  return sorted;
+}
+
+std::string TraceSession::Summary(std::size_t recent_events) const {
+  std::ostringstream out;
+  out << "Trace session: " << total_ << " events\n";
+  for (int t = 0; t <= static_cast<int>(TraceEventType::kThreadReady); ++t) {
+    const auto type = static_cast<TraceEventType>(t);
+    if (count(type) > 0) {
+      out << "  " << TraceEventName(type) << ": " << count(type) << "\n";
+    }
+  }
+  const auto top = TopTimeConsumers();
+  if (!top.empty()) {
+    out << "Top raised-IRQL time consumers:\n";
+    for (const LabelTime& entry : top) {
+      out << "  " << ToString(entry.label) << ": " << sim::CyclesToMs(entry.total)
+          << " ms over " << entry.occurrences << " occurrences\n";
+    }
+  }
+  if (recent_events > 0) {
+    const auto events = Snapshot();
+    const std::size_t begin = events.size() > recent_events ? events.size() - recent_events : 0;
+    out << "Most recent events:\n";
+    for (std::size_t i = begin; i < events.size(); ++i) {
+      const TraceEvent& event = events[i];
+      out << "  [" << sim::CyclesToMs(event.tsc) << " ms] " << TraceEventName(event.type)
+          << " " << ToString(event.label);
+      if (event.duration > 0) {
+        out << " (" << sim::CyclesToUs(event.duration) << " us)";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wdmlat::kernel

@@ -1,0 +1,74 @@
+#include "src/lab/csv_export.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wdmlat::lab {
+
+namespace {
+
+void WriteFile(const std::filesystem::path& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string() + " for writing");
+  }
+  out << contents;
+  if (!out) {
+    throw std::runtime_error("write failed for " + path.string());
+  }
+}
+
+void AppendSummaryRow(std::ostringstream& summary, const std::string& name,
+                      const stats::LatencyHistogram& hist) {
+  summary << name << "," << hist.count() << "," << hist.mean_ms() << ","
+          << hist.QuantileMs(0.5) << "," << hist.QuantileMs(0.99) << ","
+          << hist.QuantileMs(0.9999) << "," << hist.max_ms() << "\n";
+}
+
+}  // namespace
+
+std::string DefaultCsvPrefix(const LabReport& report) {
+  std::string prefix = report.os_name + "_" + report.workload_name + "_p" +
+                       std::to_string(report.thread_priority);
+  for (char& c : prefix) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      c = '_';
+    }
+  }
+  return prefix;
+}
+
+int WriteReportCsv(const LabReport& report, const std::string& directory,
+                   const std::string& prefix) {
+  const std::filesystem::path dir(directory);
+  std::filesystem::create_directories(dir);
+
+  int files = 0;
+  std::ostringstream summary;
+  summary << "distribution,count,mean_ms,p50_ms,p99_ms,p9999_ms,max_ms\n";
+
+  auto dump = [&](const char* name, const stats::LatencyHistogram& hist, bool enabled = true) {
+    if (!enabled) {
+      return;
+    }
+    WriteFile(dir / (prefix + "_" + name + ".csv"), hist.ToCsv());
+    AppendSummaryRow(summary, name, hist);
+    ++files;
+  };
+  dump("dpc_interrupt", report.dpc_interrupt);
+  dump("thread", report.thread);
+  dump("thread_interrupt", report.thread_interrupt);
+  dump("interrupt", report.interrupt, report.has_interrupt_latency);
+  dump("isr_to_dpc", report.isr_to_dpc, report.has_interrupt_latency);
+  dump("true_pit_interrupt", report.true_pit_interrupt_latency);
+
+  WriteFile(dir / (prefix + "_summary.csv"), summary.str());
+  return files + 1;
+}
+
+}  // namespace wdmlat::lab

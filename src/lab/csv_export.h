@@ -1,0 +1,30 @@
+// CSV export of experiment results for external plotting (gnuplot,
+// matplotlib, a spreadsheet). One file per distribution, plus a summary.
+
+#ifndef SRC_LAB_CSV_EXPORT_H_
+#define SRC_LAB_CSV_EXPORT_H_
+
+#include <string>
+
+#include "src/lab/lab.h"
+
+namespace wdmlat::lab {
+
+// Write the report's distributions into `directory` (created if needed):
+//   <prefix>_dpc_interrupt.csv, <prefix>_thread.csv,
+//   <prefix>_thread_interrupt.csv, <prefix>_interrupt.csv (98 only),
+//   <prefix>_isr_to_dpc.csv (98 only), <prefix>_summary.csv
+// Each histogram CSV has bucket_hi_us,count rows; the summary CSV has one
+// row per distribution with count/mean/quantiles/max in milliseconds.
+// Returns the number of files written; throws std::runtime_error on I/O
+// failure.
+int WriteReportCsv(const LabReport& report, const std::string& directory,
+                   const std::string& prefix);
+
+// A filesystem-safe prefix derived from the report's cell identity, e.g.
+// "windows_98_3d_games_p28".
+std::string DefaultCsvPrefix(const LabReport& report);
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_CSV_EXPORT_H_

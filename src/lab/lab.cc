@@ -1,0 +1,50 @@
+#include "src/lab/lab.h"
+
+#include "src/workload/stress_load.h"
+
+namespace wdmlat::lab {
+
+LabReport RunLatencyExperiment(const LabConfig& config) {
+  TestSystem system(config.os, config.seed, config.options);
+
+  workload::StressLoad load(system.deps(), config.stress, system.ForkRng());
+
+  drivers::LatencyDriver::Config driver_config = config.driver;
+  driver_config.thread_priority = config.thread_priority;
+  drivers::LatencyDriver driver(system.kernel(), driver_config);
+
+  LabReport report;
+  report.os_name = system.kernel().profile().name;
+  report.workload_name = config.stress.name;
+  report.thread_priority = config.thread_priority;
+  report.usage = config.stress.usage;
+
+  // Ground-truth PIT interrupt latency for every tick (assert -> ISR entry).
+  const int pit_line = system.kernel().clock_interrupt()->line();
+  system.kernel().dispatcher().on_isr_entry =
+      [&report, pit_line](int line, sim::Cycles asserted, sim::Cycles entry) {
+        if (line == pit_line) {
+          report.true_pit_interrupt_latency.Record(entry - asserted);
+        }
+      };
+
+  // Paper order: start the measurement tools, then launch the load
+  // (Section 3.1.1), with a short warmup before counting samples.
+  load.Start();
+  system.RunFor(config.warmup_seconds);
+  driver.Start();
+  system.RunForMinutes(config.stress_minutes);
+  driver.Stop();
+
+  report.dpc_interrupt = driver.dpc_interrupt_latency();
+  report.thread = driver.thread_latency();
+  report.thread_interrupt = driver.thread_interrupt_latency();
+  report.interrupt = driver.interrupt_latency();
+  report.isr_to_dpc = driver.isr_to_dpc_latency();
+  report.has_interrupt_latency = driver.measures_interrupt_latency();
+  report.samples = driver.sample_count();
+  report.samples_per_hour = driver.samples_per_hour();
+  return report;
+}
+
+}  // namespace wdmlat::lab

@@ -1,0 +1,71 @@
+// LatencyLab: the top-level experiment API.
+//
+// One call runs one cell of the paper's measurement matrix: an OS
+// personality, a stress workload, and a measured thread priority, for a
+// given virtual duration — and returns the full latency distributions the
+// paper's figures and tables are built from.
+//
+//   wdmlat::lab::LabConfig config;
+//   config.os = wdmlat::kernel::MakeWin98Profile();
+//   config.stress = wdmlat::workload::GamesStress();
+//   config.thread_priority = 28;
+//   config.stress_minutes = 10.0;
+//   auto report = wdmlat::lab::RunLatencyExperiment(config);
+//   report.thread.QuantileMs(0.9999);
+
+#ifndef SRC_LAB_LAB_H_
+#define SRC_LAB_LAB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/drivers/latency_driver.h"
+#include "src/kernel/profile.h"
+#include "src/lab/test_system.h"
+#include "src/stats/histogram.h"
+#include "src/stats/usage_model.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+
+struct LabConfig {
+  kernel::KernelProfile os;
+  workload::StressProfile stress;
+  // Priority of the measured kernel-mode thread (24 or 28 in the paper).
+  int thread_priority = kernel::kDefaultRealTimePriority;
+  // Virtual measurement duration after warmup.
+  double stress_minutes = 10.0;
+  double warmup_seconds = 5.0;
+  std::uint64_t seed = 1;
+  TestSystemOptions options;
+  drivers::LatencyDriver::Config driver;  // thread_priority is overridden
+};
+
+struct LabReport {
+  std::string os_name;
+  std::string workload_name;
+  int thread_priority = 0;
+
+  // Tool-measured distributions (the paper's data).
+  stats::LatencyHistogram dpc_interrupt;     // HW int (est.) -> DPC
+  stats::LatencyHistogram thread;            // DPC -> thread
+  stats::LatencyHistogram thread_interrupt;  // HW int (est.) -> thread
+  stats::LatencyHistogram interrupt;         // HW int (est.) -> ISR (98 only)
+  stats::LatencyHistogram isr_to_dpc;        // ISR -> DPC (98 only)
+  bool has_interrupt_latency = false;
+
+  // Ground truth from the dispatcher observers, for every PIT interrupt
+  // (used to validate the tool and to report NT interrupt latency, which the
+  // paper's tool cannot measure without source access).
+  stats::LatencyHistogram true_pit_interrupt_latency;
+
+  std::uint64_t samples = 0;
+  double samples_per_hour = 0.0;
+  stats::UsageModel usage;
+};
+
+LabReport RunLatencyExperiment(const LabConfig& config);
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_LAB_H_

@@ -1,0 +1,48 @@
+// Classic OS microbenchmarks, lmbench / hbench:OS style (paper Section 1.2).
+//
+// "Microbenchmarks measure the cost of low-level primitive OS services, such
+// as thread context switch time, by measuring the average cost over
+// thousands of invocations of the OS service on an otherwise unloaded
+// system. [...] microbenchmarks have not been very useful in assessing the
+// OS and hardware overhead that an application or driver will actually
+// receive in practice."
+//
+// This suite exists to *reproduce that critique*: run it on both OS
+// personalities and the averages come out within tens of percent — nothing
+// like the order-of-magnitude difference the loaded latency distributions
+// show. bench/microbench_comparison.cc prints both side by side.
+
+#ifndef SRC_LAB_OS_MICROBENCH_H_
+#define SRC_LAB_OS_MICROBENCH_H_
+
+#include <cstdint>
+
+#include "src/lab/test_system.h"
+
+namespace wdmlat::lab {
+
+struct MicrobenchResults {
+  // Thread ping-pong: one direction of a signal/wake/switch round trip
+  // (what lmbench's lat_ctx measures).
+  double context_switch_us = 0.0;
+  // Event signal (from "interrupt" context) to the waiting thread's first
+  // instruction.
+  double event_wake_us = 0.0;
+  // KeInsertQueueDpc to the DPC routine's first instruction.
+  double dpc_dispatch_us = 0.0;
+  // Device interrupt assertion to ISR first instruction on the idle system.
+  double interrupt_dispatch_us = 0.0;
+  // Single-shot timer requested-vs-actual expiry error (dominated by clock
+  // tick quantization).
+  double timer_error_ms = 0.0;
+  std::uint64_t iterations = 0;
+};
+
+// Run the suite on an otherwise idle system. `iterations` per primitive.
+// The system's clock is reprogrammed to 1 kHz first (as the paper's tools
+// do), so timer_error_ms reflects the 1 ms tick.
+MicrobenchResults RunOsMicrobench(lab::TestSystem& system, int iterations = 1000);
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_OS_MICROBENCH_H_

@@ -1,0 +1,63 @@
+#include "src/report/ascii_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wdmlat::report {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void AsciiTable::AddRule() { rows_.push_back(Row{true, {}}); }
+
+std::string AsciiTable::Fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    for (std::size_t w : widths) {
+      out << "+" << std::string(w + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : "";
+      out << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const Row& row : rows_) {
+    if (row.rule) {
+      rule();
+    } else {
+      line(row.cells);
+    }
+  }
+  rule();
+  return out.str();
+}
+
+}  // namespace wdmlat::report

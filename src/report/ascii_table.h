@@ -1,0 +1,34 @@
+// Plain-text table renderer for the bench binaries' paper-style tables.
+
+#ifndef SRC_REPORT_ASCII_TABLE_H_
+#define SRC_REPORT_ASCII_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace wdmlat::report {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Insert a horizontal rule before the next row.
+  void AddRule();
+
+  std::string Render() const;
+
+  static std::string Fmt(double value, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace wdmlat::report
+
+#endif  // SRC_REPORT_ASCII_TABLE_H_

@@ -1,0 +1,195 @@
+#include "src/report/loglog_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/report/ascii_table.h"
+
+namespace wdmlat::report {
+
+namespace {
+
+std::string FmtEdge(double ms) {
+  char buf[32];
+  if (ms >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%g", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", ms);
+  }
+  return buf;
+}
+
+std::string FmtPercent(double percent) {
+  char buf[32];
+  if (percent <= 0.0) {
+    return "-";
+  }
+  std::snprintf(buf, sizeof(buf), "%.4f%%", percent);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderLatencyLogLog(const std::string& title, const std::vector<LatencySeries>& series,
+                                double lo_ms, double hi_ms) {
+  std::ostringstream out;
+  out << title << "\n";
+
+  // Collect the bucketed series.
+  std::vector<std::vector<stats::LatencyHistogram::PaperBucket>> bucketed;
+  for (const LatencySeries& s : series) {
+    bucketed.push_back(s.histogram->PaperSeries(lo_ms, hi_ms));
+  }
+  const std::size_t columns = bucketed.empty() ? 0 : bucketed[0].size();
+
+  // Chart: rows are half-decades from 100% down to 0.0001%.
+  constexpr int kRowsPerDecade = 2;
+  constexpr int kDecades = 6;  // 100% .. 0.0001%
+  const int rows = kDecades * kRowsPerDecade;
+  const int col_width = 6;
+  for (int row = 0; row <= rows; ++row) {
+    const double log_p = 2.0 - static_cast<double>(row) / kRowsPerDecade;  // log10(percent)
+    char axis[32];
+    if (row % kRowsPerDecade == 0) {
+      std::snprintf(axis, sizeof(axis), "%9.4f%% |", std::pow(10.0, log_p));
+    } else {
+      std::snprintf(axis, sizeof(axis), "%10s |", "");
+    }
+    out << axis;
+    for (std::size_t c = 0; c < columns; ++c) {
+      std::string cell(col_width, ' ');
+      int placed = 0;
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        const double p = bucketed[s][c].percent;
+        if (p <= 0.0) {
+          continue;
+        }
+        const double lp = std::log10(p);
+        // Mark the series in the row band containing its percentage.
+        if (lp <= log_p && lp > log_p - 1.0 / kRowsPerDecade) {
+          if (placed < col_width) {
+            cell[placed++] = series[s].mark;
+          }
+        }
+      }
+      out << cell;
+    }
+    out << "\n";
+  }
+  out << std::string(12, ' ');
+  for (std::size_t c = 0; c < columns; ++c) {
+    char label[32];
+    if (c + 1 < columns) {
+      std::snprintf(label, sizeof(label), "%-6s", FmtEdge(bucketed[0][c].hi_ms).c_str());
+    } else {
+      std::snprintf(label, sizeof(label), "%-6s", ">");
+    }
+    out << label;
+  }
+  out << "  latency bucket upper edge (ms)\n";
+  for (const LatencySeries& s : series) {
+    out << "    " << s.mark << " = " << s.name << "\n";
+  }
+
+  // Numeric table.
+  std::vector<std::string> headers{"bucket <= ms"};
+  for (const LatencySeries& s : series) {
+    headers.push_back(s.name);
+  }
+  AsciiTable table(std::move(headers));
+  for (std::size_t c = 0; c < columns; ++c) {
+    std::vector<std::string> row;
+    row.push_back(c + 1 < columns ? FmtEdge(bucketed[0][c].hi_ms) : "overflow");
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      row.push_back(FmtPercent(bucketed[s][c].percent));
+    }
+    table.AddRow(std::move(row));
+  }
+  out << table.Render();
+  return out.str();
+}
+
+std::string RenderMttf(const std::string& title, const std::vector<MttfSeries>& series) {
+  std::ostringstream out;
+  out << title << "\n";
+
+  // Chart: log y from 1 s to 10000 s, columns follow the first series' x.
+  if (series.empty() || series[0].points.empty()) {
+    return out.str();
+  }
+  const std::size_t columns = series[0].points.size();
+  constexpr int kRowsPerDecade = 2;
+  const int rows = 4 * kRowsPerDecade;  // 10^0 .. 10^4 seconds
+  for (int row = 0; row <= rows; ++row) {
+    const double log_s = 4.0 - static_cast<double>(row) / kRowsPerDecade;
+    char axis[48];
+    if (row % kRowsPerDecade == 0) {
+      const double seconds = std::pow(10.0, log_s);
+      const char* guide = seconds == 10000.0  ? " (2.8 hr)"
+                          : seconds == 1000.0 ? " (17 min)"
+                          : seconds == 100.0  ? " (1.7 min)"
+                                              : "";
+      std::snprintf(axis, sizeof(axis), "%7.0fs%-9s |", seconds, guide);
+    } else {
+      std::snprintf(axis, sizeof(axis), "%17s |", "");
+    }
+    out << axis;
+    for (std::size_t c = 0; c < columns; ++c) {
+      std::string cell(4, ' ');
+      int placed = 0;
+      for (const MttfSeries& s : series) {
+        if (c >= s.points.size()) {
+          continue;
+        }
+        const double v = s.points[c].mttf_seconds;
+        if (v <= 0.0) {
+          continue;
+        }
+        const double lv = std::isinf(v) ? 99.0 : std::log10(v);
+        const bool in_band = (std::isinf(v) && row == 0) ||
+                             (lv <= log_s && lv > log_s - 1.0 / kRowsPerDecade);
+        if (in_band && placed < 4) {
+          cell[placed++] = s.mark;
+        }
+      }
+      out << cell;
+    }
+    out << "\n";
+  }
+  out << std::string(20, ' ');
+  for (std::size_t c = 0; c < columns; ++c) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%-4.0f", series[0].points[c].buffering_ms);
+    out << label;
+  }
+  out << " ms of buffering\n";
+  for (const MttfSeries& s : series) {
+    out << "    " << s.mark << " = " << s.name << "\n";
+  }
+
+  // Numeric table.
+  std::vector<std::string> headers{"buffering ms"};
+  for (const MttfSeries& s : series) {
+    headers.push_back(s.name + " MTTF s");
+  }
+  AsciiTable table(std::move(headers));
+  for (std::size_t c = 0; c < columns; ++c) {
+    std::vector<std::string> row;
+    row.push_back(AsciiTable::Fmt(series[0].points[c].buffering_ms, 0));
+    for (const MttfSeries& s : series) {
+      if (c >= s.points.size()) {
+        row.push_back("-");
+        continue;
+      }
+      const double v = s.points[c].mttf_seconds;
+      row.push_back(std::isinf(v) ? ">observable" : AsciiTable::Fmt(v, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  out << table.Render();
+  return out.str();
+}
+
+}  // namespace wdmlat::report

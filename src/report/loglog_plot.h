@@ -1,0 +1,40 @@
+// Text renderer for the paper's Figure-4 style log-log latency histograms
+// (percent of samples, 0.0001% .. 100%, against powers-of-two millisecond
+// buckets) and for the Figure-6/7 MTTF curves.
+
+#ifndef SRC_REPORT_LOGLOG_PLOT_H_
+#define SRC_REPORT_LOGLOG_PLOT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/mttf.h"
+#include "src/stats/histogram.h"
+
+namespace wdmlat::report {
+
+struct LatencySeries {
+  std::string name;
+  char mark = '*';
+  const stats::LatencyHistogram* histogram = nullptr;
+};
+
+// Render a log-log "percent of samples" chart: one column per
+// power-of-two-ms bucket between lo_ms and hi_ms, one row per half-decade of
+// frequency from 100% down to 0.0001%, with a numeric table underneath.
+std::string RenderLatencyLogLog(const std::string& title, const std::vector<LatencySeries>& series,
+                                double lo_ms = 0.125, double hi_ms = 128.0);
+
+struct MttfSeries {
+  std::string name;
+  char mark = '*';
+  std::vector<analysis::MttfPoint> points;
+};
+
+// Render the Figure-6/7 style mean-time-to-underrun chart (log y in seconds
+// with 1 min / 10 min / 1 hour guides), plus the numeric table.
+std::string RenderMttf(const std::string& title, const std::vector<MttfSeries>& series);
+
+}  // namespace wdmlat::report
+
+#endif  // SRC_REPORT_LOGLOG_PLOT_H_

@@ -1,0 +1,74 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+namespace wdmlat::sim {
+
+bool EventHandle::pending() const { return rec_ && !rec_->cancelled && !rec_->fired; }
+
+void EventHandle::Cancel() {
+  if (rec_ && !rec_->fired) {
+    rec_->cancelled = true;
+    rec_->callback = nullptr;  // release captured state eagerly
+  }
+}
+
+EventHandle Engine::ScheduleAt(Cycles when, Callback cb) {
+  if (when < now_) {
+    when = now_;
+  }
+  auto rec = std::make_shared<EventHandle::Record>();
+  rec->callback = std::move(cb);
+  queue_.push(QueueEntry{when, next_seq_++, rec});
+  return EventHandle(std::move(rec));
+}
+
+EventHandle Engine::ScheduleAfter(Cycles delay, Callback cb) {
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Engine::Step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.rec->cancelled) {
+      continue;
+    }
+    now_ = entry.when;
+    entry.rec->fired = true;
+    ++events_processed_;
+    // Move the callback out so captured state dies with this scope even if
+    // the handle outlives the event.
+    auto cb = std::move(entry.rec->callback);
+    entry.rec->callback = nullptr;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::RunUntilIdle() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Engine::RunUntil(Cycles deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    if (queue_.top().rec->cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (!stop_requested_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace wdmlat::sim

@@ -1,0 +1,109 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event calendar: callbacks are scheduled at absolute
+// virtual times and executed in (time, insertion-order) order. Everything in
+// wdmlat — hardware devices, the kernel, workloads, the measurement drivers —
+// is driven from this calendar. There is no wall-clock anywhere; virtual
+// hours of Windows activity run in wall-clock seconds.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace wdmlat::sim {
+
+class Engine;
+
+// Cancellable reference to a scheduled event. Default-constructed handles are
+// inert; cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+
+  // Prevent the event from firing. Safe to call in any state.
+  void Cancel();
+
+ private:
+  friend class Engine;
+  struct Record {
+    std::function<void()> callback;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+  std::shared_ptr<Record> rec_;
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current virtual time. Monotonically non-decreasing.
+  Cycles now() const { return now_; }
+
+  // Schedule `cb` at absolute time `when`. Times in the past are clamped to
+  // now(). Events scheduled for the same instant fire in insertion order.
+  EventHandle ScheduleAt(Cycles when, Callback cb);
+
+  // Schedule `cb` `delay` cycles from now.
+  EventHandle ScheduleAfter(Cycles delay, Callback cb);
+
+  // Execute the next pending event, if any. Returns false when the calendar
+  // is empty.
+  bool Step();
+
+  // Run events until the calendar is empty or a callback calls RequestStop().
+  void RunUntilIdle();
+
+  // Run all events with time <= `deadline` (or until RequestStop()), then
+  // advance now() to `deadline`.
+  void RunUntil(Cycles deadline);
+
+  // Abort a RunUntil / RunUntilIdle loop from inside a callback.
+  void RequestStop() { stop_requested_ = true; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // Number of scheduled-and-not-yet-fired events, including cancelled ones
+  // still in the calendar.
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  struct QueueEntry {
+    Cycles when;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::Record> rec;
+  };
+  struct Later {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+};
+
+}  // namespace wdmlat::sim
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,67 @@
+// Poisson event process: fires an action at exponentially distributed
+// intervals. Workloads and the kernel's background self-noise are built from
+// these (bursts of disk traffic, legacy masked sections, UI events, ...).
+
+#ifndef SRC_SIM_POISSON_H_
+#define SRC_SIM_POISSON_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace wdmlat::sim {
+
+class PoissonProcess {
+ public:
+  // `rate_per_s` events per simulated second on average. A rate of zero
+  // produces a process that never fires.
+  PoissonProcess(Engine& engine, Rng rng, double rate_per_s, std::function<void()> action)
+      : engine_(engine), rng_(rng), rate_per_s_(rate_per_s), action_(std::move(action)) {}
+
+  ~PoissonProcess() { Stop(); }
+
+  PoissonProcess(const PoissonProcess&) = delete;
+  PoissonProcess& operator=(const PoissonProcess&) = delete;
+
+  void Start() {
+    if (running_ || rate_per_s_ <= 0.0) {
+      return;
+    }
+    running_ = true;
+    ScheduleNext();
+  }
+
+  void Stop() {
+    running_ = false;
+    next_.Cancel();
+  }
+
+  bool running() const { return running_; }
+  double rate_per_s() const { return rate_per_s_; }
+
+ private:
+  void ScheduleNext() {
+    const double gap_s = rng_.Exponential(1.0 / rate_per_s_);
+    next_ = engine_.ScheduleAfter(SecToCycles(gap_s), [this] {
+      if (!running_) {
+        return;
+      }
+      action_();
+      ScheduleNext();
+    });
+  }
+
+  Engine& engine_;
+  Rng rng_;
+  double rate_per_s_;
+  std::function<void()> action_;
+  bool running_ = false;
+  EventHandle next_;
+};
+
+}  // namespace wdmlat::sim
+
+#endif  // SRC_SIM_POISSON_H_

@@ -1,0 +1,51 @@
+// Virtual time for the wdmlat simulator.
+//
+// The paper instruments Windows with the Pentium II time-stamp counter on a
+// 300 MHz machine, so the natural unit of simulated time is one CPU cycle at
+// 300 MHz. All latencies reported by the library are differences of virtual
+// TSC reads, exactly like the paper's GetCycleCount() arithmetic.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace wdmlat::sim {
+
+// Absolute virtual time (or a duration) in CPU cycles.
+using Cycles = std::uint64_t;
+
+// The paper's testbed: 300 MHz Pentium II (Table 2).
+inline constexpr std::uint64_t kCpuHz = 300'000'000;
+
+inline constexpr Cycles kCyclesPerUs = kCpuHz / 1'000'000;  // 300
+inline constexpr Cycles kCyclesPerMs = kCpuHz / 1'000;      // 300'000
+inline constexpr Cycles kCyclesPerSec = kCpuHz;
+
+constexpr Cycles UsToCycles(double us) {
+  return static_cast<Cycles>(us * static_cast<double>(kCyclesPerUs) + 0.5);
+}
+
+constexpr Cycles MsToCycles(double ms) {
+  return static_cast<Cycles>(ms * static_cast<double>(kCyclesPerMs) + 0.5);
+}
+
+constexpr Cycles SecToCycles(double sec) {
+  return static_cast<Cycles>(sec * static_cast<double>(kCyclesPerSec) + 0.5);
+}
+
+constexpr double CyclesToUs(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerUs);
+}
+
+constexpr double CyclesToMs(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerMs);
+}
+
+constexpr double CyclesToSec(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerSec);
+}
+
+}  // namespace wdmlat::sim
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,204 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace wdmlat::stats {
+
+int LatencyHistogram::BucketIndex(double us) {
+  const double octave = std::log2(us / kMinUs);
+  int index = static_cast<int>(octave * kSubBucketsPerOctave);
+  return std::clamp(index, 0, kBucketCount - 1);
+}
+
+double LatencyHistogram::BucketLoUs(int index) {
+  return kMinUs * std::exp2(static_cast<double>(index) / kSubBucketsPerOctave);
+}
+
+double LatencyHistogram::BucketHiUs(int index) { return BucketLoUs(index + 1); }
+
+void LatencyHistogram::RecordUs(double us) {
+  assert(us >= 0.0);
+  if (count_ == 0) {
+    min_us_ = max_us_ = us;
+  } else {
+    min_us_ = std::min(min_us_, us);
+    max_us_ = std::max(max_us_, us);
+  }
+  ++count_;
+  sum_us_ += us;
+  if (us < kMinUs) {
+    ++underflow_;
+    return;
+  }
+  ++buckets_[BucketIndex(us)];
+}
+
+double LatencyHistogram::min_ms() const { return min_us_ / 1e3; }
+double LatencyHistogram::max_ms() const { return max_us_ / 1e3; }
+
+double LatencyHistogram::QuantileMs(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (q >= 1.0) {
+    return max_us_ / 1e3;
+  }
+  const double target = q * static_cast<double>(count_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) {
+    return kMinUs / 1e3;
+  }
+  for (int i = 0; i < kBucketCount; ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (target <= next && buckets_[i] > 0) {
+      // Linear interpolation within the bucket.
+      const double frac = (target - cumulative) / static_cast<double>(buckets_[i]);
+      const double lo = BucketLoUs(i);
+      const double hi = std::min(BucketHiUs(i), max_us_);
+      return (lo + frac * (hi - lo)) / 1e3;
+    }
+    cumulative = next;
+  }
+  return max_us_ / 1e3;
+}
+
+double LatencyHistogram::FractionAtOrAbove(double ms) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double us = ms * 1e3;
+  if (us <= kMinUs) {
+    return 1.0;
+  }
+  if (us > max_us_) {
+    return 0.0;
+  }
+  const int index = BucketIndex(us);
+  std::uint64_t above = 0;
+  for (int i = index + 1; i < kBucketCount; ++i) {
+    above += buckets_[i];
+  }
+  // Pro-rate the straddling bucket, clamping its upper edge to the observed
+  // maximum so that this stays consistent with QuantileMs near the top.
+  const double lo = BucketLoUs(index);
+  const double hi = std::max(std::min(BucketHiUs(index), max_us_), lo + 1e-12);
+  const double frac_above = std::clamp((hi - us) / (hi - lo), 0.0, 1.0);
+  const double total = static_cast<double>(above) +
+                       frac_above * static_cast<double>(buckets_[index]);
+  return total / static_cast<double>(count_);
+}
+
+double LatencyHistogram::ExpectedMaxOfNMs(std::uint64_t n) const {
+  if (count_ == 0 || n == 0) {
+    return 0.0;
+  }
+  const double q = static_cast<double>(n) / (static_cast<double>(n) + 1.0);
+  return QuantileMs(q);
+}
+
+double LatencyHistogram::QuantileMsExtrapolated(double q, double tail_fraction) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  // Enough empirical support? Use the plain quantile.
+  const double exceedance = 1.0 - q;
+  const double samples_above = exceedance * static_cast<double>(count_);
+  if (samples_above >= 10.0) {
+    return QuantileMs(q);
+  }
+  // Hill estimator over the top tail_fraction of samples.
+  const double threshold_q = 1.0 - tail_fraction;
+  const double u_ms = QuantileMs(threshold_q);
+  if (u_ms <= 0.0) {
+    return QuantileMs(q);
+  }
+  const double u_us = u_ms * 1e3;
+  double sum_log = 0.0;
+  double k = 0.0;
+  for (int i = BucketIndex(u_us); i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double mid = 0.5 * (BucketLoUs(i) + std::min(BucketHiUs(i), max_us_));
+    if (mid <= u_us) {
+      continue;
+    }
+    sum_log += static_cast<double>(buckets_[i]) * std::log(mid / u_us);
+    k += static_cast<double>(buckets_[i]);
+  }
+  if (k < 5.0 || sum_log <= 0.0) {
+    return QuantileMs(q);  // tail too thin to fit
+  }
+  const double alpha = k / sum_log;
+  // P[X >= x] = tail_fraction * (u/x)^alpha  =>  x(q) = u * (tail_fraction /
+  // exceedance)^(1/alpha).
+  const double x_ms = u_ms * std::pow(tail_fraction / std::max(exceedance, 1e-300), 1.0 / alpha);
+  // Never report less than the observed data supports.
+  return std::max(x_ms, QuantileMs(q));
+}
+
+double LatencyHistogram::ExpectedMaxOfNMsExtrapolated(std::uint64_t n,
+                                                      double tail_fraction) const {
+  if (count_ == 0 || n == 0) {
+    return 0.0;
+  }
+  const double q = static_cast<double>(n) / (static_cast<double>(n) + 1.0);
+  return QuantileMsExtrapolated(q, tail_fraction);
+}
+
+std::vector<LatencyHistogram::PaperBucket> LatencyHistogram::PaperSeries(double lo_ms,
+                                                                         double hi_ms) const {
+  std::vector<PaperBucket> series;
+  const double total = count_ == 0 ? 1.0 : static_cast<double>(count_);
+  double prev_frac_above = 1.0;  // fraction >= lower edge, starts at -inf
+  for (double edge = lo_ms; edge <= hi_ms * 1.0001; edge *= 2.0) {
+    const double frac_above_edge = FractionAtOrAbove(edge);
+    series.push_back(PaperBucket{edge, (prev_frac_above - frac_above_edge) * 100.0});
+    prev_frac_above = frac_above_edge;
+  }
+  // Overflow bucket: everything at or above hi_ms.
+  series.push_back(PaperBucket{hi_ms * 2.0, prev_frac_above * 100.0});
+  (void)total;
+  return series;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_us_ = other.min_us_;
+    max_us_ = other.max_us_;
+  } else {
+    min_us_ = std::min(min_us_, other.min_us_);
+    max_us_ = std::max(max_us_, other.max_us_);
+  }
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  sum_us_ += other.sum_us_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+std::string LatencyHistogram::ToCsv() const {
+  std::ostringstream out;
+  out << "bucket_hi_us,count\n";
+  if (underflow_ > 0) {
+    out << kMinUs << "," << underflow_ << "\n";
+  }
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] > 0) {
+      out << BucketHiUs(i) << "," << buckets_[i] << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wdmlat::stats

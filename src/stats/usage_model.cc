@@ -1,0 +1,43 @@
+#include "src/stats/usage_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wdmlat::stats {
+
+UsageModel OfficeUsage() { return UsageModel{"Office Apps", 10.0, 8.0, 40.0}; }
+
+UsageModel WorkstationUsage() { return UsageModel{"Workstation Apps", 5.0, 6.0, 30.0}; }
+
+UsageModel GamesUsage() { return UsageModel{"Recent 3D Games", 1.0, 2.5, 12.5}; }
+
+UsageModel WebUsage() { return UsageModel{"Web Browsing", 4.0, 3.5, 24.5}; }
+
+WorstCases ComputeWorstCases(const LatencyHistogram& hist, double samples_per_stress_hour,
+                             const UsageModel& usage) {
+  WorstCases out;
+  const double per_usage_hour = samples_per_stress_hour / usage.compression;
+  auto n = [&](double usage_hours) {
+    return static_cast<std::uint64_t>(std::max(1.0, per_usage_hour * usage_hours));
+  };
+  out.hourly_ms = hist.ExpectedMaxOfNMs(n(1.0));
+  out.daily_ms = hist.ExpectedMaxOfNMs(n(usage.day_hours));
+  out.weekly_ms = hist.ExpectedMaxOfNMs(n(usage.week_hours));
+  return out;
+}
+
+WorstCases ComputeWorstCasesExtrapolated(const LatencyHistogram& hist,
+                                         double samples_per_stress_hour,
+                                         const UsageModel& usage) {
+  WorstCases out;
+  const double per_usage_hour = samples_per_stress_hour / usage.compression;
+  auto n = [&](double usage_hours) {
+    return static_cast<std::uint64_t>(std::max(1.0, per_usage_hour * usage_hours));
+  };
+  out.hourly_ms = hist.ExpectedMaxOfNMsExtrapolated(n(1.0));
+  out.daily_ms = hist.ExpectedMaxOfNMsExtrapolated(n(usage.day_hours));
+  out.weekly_ms = hist.ExpectedMaxOfNMsExtrapolated(n(usage.week_hours));
+  return out;
+}
+
+}  // namespace wdmlat::stats

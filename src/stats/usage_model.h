@@ -1,0 +1,61 @@
+// The paper's usage model (Section 3.1): mapping between hours of collected
+// stress data and hours of "heavy user" activity, and the resulting expected
+// hourly / daily / weekly worst-case latencies (Table 3).
+//
+// The stress loads are driven faster than a human could drive them (MS-Test
+// input, LAN-speed downloads), so one stress hour corresponds to several
+// usage hours. Given a latency distribution and the sample rate, the
+// expected worst case over a usage period is the expected maximum of the
+// number of samples a heavy user would generate in that period — an order
+// statistic of the measured distribution.
+
+#ifndef SRC_STATS_USAGE_MODEL_H_
+#define SRC_STATS_USAGE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/stats/histogram.h"
+
+namespace wdmlat::stats {
+
+struct UsageModel {
+  std::string category;
+  // Stress-to-usage compression ratio ("at least ten times as quickly as a
+  // human" for office apps, 5:1 workstation, 1:1 games, 4:1 web).
+  double compression = 1.0;
+  // A heavy user's day and week, in usage hours (office: 8 h day, 40 h week;
+  // workstation: 6/30; games: 2.5/12.5; web: 3.5/24.5).
+  double day_hours = 8.0;
+  double week_hours = 40.0;
+};
+
+UsageModel OfficeUsage();
+UsageModel WorkstationUsage();
+UsageModel GamesUsage();
+UsageModel WebUsage();
+
+struct WorstCases {
+  double hourly_ms = 0.0;
+  double daily_ms = 0.0;
+  double weekly_ms = 0.0;
+};
+
+// `samples_per_stress_hour` is the measured tool sampling rate. One usage
+// hour corresponds to 1/compression stress hours, so the expected worst case
+// over P usage hours is ExpectedMaxOfN(samples_per_stress_hour * P /
+// compression).
+WorstCases ComputeWorstCases(const LatencyHistogram& hist, double samples_per_stress_hour,
+                             const UsageModel& usage);
+
+// Same, but with power-law tail extrapolation for periods whose sample
+// counts exceed the run's empirical resolution (short runs estimating
+// daily/weekly columns). Extrapolation cannot see hard caps beyond the
+// data, so treat these as upper-bound estimates.
+WorstCases ComputeWorstCasesExtrapolated(const LatencyHistogram& hist,
+                                         double samples_per_stress_hour,
+                                         const UsageModel& usage);
+
+}  // namespace wdmlat::stats
+
+#endif  // SRC_STATS_USAGE_MODEL_H_

@@ -1,0 +1,69 @@
+#include "src/vmm98/sound_scheme.h"
+
+#include <vector>
+
+namespace wdmlat::vmm98 {
+
+using kernel::Irql;
+using kernel::Label;
+
+SoundScheme::SoundScheme(kernel::Kernel& kernel, sim::Rng rng, Config config)
+    : kernel_(kernel), rng_(rng), cfg_(config) {}
+
+void SoundScheme::OnUiEvent() {
+  if (cfg_.kind == SchemeKind::kNoSounds) {
+    return;
+  }
+  if (!rng_.Bernoulli(cfg_.sound_probability)) {
+    return;
+  }
+  ++sounds_played_;
+  // The event sound walks a pipeline of kernel sections. They execute
+  // back-to-back (each scheduled after the previous one ends), since a
+  // raised-IRQL section cannot nest inside another at the same level.
+  struct Phase {
+    double us;
+    Label label;
+    bool lockout;
+  };
+  std::vector<Phase> phases;
+  // SysAudio walks the audio topology for the event sound. Part of this runs
+  // at raised IRQL and locks out dispatching (the paper's episodes show
+  // priority 24 and 28 threads equally affected).
+  phases.push_back(Phase{cfg_.topology_us.SampleUs(rng_),
+                         Label{"SYSAUDIO", "_ProcessTopologyConnection"}, true});
+  // The VMM qualifies audio frames and allocates pool.
+  phases.push_back(
+      Phase{cfg_.mm_frame_us.SampleUs(rng_), Label{"VMM", "_mmCalcFrameBadness"}, false});
+  phases.push_back(Phase{40.0, Label{"NTKERN", "_ExpAllocatePool"}, false});
+  if (rng_.Bernoulli(cfg_.mm_find_contig_probability)) {
+    // Contiguous-memory search: the long pole.
+    phases.push_back(Phase{cfg_.mm_contig_us.SampleUs(rng_), Label{"VMM", "_mmFindContig"}, true});
+  }
+  double offset_us = 0.0;
+  for (const Phase& phase : phases) {
+    auto inject = [this, phase] {
+      kernel_.InjectKernelSection(Irql::kDispatch, phase.us, phase.label);
+      if (phase.lockout) {
+        kernel_.LockDispatch(phase.us * 1.5);
+      }
+    };
+    if (offset_us == 0.0) {
+      inject();
+    } else {
+      kernel_.engine().ScheduleAfter(sim::UsToCycles(offset_us), inject);
+    }
+    // Margin for the ISR time that pauses (and therefore stretches) each
+    // section, so the next phase does not land inside the previous one.
+    offset_us += phase.us * 1.03 + 25.0;
+  }
+
+  // KMixer renders the sound on the worker thread once the graph work is
+  // done.
+  const double kmixer_us = cfg_.kmixer_us.SampleUs(rng_);
+  kernel_.engine().ScheduleAfter(sim::UsToCycles(offset_us), [this, kmixer_us] {
+    kernel_.ExQueueWorkItem(kmixer_us, Label{"KMIXER", "unknown"});
+  });
+}
+
+}  // namespace wdmlat::vmm98

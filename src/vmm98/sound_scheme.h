@@ -1,0 +1,68 @@
+// Windows sound schemes (paper Section 4.4).
+//
+// "The Windows 98 Plus! Pack makes a number of sound schemes available.
+// These produce a variety of user-selectable sounds upon occurrence of
+// various events [ranging] from popup of a Dialog Box to the more esoteric,
+// such as traversal of walking menus (i.e., EVERY time a submenu appears).
+// [...] Winstone uses MS-Test to drive applications at greater than human
+// speeds, which results in a lot of sounds being played."
+//
+// Each event sound goes through SysAudio topology processing and KMixer,
+// which on Windows 98 allocates contiguous memory inside the VMM at raised
+// IRQL — the exact functions the paper's cause tool caught red-handed in
+// Table 4 (SYSAUDIO!_ProcessTopologyConnection, VMM!_mmCalcFrameBadness,
+// VMM!_mmFindContig, NTKERN!_ExpAllocatePool, KMIXER!unknown). We label our
+// injected sections with those names so the cause tool reproduces the
+// table.
+
+#ifndef SRC_VMM98_SOUND_SCHEME_H_
+#define SRC_VMM98_SOUND_SCHEME_H_
+
+#include <cstdint>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/rng.h"
+
+namespace wdmlat::vmm98 {
+
+enum class SchemeKind {
+  kNoSounds,  // "no sound" scheme: UI events are silent
+  kDefault,   // default scheme: dialog/menu events play sounds
+};
+
+struct SoundSchemeConfig {
+    SchemeKind kind = SchemeKind::kDefault;
+    // Fraction of UI events that have an associated sound in the scheme.
+    double sound_probability = 0.35;
+    // SysAudio graph work per sound.
+    sim::DurationDist topology_us = sim::DurationDist::BoundedPareto(1.4, 80.0, 4000.0);
+    // VMM contiguous-memory search ("accommodating bad, possibly misaligned,
+    // audio frames") — the long pole in Table 4's episodes.
+    sim::DurationDist mm_frame_us = sim::DurationDist::BoundedPareto(1.3, 60.0, 6000.0);
+    double mm_find_contig_probability = 0.30;
+    sim::DurationDist mm_contig_us = sim::DurationDist::BoundedPareto(1.2, 150.0, 9000.0);
+    // KMixer mixing work, queued to the worker thread.
+    sim::DurationDist kmixer_us = sim::DurationDist::LogNormal(250.0, 0.6);
+  };
+
+class SoundScheme {
+ public:
+  using Config = SoundSchemeConfig;
+
+  SoundScheme(kernel::Kernel& kernel, sim::Rng rng, Config config = Config{});
+
+  // Called by workloads for each UI event (dialog popup, menu traversal...).
+  void OnUiEvent();
+
+  std::uint64_t sounds_played() const { return sounds_played_; }
+
+ private:
+  kernel::Kernel& kernel_;
+  sim::Rng rng_;
+  Config cfg_;
+  std::uint64_t sounds_played_ = 0;
+};
+
+}  // namespace wdmlat::vmm98
+
+#endif  // SRC_VMM98_SOUND_SCHEME_H_

@@ -1,0 +1,23 @@
+#include "src/vmm98/virus_scanner.h"
+
+#include <algorithm>
+
+namespace wdmlat::vmm98 {
+
+VirusScanner::VirusScanner(kernel::Kernel& kernel, sim::Rng rng, Config config)
+    : kernel_(kernel), rng_(rng), cfg_(config) {}
+
+void VirusScanner::OnFileOperation(std::uint32_t bytes) {
+  if (!rng_.Bernoulli(cfg_.scan_probability)) {
+    return;
+  }
+  ++scans_;
+  // Larger buffers take proportionally longer to scan (bounded).
+  const double size_factor = std::min(4.0, 1.0 + static_cast<double>(bytes) / (256.0 * 1024.0));
+  const double lockout_us = cfg_.scan_lockout_us.SampleUs(rng_) * size_factor;
+  kernel_.LockDispatch(lockout_us);
+  kernel_.InjectKernelSection(kernel::Irql::kDispatch, cfg_.raised_irql_us.SampleUs(rng_),
+                              kernel::Label{"VSCAND", "_ScanFileBuffer"});
+}
+
+}  // namespace wdmlat::vmm98

@@ -1,0 +1,183 @@
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::workload {
+
+using kernel::Label;
+using sim::DurationDist;
+
+// Calibration note: the legacy-stress tail bounds below are chosen so that
+// the *Windows 98* expected weekly worst cases land near Table 3 (interrupt
+// latency 1.6 / 6.3 / 12.2 / 3.5 ms and thread-latency adds 31 / 24 / 70 /
+// 80 ms for office / workstation / games / web); on NT the same activity is
+// scaled down by the profile's stress scales. The measured interrupt latency
+// additionally carries the tool's ~1 PIT-period estimation offset.
+
+StressProfile OfficeStress() {
+  StressProfile p;
+  p.name = "Business Apps";
+  p.usage = stats::OfficeUsage();
+
+  p.file_ops_per_s = 20.0;
+  p.file_bytes_mean = 48.0 * 1024;
+  p.file_op_cpu_us = 120.0;
+  p.file_bursts_per_s = 0.4;
+  p.file_burst_ops = 40;
+
+  p.cpu_threads = 1;
+  p.cpu_burst_us = 1500.0;
+  p.cpu_priority = 8;
+  p.cpu_label = Label{"WINWORD", "_WinMain"};
+
+  // MS-Test drives dialogs and walking menus far faster than a human.
+  p.ui_events_per_s = 25.0;
+
+  p.masked_rate_per_s = 2.0;
+  p.masked_len_us = DurationDist::BoundedPareto(2.48, 19.0, 620.0);
+  p.masked_label = Label{"VFAT", "_cli_section"};
+  p.dispatch_rate_per_s = 4.0;
+  p.dispatch_len_us = DurationDist::BoundedPareto(3.66, 41.0, 450.0);
+  p.dispatch_label = Label{"VFAT", "_MapCacheBlock"};
+  p.lockout_rate_per_s = 0.8;
+  p.lockout_len_us = DurationDist::BoundedPareto(1.245, 28.0, 34000.0);
+
+  p.work_items_per_s = 15.0;
+  p.work_item_us = DurationDist::BoundedPareto(2.5, 95.0, 8000.0);
+  return p;
+}
+
+StressProfile WorkstationStress() {
+  StressProfile p;
+  p.name = "Workstation Apps";
+  p.usage = stats::WorkstationUsage();
+
+  // CAD / photoediting / compiles: CPU- and disk-bound most of the time.
+  p.file_ops_per_s = 55.0;
+  p.file_bytes_mean = 96.0 * 1024;
+  p.file_op_cpu_us = 180.0;
+  p.file_bursts_per_s = 0.8;
+  p.file_burst_ops = 60;
+
+  p.cpu_threads = 2;
+  p.cpu_burst_us = 4000.0;
+  p.cpu_priority = 8;
+  p.cpu_label = Label{"MSDEV", "_CompilerPass"};
+
+  p.ui_events_per_s = 8.0;
+
+  p.masked_rate_per_s = 6.0;
+  p.masked_len_us = DurationDist::BoundedPareto(3.33, 153.0, 5600.0);
+  p.masked_label = Label{"DISPLAY", "_BitBltCli"};
+  p.dispatch_rate_per_s = 6.0;
+  p.dispatch_len_us = DurationDist::BoundedPareto(2.5, 37.0, 620.0);
+  p.dispatch_label = Label{"VCACHE", "_FlushRun"};
+  // Frequent, comparatively flat lockouts: hourly +21 ms is already close to
+  // the weekly +24 ms in Table 3.
+  p.lockout_rate_per_s = 12.0;
+  p.lockout_len_us = DurationDist::BoundedPareto(1.8, 240.0, 24000.0);
+
+  p.work_items_per_s = 35.0;
+  p.work_item_us = DurationDist::BoundedPareto(2.2, 100.0, 6000.0);
+  return p;
+}
+
+StressProfile GamesStress() {
+  StressProfile p;
+  p.name = "3D Games";
+  p.usage = stats::GamesUsage();
+
+  // Texture / level streaming from disk.
+  p.file_ops_per_s = 12.0;
+  p.file_bytes_mean = 256.0 * 1024;
+  p.file_op_cpu_us = 90.0;
+  p.file_bursts_per_s = 0.1;
+  p.file_burst_ops = 80;
+
+  // The render loop.
+  p.cpu_threads = 1;
+  p.cpu_burst_us = 8000.0;
+  p.cpu_priority = 13;
+  p.cpu_label = Label{"UNREAL", "_RenderFrame"};
+
+  p.ui_events_per_s = 1.0;
+
+  p.audio_stream = true;
+  p.audio_period_ms = 20.0;
+
+  // Display drivers of the era masked interrupts for whole blts: the worst
+  // interrupt-latency workload in Table 3 (12.2 ms weekly on 98).
+  p.masked_rate_per_s = 2.0;
+  p.masked_len_us = DurationDist::BoundedPareto(7.06, 2208.0, 11500.0);
+  p.masked_label = Label{"DISPLAY", "_3DBlt_cli"};
+  // Rare full-screen blts near the cap: these carry the probability mass
+  // that makes a 12 ms-buffered DPC datapump miss every ~15 minutes
+  // (Section 5.1 / Figure 6).
+  p.masked2_rate_per_s = 0.012;
+  p.masked2_len_us = DurationDist::BoundedPareto(1.5, 8000.0, 10200.0);
+  p.masked2_label = Label{"DISPLAY", "_FullScreenBlt_cli"};
+  // Heavy DPC traffic from display/audio drivers (ISR->DPC adds +2.1 ms).
+  p.dispatch_rate_per_s = 25.0;
+  p.dispatch_len_us = DurationDist::BoundedPareto(4.0, 85.0, 2200.0);
+  p.dispatch_label = Label{"DISPLAY", "_FlipDpc"};
+  p.lockout_rate_per_s = 5.0;
+  p.lockout_len_us = DurationDist::BoundedPareto(3.64, 2330.0, 72000.0);
+
+  p.work_items_per_s = 10.0;
+  p.work_item_us = DurationDist::LogNormal(120.0, 0.5);
+  return p;
+}
+
+StressProfile WebStress() {
+  StressProfile p;
+  p.name = "Web Browsing";
+  p.usage = stats::WebUsage();
+
+  // Browser cache writes.
+  p.file_ops_per_s = 14.0;
+  p.file_bytes_mean = 24.0 * 1024;
+  p.file_op_cpu_us = 100.0;
+  p.file_bursts_per_s = 0.3;
+  p.file_burst_ops = 30;
+
+  p.cpu_threads = 1;  // HTML layout / media decode
+  p.cpu_burst_us = 3000.0;
+  p.cpu_priority = 9;
+  p.cpu_label = Label{"IEXPLORE", "_DecodeMedia"};
+
+  p.ui_events_per_s = 6.0;
+
+  // LAN-speed downloads: "the system is stressed more than would actually
+  // occur during normal usage".
+  p.downloads_per_s = 0.5;
+  p.download_bytes_mean = 1.5e6;
+
+  // RealPlayer / Shockwave playback half of the test.
+  p.audio_stream = true;
+  p.audio_period_ms = 20.0;
+
+  p.masked_rate_per_s = 4.0;
+  p.masked_len_us = DurationDist::BoundedPareto(2.13, 12.0, 2600.0);
+  p.masked_label = Label{"NDIS", "_cli_section"};
+  p.dispatch_rate_per_s = 2.0;
+  p.dispatch_len_us = DurationDist::BoundedPareto(3.0, 48.0, 330.0);
+  p.dispatch_label = Label{"NDIS", "_ProtocolIndicate"};
+  // Rare but extremely long lockouts (plug-in and codec initialisation):
+  // hourly +14 ms but weekly +80 ms in Table 3.
+  p.lockout_rate_per_s = 2.0;
+  p.lockout_len_us = DurationDist::BoundedPareto(1.84, 350.0, 85000.0);
+
+  // Heavy worker-thread traffic (TCP receive indications, media decode):
+  // this is why the paper's web column shows +51 ms hourly for priority 24
+  // against +14 ms for priority 28.
+  p.work_items_per_s = 60.0;
+  p.work_item_us = DurationDist::BoundedPareto(1.9, 200.0, 70000.0);
+  return p;
+}
+
+StressProfile IdleStress() {
+  StressProfile p;
+  p.name = "Idle";
+  p.usage = stats::UsageModel{"Idle", 1.0, 8.0, 40.0};
+  return p;
+}
+
+}  // namespace wdmlat::workload

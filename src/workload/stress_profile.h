@@ -1,0 +1,87 @@
+// Application stress-load profiles (paper Section 3.1).
+//
+// A stress profile describes, in OS-neutral terms, the kernel-visible
+// activity an application category generates: file operations, CPU-bound
+// threads, UI events (MS-Test drives input "at speeds in excess of human
+// abilities"), network downloads, audio streaming, and the legacy
+// raised-IRQL / dispatch-lockout stress the category induces (scaled per OS
+// by the KernelProfile's stress scales: the same application activity holds
+// a Windows 98 machine far longer than an NT machine).
+//
+// Rates and tail weights are calibrated against the paper's Table 3 (see
+// EXPERIMENTS.md): 3D games produce the worst interrupt-latency tail
+// (display drivers masking interrupts), web browsing the worst thread-latency
+// tail, and workstation loads sit in between with a flatter distribution.
+
+#ifndef SRC_WORKLOAD_STRESS_PROFILE_H_
+#define SRC_WORKLOAD_STRESS_PROFILE_H_
+
+#include <string>
+
+#include "src/kernel/label.h"
+#include "src/sim/rng.h"
+#include "src/stats/usage_model.h"
+
+namespace wdmlat::workload {
+
+struct StressProfile {
+  std::string name;
+  stats::UsageModel usage;
+
+  // --- File activity ---------------------------------------------------------
+  double file_ops_per_s = 0.0;
+  double file_bytes_mean = 32.0 * 1024;  // exponential
+  // File-system CPU per operation, executed by the kernel worker thread
+  // (cache manager / FS worker) — this is what loads the priority-24 band.
+  double file_op_cpu_us = 0.0;
+  // Bursts: explicit and implicit file copies ("save as", installs).
+  double file_bursts_per_s = 0.0;
+  int file_burst_ops = 0;
+
+  // --- CPU-bound application threads -------------------------------------------
+  int cpu_threads = 0;
+  double cpu_burst_us = 2000.0;
+  int cpu_priority = 8;
+  kernel::Label cpu_label{"APP", "_main"};
+
+  // --- UI events (dialogs, menus; sound-scheme triggers) -----------------------
+  double ui_events_per_s = 0.0;
+
+  // --- Network -------------------------------------------------------------------
+  double downloads_per_s = 0.0;
+  double download_bytes_mean = 0.0;
+
+  // --- Audio stream (game audio / media playback) ---------------------------------
+  bool audio_stream = false;
+  double audio_period_ms = 10.0;
+
+  // --- Legacy kernel stress (durations in us; scaled by the OS profile) -----------
+  double masked_rate_per_s = 0.0;
+  sim::DurationDist masked_len_us;
+  kernel::Label masked_label{"DRIVER", "_cli_section"};
+  // Optional second masked-section population (e.g. the rare full-screen
+  // blts that put probability mass near the games workload's latency cap).
+  double masked2_rate_per_s = 0.0;
+  sim::DurationDist masked2_len_us;
+  kernel::Label masked2_label{"DRIVER", "_cli_section2"};
+  double dispatch_rate_per_s = 0.0;
+  sim::DurationDist dispatch_len_us;
+  kernel::Label dispatch_label{"DRIVER", "_dispatch_section"};
+  double lockout_rate_per_s = 0.0;
+  sim::DurationDist lockout_len_us;
+
+  // --- Additional kernel work items (GUI subsystem etc.) ---------------------------
+  double work_items_per_s = 0.0;
+  sim::DurationDist work_item_us;
+};
+
+// The four categories of Section 3.1, plus an idle baseline.
+StressProfile OfficeStress();       // Business Winstone 97
+StressProfile WorkstationStress();  // High-End Winstone 97
+StressProfile GamesStress();        // Freespace / Unreal
+StressProfile WebStress();          // Netscape / IE4 + RealPlayer / Shockwave
+StressProfile IdleStress();         // no applications
+
+}  // namespace wdmlat::workload
+
+#endif  // SRC_WORKLOAD_STRESS_PROFILE_H_

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/mttf.h"
+#include "src/analysis/rma.h"
+#include "src/analysis/tolerance.h"
+#include "src/sim/rng.h"
+
+namespace wdmlat::analysis {
+namespace {
+
+// ---- Table 1: latency tolerances ------------------------------------------------
+
+TEST(ToleranceTest, FormulaMatchesDefinition) {
+  // "If an application has n buffers each of length t, then we say that its
+  // latency tolerance is (n-1) * t."
+  EXPECT_DOUBLE_EQ(LatencyToleranceMs(6.0, 3), 12.0);
+  EXPECT_DOUBLE_EQ(LatencyToleranceMs(16.0, 4), 48.0);
+  EXPECT_DOUBLE_EQ(LatencyToleranceMs(10.0, 2), 10.0);
+}
+
+TEST(ToleranceTest, Table1HasTheFourApplications) {
+  const auto apps = Table1Apps();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "ADSL");
+  EXPECT_EQ(apps[1].name, "Modem");
+  EXPECT_EQ(apps[2].name, "RT audio");
+  EXPECT_EQ(apps[3].name, "RT video");
+}
+
+TEST(ToleranceTest, AdslAndVideoAreAtOppositeEnds) {
+  // "the two most processor-intensive applications, ADSL and video at 20 to
+  // 30 fps, are at opposite ends of the latency tolerance spectrum."
+  const auto apps = Table1Apps();
+  EXPECT_LT(apps[0].paper_tolerance_hi_ms, apps[3].paper_tolerance_lo_ms + 1e-9);
+}
+
+TEST(ToleranceTest, ComputedRangesBracketPaperRanges) {
+  for (const auto& app : Table1Apps()) {
+    const ToleranceRange range = ComputeToleranceRange(app);
+    EXPECT_LE(range.full_lo_ms, app.paper_tolerance_lo_ms) << app.name;
+    EXPECT_GE(range.full_hi_ms, app.paper_tolerance_hi_ms) << app.name;
+  }
+}
+
+// ---- MTTF (Figures 6/7) -----------------------------------------------------------
+
+stats::LatencyHistogram MakeTailHistogram() {
+  sim::Rng rng(11);
+  stats::LatencyHistogram hist;
+  for (int i = 0; i < 500000; ++i) {
+    hist.RecordMs(rng.BoundedPareto(1.3, 0.05, 30.0));
+  }
+  return hist;
+}
+
+TEST(MttfTest, ZeroOrNegativeSlackMeansImmediateFailure) {
+  const auto hist = MakeTailHistogram();
+  DatapumpModel model;
+  model.cpu_fraction = 1.5;  // compute exceeds the buffer: no slack
+  EXPECT_EQ(MeanTimeToUnderrunSeconds(hist, 4.0, model), 0.0);
+}
+
+TEST(MttfTest, MttfIsMonotoneNonDecreasingInBuffering) {
+  const auto hist = MakeTailHistogram();
+  double prev = 0.0;
+  for (double buffering = 2.0; buffering <= 60.0; buffering += 2.0) {
+    const double mttf = MeanTimeToUnderrunSeconds(hist, buffering);
+    EXPECT_GE(mttf, prev * 0.999) << "buffering=" << buffering;
+    prev = mttf;
+  }
+}
+
+TEST(MttfTest, NoTailMeansInfiniteMttf) {
+  stats::LatencyHistogram hist;
+  for (int i = 0; i < 1000; ++i) {
+    hist.RecordMs(0.5);
+  }
+  EXPECT_TRUE(std::isinf(MeanTimeToUnderrunSeconds(hist, 40.0)));
+}
+
+TEST(MttfTest, MatchesHandComputation) {
+  // 1% of latencies at 10 ms, the rest at 0.1 ms. Buffering 8 ms,
+  // double-buffered, 25% CPU: slack = 8 - 0.25*8 = 6 ms; P[lat >= 6] = 1%.
+  stats::LatencyHistogram hist;
+  for (int i = 0; i < 990; ++i) {
+    hist.RecordMs(0.1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    hist.RecordMs(10.0);
+  }
+  const double mttf = MeanTimeToUnderrunSeconds(hist, 8.0);
+  // cycle = 8 ms; MTTF = 0.008 / 0.01 = 0.8 s.
+  EXPECT_NEAR(mttf, 0.8, 0.1);
+}
+
+TEST(MttfTest, SweepCoversRequestedRange) {
+  const auto hist = MakeTailHistogram();
+  const auto points = MttfSweep(hist, 4.0, 32.0, 4.0);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_DOUBLE_EQ(points.front().buffering_ms, 4.0);
+  EXPECT_DOUBLE_EQ(points.back().buffering_ms, 32.0);
+}
+
+TEST(MttfTest, MoreBuffersWithSameTotalBufferingChangesSlackOnly) {
+  const auto hist = MakeTailHistogram();
+  DatapumpModel two;
+  DatapumpModel four;
+  four.buffers = 4;
+  // With n=4, t = B/3 and c = 0.25*t is smaller: slack larger, MTTF at least
+  // as good.
+  EXPECT_GE(MeanTimeToUnderrunSeconds(hist, 12.0, four),
+            MeanTimeToUnderrunSeconds(hist, 12.0, two) * 0.999);
+}
+
+// ---- RMA / Section 5.2 --------------------------------------------------------------
+
+TEST(RmaTest, LiuLaylandBoundValues) {
+  EXPECT_DOUBLE_EQ(LiuLaylandBound(1), 1.0);
+  EXPECT_NEAR(LiuLaylandBound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(LiuLaylandBound(3), 0.7798, 1e-3);
+  // n -> infinity: ln 2.
+  EXPECT_NEAR(LiuLaylandBound(10000), std::log(2.0), 1e-4);
+}
+
+TEST(RmaTest, EmptyTaskSetIsSchedulable) {
+  const auto result = AnalyzeRateMonotonic({});
+  EXPECT_TRUE(result.schedulable);
+  EXPECT_EQ(result.utilization, 0.0);
+}
+
+TEST(RmaTest, UtilizationUnderLiuLaylandIsSchedulable) {
+  std::vector<Task> tasks{
+      {"audio", 10.0, 2.0, 0.0},
+      {"modem", 16.0, 3.0, 0.0},
+      {"video", 33.0, 5.0, 0.0},
+  };
+  const auto result = AnalyzeRateMonotonic(tasks);
+  EXPECT_LT(result.utilization, LiuLaylandBound(3));
+  EXPECT_TRUE(result.schedulable);
+  for (const auto& response : result.responses) {
+    EXPECT_TRUE(response.meets_deadline) << response.name;
+    EXPECT_LE(response.response_ms, response.deadline_ms);
+  }
+}
+
+TEST(RmaTest, OverUtilizedSetIsUnschedulable) {
+  std::vector<Task> tasks{
+      {"a", 10.0, 6.0, 0.0},
+      {"b", 20.0, 12.0, 0.0},
+  };
+  const auto result = AnalyzeRateMonotonic(tasks);
+  EXPECT_GT(result.utilization, 1.0);
+  EXPECT_FALSE(result.schedulable);
+}
+
+TEST(RmaTest, ResponseTimeMatchesHandComputation) {
+  // Classic example: T1=(T=4,C=1), T2=(T=6,C=2), T3=(T=12,C=3).
+  std::vector<Task> tasks{
+      {"t1", 4.0, 1.0, 0.0},
+      {"t2", 6.0, 2.0, 0.0},
+      {"t3", 12.0, 3.0, 0.0},
+  };
+  const auto result = AnalyzeRateMonotonic(tasks);
+  ASSERT_EQ(result.responses.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.responses[0].response_ms, 1.0);
+  EXPECT_DOUBLE_EQ(result.responses[1].response_ms, 3.0);
+  // R3 = 3 + ceil(R/4)*1 + ceil(R/6)*2 -> fixed point 12? Iterate: R=3 ->
+  // 3+1+2=6 -> 3+2+2=7 -> 3+2+4=9 -> 3+3+4=10 -> 3+3+4=10. R3=10.
+  EXPECT_DOUBLE_EQ(result.responses[2].response_ms, 10.0);
+  EXPECT_TRUE(result.schedulable);
+}
+
+TEST(RmaTest, BlockingTermPushesTasksOverTheirDeadline) {
+  std::vector<Task> tasks{
+      {"datapump", 8.0, 2.0, 0.0},
+  };
+  EXPECT_TRUE(AnalyzeRateMonotonic(tasks, /*blocking_ms=*/3.0).schedulable);
+  EXPECT_FALSE(AnalyzeRateMonotonic(tasks, /*blocking_ms=*/7.0).schedulable);
+}
+
+TEST(RmaTest, PseudoWorstCaseFollowsPermissibleErrorRate) {
+  sim::Rng rng(12);
+  stats::LatencyHistogram hist;
+  for (int i = 0; i < 500000; ++i) {
+    hist.RecordMs(rng.BoundedPareto(1.2, 0.05, 50.0));
+  }
+  const double activations_per_hour = 3600.0 / 0.016;  // 16 ms period
+  const double strict = PseudoWorstCaseMs(hist, 1.0, activations_per_hour);
+  const double loose = PseudoWorstCaseMs(hist, 60.0, activations_per_hour);
+  // Permitting more errors per hour lowers the pseudo worst case.
+  EXPECT_GT(strict, loose);
+  EXPECT_LE(strict, hist.max_ms());
+}
+
+TEST(RmaTest, DeadlineShorterThanPeriodIsRespected) {
+  std::vector<Task> tasks{
+      {"tight", 10.0, 3.0, 4.0},
+      {"loose", 10.0, 3.0, 10.0},
+  };
+  auto result = AnalyzeRateMonotonic(tasks, 2.0);
+  // Both tasks have response 5 or 8 ms (order by period ties): the tight
+  // deadline of 4 ms must fail while the loose one passes.
+  bool tight_failed = false;
+  bool loose_passed = false;
+  for (const auto& response : result.responses) {
+    if (response.name == "tight" && !response.meets_deadline) {
+      tight_failed = true;
+    }
+    if (response.name == "loose" && response.meets_deadline) {
+      loose_passed = true;
+    }
+  }
+  EXPECT_TRUE(tight_failed);
+  EXPECT_TRUE(loose_passed);
+}
+
+// Property sweep: schedulability is monotone in blocking.
+class RmaBlockingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RmaBlockingTest, ResponseGrowsWithBlocking) {
+  std::vector<Task> tasks{
+      {"a", 8.0, 1.5, 0.0},
+      {"b", 20.0, 4.0, 0.0},
+  };
+  const double blocking = GetParam();
+  const auto base = AnalyzeRateMonotonic(tasks, blocking);
+  const auto more = AnalyzeRateMonotonic(tasks, blocking + 1.0);
+  for (std::size_t i = 0; i < base.responses.size(); ++i) {
+    EXPECT_GE(more.responses[i].response_ms, base.responses[i].response_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockingSweep, RmaBlockingTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0));
+
+}  // namespace
+}  // namespace wdmlat::analysis

@@ -1,0 +1,239 @@
+// Tests for the measurement drivers and the device drivers.
+
+#include <gtest/gtest.h>
+
+#include "src/drivers/cause_tool.h"
+#include "src/drivers/device_drivers.h"
+#include "src/drivers/latency_driver.h"
+#include "src/lab/test_system.h"
+#include "src/workload/stress_load.h"
+#include "tests/test_util.h"
+
+namespace wdmlat::drivers {
+namespace {
+
+using kernel::Irql;
+using kernel::Label;
+using testutil::MiniSystem;
+using testutil::QuietProfile;
+
+TEST(LatencyDriverTest, CollectsSamplesAtRoughlyTheExpectedRate) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  driver.Start();
+  sys.RunForMs(2000.0);
+  // Each cycle is ~2 ms (1 ms delay + ~1 ms tick quantization): ~500/s.
+  EXPECT_GT(driver.sample_count(), 700u);
+  EXPECT_LT(driver.sample_count(), 1100u);
+}
+
+TEST(LatencyDriverTest, QuietSystemLatenciesAreTightAndQuantized) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  driver.Start();
+  sys.RunForMs(5000.0);
+  const auto& dpc = driver.dpc_interrupt_latency();
+  const auto& thread = driver.thread_latency();
+  ASSERT_GT(dpc.count(), 1000u);
+  // DPC interrupt latency carries the ~1 PIT-period estimation offset.
+  EXPECT_LT(dpc.max_ms(), 1.2);
+  EXPECT_GT(dpc.min_ms(), 0.5);
+  // Thread latency on a quiet system: DPC body + event + context switch,
+  // tens of microseconds.
+  EXPECT_LT(thread.max_ms(), 0.2);
+  EXPECT_GT(thread.mean_ms(), 0.005);
+}
+
+TEST(LatencyDriverTest, LegacyHookOnlyOnLegacyProfiles) {
+  MiniSystem legacy(QuietProfile());
+  LatencyDriver with_hook(legacy.kernel(), LatencyDriver::Config{});
+  with_hook.Start();
+  EXPECT_TRUE(with_hook.measures_interrupt_latency());
+
+  kernel::KernelProfile nt = QuietProfile();
+  nt.has_legacy_timer_hook = false;
+  MiniSystem modern(nt);
+  LatencyDriver without_hook(modern.kernel(), LatencyDriver::Config{});
+  without_hook.Start();
+  EXPECT_FALSE(without_hook.measures_interrupt_latency());
+  modern.RunForMs(500.0);
+  EXPECT_EQ(without_hook.interrupt_latency().count(), 0u);
+  EXPECT_GT(without_hook.dpc_interrupt_latency().count(), 0u);
+}
+
+TEST(LatencyDriverTest, ToolInterruptLatencyTracksGroundTruthPlusQuantization) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  stats::LatencyHistogram truth;
+  const int pit_line = sys.kernel().clock_interrupt()->line();
+  sys.kernel().dispatcher().on_isr_entry = [&](int line, sim::Cycles a, sim::Cycles e) {
+    if (line == pit_line) {
+      truth.Record(e - a);
+    }
+  };
+  driver.Start();
+  sys.RunForMs(3000.0);
+  ASSERT_GT(driver.interrupt_latency().count(), 500u);
+  // True PIT latency on the quiet system is ~2 us; the tool reads latency +
+  // up to one PIT period of phase error. The tool must never read less than
+  // the truth.
+  EXPECT_LT(truth.max_ms(), 0.05);
+  EXPECT_GE(driver.interrupt_latency().min_ms(), truth.min_ms());
+  EXPECT_LT(driver.interrupt_latency().max_ms(), truth.max_ms() + 1.05);
+}
+
+TEST(LatencyDriverTest, ThreadLatencyReactsToDispatchLockouts) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  driver.Start();
+  // Inject a 30 ms lockout every 200 ms.
+  for (int i = 0; i < 10; ++i) {
+    sys.engine().ScheduleAt(sim::MsToCycles(100.0 + 200.0 * i),
+                            [&] { sys.kernel().LockDispatch(30000.0); });
+  }
+  sys.RunForMs(2100.0);
+  EXPECT_GT(driver.thread_latency().max_ms(), 20.0);
+}
+
+TEST(LatencyDriverTest, LongLatencyCallbackFiresAboveThreshold) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  int callbacks = 0;
+  double last_ms = 0.0;
+  driver.SetLongLatencyCallback(8.0, [&](double ms) {
+    ++callbacks;
+    last_ms = ms;
+  });
+  driver.Start();
+  sys.engine().ScheduleAt(sim::MsToCycles(500.0), [&] { sys.kernel().LockDispatch(15000.0); });
+  sys.RunForMs(1000.0);
+  EXPECT_GE(callbacks, 1);
+  EXPECT_GE(last_ms, 8.0);
+}
+
+TEST(LatencyDriverTest, MeasuredPriorityMatters) {
+  // Priority 24 measurement threads queue behind the worker thread.
+  MiniSystem sys24;
+  LatencyDriver::Config config;
+  config.thread_priority = 24;
+  LatencyDriver d24(sys24.kernel(), config);
+  d24.Start();
+  auto inject = [](MiniSystem& sys) {
+    for (int i = 0; i < 40; ++i) {
+      sys.engine().ScheduleAt(sim::MsToCycles(50.0 + 50.0 * i), [&sys] {
+        sys.kernel().ExQueueWorkItem(2000.0, Label{"T", "_work"});
+      });
+    }
+  };
+  inject(sys24);
+  sys24.RunForMs(2200.0);
+
+  MiniSystem sys28;
+  config.thread_priority = 28;
+  LatencyDriver d28(sys28.kernel(), config);
+  d28.Start();
+  inject(sys28);
+  sys28.RunForMs(2200.0);
+
+  EXPECT_GT(d24.thread_latency().max_ms(), 1.0);
+  EXPECT_LT(d28.thread_latency().max_ms(), 1.0);
+}
+
+TEST(DeviceDriverTest, DiskIoCompletesThroughIsrAndDpc) {
+  lab::TestSystem system(QuietProfile(), 5,
+                         lab::TestSystemOptions{false, vmm98::SchemeKind::kNoSounds, false});
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    system.disk_driver().SubmitIo(8192, [&] { ++completions; });
+  }
+  system.RunFor(1.0);
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(system.disk_driver().completions(), 5u);
+}
+
+TEST(DeviceDriverTest, NicStreamDrivesDpcsAndWorkItems) {
+  lab::TestSystem system(QuietProfile(), 6,
+                         lab::TestSystemOptions{false, vmm98::SchemeKind::kNoSounds, false});
+  system.nic().StartReceiveStream(1514 * 100, 1514, nullptr);
+  system.RunFor(1.0);
+  EXPECT_EQ(system.nic_driver().frames_processed(), 100u);
+}
+
+TEST(DeviceDriverTest, UsbAudioStreamOnLegacyProfile) {
+  // QuietProfile has legacy_vmm: the audio path goes through the UHCI
+  // controller — one interrupt per 1 ms USB frame, one driver buffer per
+  // period.
+  lab::TestSystem system(QuietProfile(), 7,
+                         lab::TestSystemOptions{false, vmm98::SchemeKind::kNoSounds, false});
+  ASSERT_NE(system.usb_controller(), nullptr);
+  ASSERT_NE(system.usb_audio_driver(), nullptr);
+  system.audio().StartStream(10.0);
+  system.RunFor(1.0);
+  EXPECT_NEAR(static_cast<double>(system.usb_audio_driver()->frames_processed()), 1000.0,
+              10.0);
+  EXPECT_NEAR(static_cast<double>(system.usb_audio_driver()->buffers_processed()), 100.0,
+              2.0);
+}
+
+TEST(DeviceDriverTest, PciAudioStreamOnNt) {
+  kernel::KernelProfile nt = QuietProfile();
+  nt.legacy_vmm = false;
+  nt.has_legacy_timer_hook = false;
+  lab::TestSystem system(nt, 7,
+                         lab::TestSystemOptions{false, vmm98::SchemeKind::kNoSounds, false});
+  ASSERT_NE(system.audio_driver(), nullptr);
+  EXPECT_EQ(system.usb_controller(), nullptr);
+  system.audio().StartStream(10.0);
+  system.RunFor(1.0);
+  EXPECT_NEAR(static_cast<double>(system.audio_driver()->buffers_processed()), 100.0, 2.0);
+}
+
+// ---- Cause tool ------------------------------------------------------------------
+
+TEST(CauseToolTest, RecordsEpisodesWithCulpritLabels) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  CauseTool::Config config;
+  config.threshold_ms = 5.0;
+  CauseTool tool(sys.kernel(), driver, config);
+  driver.Start();
+  tool.Start();
+  // A culprit: a long DISPATCH-level section plus a lockout, repeatedly.
+  for (int i = 0; i < 5; ++i) {
+    sys.engine().ScheduleAt(sim::MsToCycles(300.0 + 400.0 * i), [&] {
+      sys.kernel().InjectKernelSection(Irql::kDispatch, 3000.0,
+                                       Label{"VMM", "_mmFindContig"});
+      sys.kernel().LockDispatch(15000.0);
+    });
+  }
+  sys.RunForMs(2500.0);
+  ASSERT_GE(tool.episodes().size(), 1u);
+  bool found_culprit = false;
+  for (const auto& episode : tool.episodes()) {
+    EXPECT_GE(episode.latency_ms, 5.0);
+    for (const auto& sample : episode.samples) {
+      if (sample.label == Label{"VMM", "_mmFindContig"}) {
+        found_culprit = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_culprit);
+  const std::string report = tool.AnalysisReport();
+  EXPECT_NE(report.find("Analysis of latency episode number 0"), std::string::npos);
+  EXPECT_NE(report.find("VMM function _mmFindContig"), std::string::npos);
+  EXPECT_NE(report.find("total samples in episode"), std::string::npos);
+}
+
+TEST(CauseToolTest, NoEpisodesOnQuietSystem) {
+  MiniSystem sys;
+  LatencyDriver driver(sys.kernel(), LatencyDriver::Config{});
+  CauseTool tool(sys.kernel(), driver, CauseTool::Config{});
+  driver.Start();
+  tool.Start();
+  sys.RunForMs(1000.0);
+  EXPECT_EQ(tool.episodes().size(), 0u);
+  EXPECT_GT(tool.hook_samples(), 900u);  // hooked every tick
+}
+
+}  // namespace
+}  // namespace wdmlat::drivers

@@ -1,0 +1,114 @@
+// End-to-end integration tests: the paper's headline claims must emerge from
+// the assembled system.
+//
+// These use short virtual durations (a minute or two per cell), so they
+// assert robust orderings and coarse magnitudes, not the deep-tail numbers —
+// the bench binaries reproduce those with longer runs.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+namespace {
+
+LabReport RunCell(kernel::KernelProfile os, workload::StressProfile stress, int priority,
+              double minutes, std::uint64_t seed = 1) {
+  LabConfig config;
+  config.os = std::move(os);
+  config.stress = std::move(stress);
+  config.thread_priority = priority;
+  config.stress_minutes = minutes;
+  config.seed = seed;
+  return RunLatencyExperiment(config);
+}
+
+TEST(IntegrationTest, ExperimentProducesFullDistributions) {
+  const LabReport report = RunCell(kernel::MakeWin98Profile(), workload::OfficeStress(), 24, 0.5);
+  EXPECT_EQ(report.os_name, "Windows 98");
+  EXPECT_EQ(report.workload_name, "Business Apps");
+  EXPECT_GT(report.samples, 5000u);
+  EXPECT_EQ(report.dpc_interrupt.count(), report.samples);
+  EXPECT_EQ(report.thread.count(), report.samples);
+  EXPECT_TRUE(report.has_interrupt_latency);  // 98 has the legacy hook
+  EXPECT_GT(report.true_pit_interrupt_latency.count(), 10000u);
+}
+
+TEST(IntegrationTest, NtCannotMeasureRawInterruptLatency) {
+  const LabReport report = RunCell(kernel::MakeNt4Profile(), workload::OfficeStress(), 24, 0.5);
+  EXPECT_FALSE(report.has_interrupt_latency);
+  EXPECT_EQ(report.interrupt.count(), 0u);
+}
+
+TEST(IntegrationTest, SameSeedReproducesIdenticalResults) {
+  const LabReport a = RunCell(kernel::MakeWin98Profile(), workload::GamesStress(), 28, 0.5, 77);
+  const LabReport b = RunCell(kernel::MakeWin98Profile(), workload::GamesStress(), 28, 0.5, 77);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.thread.max_ms(), b.thread.max_ms());
+  EXPECT_DOUBLE_EQ(a.dpc_interrupt.mean_ms(), b.dpc_interrupt.mean_ms());
+  EXPECT_DOUBLE_EQ(a.thread.QuantileMs(0.999), b.thread.QuantileMs(0.999));
+}
+
+TEST(IntegrationTest, DifferentSeedsDiffer) {
+  const LabReport a = RunCell(kernel::MakeWin98Profile(), workload::GamesStress(), 28, 0.5, 77);
+  const LabReport b = RunCell(kernel::MakeWin98Profile(), workload::GamesStress(), 28, 0.5, 78);
+  EXPECT_NE(a.thread.mean_ms(), b.thread.mean_ms());
+}
+
+// Section 4.2: "NT 4.0 exhibits latency performance at least an order of
+// magnitude superior to that of Windows 98."
+TEST(IntegrationTest, Nt98ThreadLatencyGapIsAtLeastAnOrderOfMagnitude) {
+  const LabReport nt = RunCell(kernel::MakeNt4Profile(), workload::GamesStress(), 28, 2.0);
+  const LabReport w98 = RunCell(kernel::MakeWin98Profile(), workload::GamesStress(), 28, 2.0);
+  EXPECT_GT(w98.thread.QuantileMs(0.9999), nt.thread.QuantileMs(0.9999) * 10.0);
+}
+
+// Section 5.1: NT worst-case latencies stay below the 3 ms minimum modem
+// slack for both DPCs and high-RT threads.
+TEST(IntegrationTest, NtWorstCasesStayBelowModemSlack) {
+  for (auto stress : {workload::OfficeStress(), workload::GamesStress()}) {
+    const LabReport nt = RunCell(kernel::MakeNt4Profile(), stress, 28, 2.0);
+    EXPECT_LT(nt.dpc_interrupt.max_ms(), 3.0) << stress.name;
+    EXPECT_LT(nt.thread_interrupt.max_ms(), 3.0) << stress.name;
+  }
+}
+
+// Section 4.2: on Windows 98, a DPC gets an order of magnitude better
+// service than a real-time thread (DPC latency ~ ISR->DPC segment, versus
+// the thread latency tail).
+TEST(IntegrationTest, W98DpcBeatsThreadByAnOrderOfMagnitude) {
+  const LabReport w98 = RunCell(kernel::MakeWin98Profile(), workload::WebStress(), 28, 2.0);
+  // Compare the paper's quantities: ISR->DPC add versus DPC->thread add.
+  EXPECT_GT(w98.thread.QuantileMs(0.9999), w98.isr_to_dpc.QuantileMs(0.9999) * 5.0);
+}
+
+// Figure 4 structure: on NT there is "almost no distinction between DPC
+// latencies and thread latencies for threads at high real-time priority",
+// while priority-24 threads are clearly worse (the work-item server).
+TEST(IntegrationTest, NtPrio24TailExceedsPrio28Tail) {
+  const LabReport p28 = RunCell(kernel::MakeNt4Profile(), workload::WebStress(), 28, 2.0);
+  const LabReport p24 = RunCell(kernel::MakeNt4Profile(), workload::WebStress(), 24, 2.0);
+  EXPECT_GT(p24.thread.QuantileMs(0.9999), p28.thread.QuantileMs(0.9999) * 3.0);
+}
+
+// Table 3 shape: games are the worst workload for interrupt latency on 98.
+TEST(IntegrationTest, GamesProduceTheWorstW98InterruptLatency) {
+  const LabReport office = RunCell(kernel::MakeWin98Profile(), workload::OfficeStress(), 28, 2.0);
+  const LabReport games = RunCell(kernel::MakeWin98Profile(), workload::GamesStress(), 28, 2.0);
+  EXPECT_GT(games.true_pit_interrupt_latency.QuantileMs(0.99999),
+            office.true_pit_interrupt_latency.QuantileMs(0.99999));
+}
+
+// The tool's estimated interrupt latency must never undershoot ground truth
+// by more than rounding, and carries at most ~1 PIT period of phase error.
+TEST(IntegrationTest, ToolInterruptLatencyBoundsGroundTruth) {
+  const LabReport w98 = RunCell(kernel::MakeWin98Profile(), workload::WorkstationStress(), 28, 2.0);
+  ASSERT_TRUE(w98.has_interrupt_latency);
+  EXPECT_LE(w98.true_pit_interrupt_latency.max_ms(), w98.interrupt.max_ms() + 1.1);
+  EXPECT_GE(w98.interrupt.max_ms(), w98.true_pit_interrupt_latency.QuantileMs(0.9999) * 0.5);
+}
+
+}  // namespace
+}  // namespace wdmlat::lab

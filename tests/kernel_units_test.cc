@@ -1,0 +1,186 @@
+// Direct unit tests for the passive kernel data structures: ready queue,
+// DPC queue, timer queue.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/dpc.h"
+#include "src/kernel/ready_queue.h"
+#include "src/kernel/thread.h"
+#include "src/kernel/timer.h"
+
+namespace wdmlat::kernel {
+namespace {
+
+// ---- ReadyQueue -----------------------------------------------------------------
+
+TEST(ReadyQueueTest, EmptyQueueBehaviour) {
+  ReadyQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.Peek(), nullptr);
+  EXPECT_EQ(queue.Pop(), nullptr);
+  EXPECT_EQ(queue.top_priority(), -1);
+}
+
+TEST(ReadyQueueTest, PopsHighestPriorityFirst) {
+  ReadyQueue queue;
+  KThread low("low", 5);
+  KThread mid("mid", 15);
+  KThread high("high", 28);
+  queue.Push(&low);
+  queue.Push(&high);
+  queue.Push(&mid);
+  EXPECT_EQ(queue.top_priority(), 28);
+  EXPECT_EQ(queue.Pop(), &high);
+  EXPECT_EQ(queue.Pop(), &mid);
+  EXPECT_EQ(queue.Pop(), &low);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ReadyQueueTest, FifoWithinPriorityAndFrontPush) {
+  ReadyQueue queue;
+  KThread a("a", 10);
+  KThread b("b", 10);
+  KThread c("c", 10);
+  queue.Push(&a);
+  queue.Push(&b);
+  queue.Push(&c, /*front=*/true);  // preempted thread resumes first
+  EXPECT_EQ(queue.Pop(), &c);
+  EXPECT_EQ(queue.Pop(), &a);
+  EXPECT_EQ(queue.Pop(), &b);
+}
+
+TEST(ReadyQueueTest, RemoveExtractsSpecificThread) {
+  ReadyQueue queue;
+  KThread a("a", 10);
+  KThread b("b", 10);
+  queue.Push(&a);
+  queue.Push(&b);
+  EXPECT_TRUE(queue.Remove(&a));
+  EXPECT_FALSE(queue.Remove(&a));  // already gone
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.Pop(), &b);
+}
+
+// ---- DpcQueue --------------------------------------------------------------------
+
+TEST(DpcQueueTest, FifoOrderAndQueuedFlag) {
+  DpcQueue queue;
+  KDpc a([] {}, sim::DurationDist::Zero(), Label{"T", "_a"});
+  KDpc b([] {}, sim::DurationDist::Zero(), Label{"T", "_b"});
+  EXPECT_TRUE(queue.Insert(&a, 100));
+  EXPECT_TRUE(queue.Insert(&b, 200));
+  EXPECT_FALSE(queue.Insert(&a, 300));  // already queued
+  EXPECT_TRUE(a.queued());
+  EXPECT_EQ(a.enqueue_time(), 100u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop(), &a);
+  EXPECT_FALSE(a.queued());
+  // Re-insert after pop is allowed.
+  EXPECT_TRUE(queue.Insert(&a, 400));
+  EXPECT_EQ(queue.Pop(), &b);
+  EXPECT_EQ(queue.Pop(), &a);
+  EXPECT_EQ(queue.Pop(), nullptr);
+}
+
+TEST(DpcQueueTest, HighImportanceInsertsAtFront) {
+  DpcQueue queue;
+  KDpc normal([] {}, sim::DurationDist::Zero(), Label{"T", "_n"});
+  KDpc urgent([] {}, sim::DurationDist::Zero(), Label{"T", "_u"}, KDpc::Importance::kHigh);
+  queue.Insert(&normal, 1);
+  queue.Insert(&urgent, 2);
+  EXPECT_EQ(queue.Pop(), &urgent);
+  EXPECT_EQ(queue.Pop(), &normal);
+}
+
+TEST(DpcQueueTest, NotifierFiresOnEmptyToNonEmptyTransitionOnly) {
+  DpcQueue queue;
+  int notifications = 0;
+  queue.set_notifier([&] { ++notifications; });
+  KDpc a([] {}, sim::DurationDist::Zero(), Label{"T", "_a"});
+  KDpc b([] {}, sim::DurationDist::Zero(), Label{"T", "_b"});
+  queue.Insert(&a, 1);
+  EXPECT_EQ(notifications, 1);
+  queue.Insert(&b, 2);
+  EXPECT_EQ(notifications, 1);  // already non-empty
+  queue.Pop();
+  queue.Pop();
+  queue.Insert(&a, 3);
+  EXPECT_EQ(notifications, 2);
+}
+
+// ---- TimerQueue -------------------------------------------------------------------
+
+TEST(TimerQueueTest, ExpireDueFiresOnlyDueTimers) {
+  TimerQueue queue;
+  KTimer early;
+  KTimer late;
+  KDpc dpc([] {}, sim::DurationDist::Zero(), Label{"T", "_d"});
+  queue.Set(&early, 100, 0, &dpc);
+  queue.Set(&late, 200, 0, &dpc);
+  int fired = 0;
+  EXPECT_EQ(queue.ExpireDue(150, [&](KTimer*, KDpc*) { ++fired; }), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(early.active());
+  EXPECT_TRUE(late.active());
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(TimerQueueTest, CancelInvalidatesHeapEntryLazily) {
+  TimerQueue queue;
+  KTimer timer;
+  KDpc dpc([] {}, sim::DurationDist::Zero(), Label{"T", "_d"});
+  queue.Set(&timer, 100, 0, &dpc);
+  EXPECT_TRUE(queue.Cancel(&timer));
+  EXPECT_FALSE(queue.Cancel(&timer));
+  int fired = 0;
+  EXPECT_EQ(queue.ExpireDue(1000, [&](KTimer*, KDpc*) { ++fired; }), 0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(TimerQueueTest, ReSetSupersedesOldArming) {
+  TimerQueue queue;
+  KTimer timer;
+  KDpc dpc([] {}, sim::DurationDist::Zero(), Label{"T", "_d"});
+  queue.Set(&timer, 100, 0, &dpc);
+  queue.Set(&timer, 500, 0, &dpc);
+  EXPECT_EQ(queue.pending(), 1u);
+  int fired = 0;
+  EXPECT_EQ(queue.ExpireDue(200, [&](KTimer*, KDpc*) { ++fired; }), 0);
+  EXPECT_EQ(queue.ExpireDue(600, [&](KTimer*, KDpc*) { ++fired; }), 1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerQueueTest, PeriodicReArmsWithoutDrift) {
+  TimerQueue queue;
+  KTimer timer;
+  KDpc dpc([] {}, sim::DurationDist::Zero(), Label{"T", "_d"});
+  queue.Set(&timer, 100, 100, &dpc);
+  std::vector<sim::Cycles> dues;
+  // Ticks arrive late (at 130, 230, ...) but due times stay on the 100 grid.
+  for (sim::Cycles tick = 130; tick <= 530; tick += 100) {
+    queue.ExpireDue(tick, [&](KTimer* t, KDpc*) { dues.push_back(t->due()); });
+  }
+  ASSERT_EQ(dues.size(), 5u);
+  // due() reported after re-arm: next expiry stays on the grid.
+  EXPECT_EQ(dues[0], 200u);
+  EXPECT_EQ(dues[4], 600u);
+}
+
+TEST(TimerQueueTest, ManyTimersSameDeadlineAllFire) {
+  TimerQueue queue;
+  std::vector<std::unique_ptr<KTimer>> timers;
+  KDpc dpc([] {}, sim::DurationDist::Zero(), Label{"T", "_d"});
+  for (int i = 0; i < 64; ++i) {
+    timers.push_back(std::make_unique<KTimer>());
+    queue.Set(timers.back().get(), 100, 0, &dpc);
+  }
+  int fired = 0;
+  EXPECT_EQ(queue.ExpireDue(100, [&](KTimer*, KDpc*) { ++fired; }), 64);
+  EXPECT_EQ(fired, 64);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace wdmlat::kernel

@@ -1,0 +1,110 @@
+// Tests for the TestSystem assembly and profile invariants.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/profile.h"
+#include "src/lab/test_system.h"
+
+namespace wdmlat::lab {
+namespace {
+
+TEST(ProfileTest, Nt4ProfileShape) {
+  const kernel::KernelProfile nt = kernel::MakeNt4Profile();
+  EXPECT_EQ(nt.name, "Windows NT 4.0");
+  EXPECT_FALSE(nt.has_legacy_timer_hook);
+  EXPECT_FALSE(nt.legacy_vmm);
+  // NT has no Win16Mutex: no dispatch lockouts, neither baseline nor
+  // workload-induced.
+  EXPECT_EQ(nt.lockout_rate_per_s, 0.0);
+  EXPECT_EQ(nt.lockout_stress_scale, 0.0);
+  // Work items are serviced at real-time default priority (paper 4.2).
+  EXPECT_EQ(nt.worker_thread_priority, kernel::kDefaultRealTimePriority);
+}
+
+TEST(ProfileTest, Win98ProfileShape) {
+  const kernel::KernelProfile w98 = kernel::MakeWin98Profile();
+  EXPECT_EQ(w98.name, "Windows 98");
+  EXPECT_TRUE(w98.has_legacy_timer_hook);
+  EXPECT_TRUE(w98.legacy_vmm);
+  EXPECT_GT(w98.lockout_rate_per_s, 0.0);
+  EXPECT_EQ(w98.lockout_stress_scale, 1.0);
+}
+
+TEST(ProfileTest, W98LegacyPathsCostMoreThanNt) {
+  const kernel::KernelProfile nt = kernel::MakeNt4Profile();
+  const kernel::KernelProfile w98 = kernel::MakeWin98Profile();
+  EXPECT_GT(w98.context_switch_cost.MeanUs(), nt.context_switch_cost.MeanUs());
+  EXPECT_GT(w98.file_op_kernel_us.MeanUs(), nt.file_op_kernel_us.MeanUs());
+  EXPECT_GT(w98.masked_stress_scale, nt.masked_stress_scale);
+  EXPECT_GT(w98.masked_section_len.UpperBoundUs(), nt.masked_section_len.UpperBoundUs());
+}
+
+TEST(TestSystemTest, AssemblesAllDevicesAndDrivers) {
+  TestSystem system(kernel::MakeNt4Profile(), 3);
+  EXPECT_EQ(system.kernel().profile().name, "Windows NT 4.0");
+  workload::StressLoad::Deps deps = system.deps();
+  EXPECT_NE(deps.kernel, nullptr);
+  EXPECT_NE(deps.disk, nullptr);
+  EXPECT_NE(deps.nic, nullptr);
+  EXPECT_NE(deps.audio, nullptr);
+  EXPECT_EQ(deps.virus_scanner, nullptr);  // options default: off
+  EXPECT_EQ(deps.sound_scheme, nullptr);   // options default: no sounds
+}
+
+TEST(TestSystemTest, VirusScannerOnlyOnLegacyVmm) {
+  TestSystemOptions options;
+  options.virus_scanner = true;
+  TestSystem nt(kernel::MakeNt4Profile(), 4, options);
+  EXPECT_EQ(nt.virus_scanner(), nullptr);  // NT has no VxD file hook
+  TestSystem w98(kernel::MakeWin98Profile(), 4, options);
+  EXPECT_NE(w98.virus_scanner(), nullptr);
+}
+
+TEST(TestSystemTest, SoundSchemeOnlyOnLegacyVmm) {
+  TestSystemOptions options;
+  options.sound_scheme = vmm98::SchemeKind::kDefault;
+  TestSystem nt(kernel::MakeNt4Profile(), 5, options);
+  EXPECT_EQ(nt.sound_scheme(), nullptr);
+  TestSystem w98(kernel::MakeWin98Profile(), 5, options);
+  ASSERT_NE(w98.sound_scheme(), nullptr);
+}
+
+TEST(TestSystemTest, RunForAdvancesVirtualTime) {
+  TestSystem system(kernel::MakeNt4Profile(), 6);
+  const sim::Cycles before = system.engine().now();
+  system.RunFor(2.5);
+  EXPECT_EQ(system.engine().now() - before, sim::SecToCycles(2.5));
+}
+
+TEST(TestSystemTest, ClockTicksAtProfileDefault) {
+  TestSystem system(kernel::MakeWin98Profile(), 7);
+  system.RunFor(1.0);
+  // 100 Hz default before any tool reprograms it.
+  EXPECT_NEAR(static_cast<double>(system.kernel().pit().ticks()), 100.0, 2.0);
+}
+
+TEST(TestSystemTest, ForkRngIsDeterministicPerSeed) {
+  TestSystem a(kernel::MakeNt4Profile(), 8);
+  TestSystem b(kernel::MakeNt4Profile(), 8);
+  sim::Rng ra = a.ForkRng();
+  sim::Rng rb = b.ForkRng();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ra.NextU64(), rb.NextU64());
+  }
+}
+
+TEST(TestSystemTest, SelfNoiseCanBeDisabled) {
+  TestSystemOptions quiet;
+  quiet.kernel_self_noise = false;
+  TestSystem system(kernel::MakeWin98Profile(), 9, quiet);
+  system.RunFor(10.0);
+  // Without self-noise the only sections come from workloads (none here).
+  EXPECT_EQ(system.kernel().dispatcher().sections_run(), 0u);
+
+  TestSystem noisy(kernel::MakeWin98Profile(), 9);
+  noisy.RunFor(10.0);
+  EXPECT_GT(noisy.kernel().dispatcher().sections_run(), 0u);
+}
+
+}  // namespace
+}  // namespace wdmlat::lab

@@ -1,0 +1,56 @@
+#include "src/lab/os_microbench.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/profile.h"
+
+namespace wdmlat::lab {
+namespace {
+
+TestSystemOptions Quiet() {
+  TestSystemOptions options;
+  options.kernel_self_noise = false;
+  return options;
+}
+
+TEST(OsMicrobenchTest, UnloadedAveragesMatchProfileCosts) {
+  TestSystem system(kernel::MakeNt4Profile(), 11, Quiet());
+  const MicrobenchResults results = RunOsMicrobench(system, 500);
+  // Context switch average tracks the profile's switch-cost distribution
+  // (LogNormal median 9 us, mean ~10 us) plus small event overhead.
+  EXPECT_GT(results.context_switch_us, 6.0);
+  EXPECT_LT(results.context_switch_us, 16.0);
+  // Event wake includes one switch.
+  EXPECT_GE(results.event_wake_us, results.context_switch_us * 0.8);
+  // DPC dispatch ~ dpc_dispatch_cost (~1 us).
+  EXPECT_GT(results.dpc_dispatch_us, 0.5);
+  EXPECT_LT(results.dpc_dispatch_us, 3.0);
+  // Interrupt dispatch ~ isr_dispatch_overhead (~2 us).
+  EXPECT_GT(results.interrupt_dispatch_us, 1.0);
+  EXPECT_LT(results.interrupt_dispatch_us, 4.0);
+  // Timer error ~ half the 1 ms tick (uniform phase).
+  EXPECT_GT(results.timer_error_ms, 0.3);
+  EXPECT_LT(results.timer_error_ms, 0.7);
+}
+
+TEST(OsMicrobenchTest, W98AveragesAreModestlyWorseNotOrdersOfMagnitude) {
+  TestSystem nt(kernel::MakeNt4Profile(), 12, Quiet());
+  TestSystem w98(kernel::MakeWin98Profile(), 12, Quiet());
+  const MicrobenchResults nt_results = RunOsMicrobench(nt, 500);
+  const MicrobenchResults w98_results = RunOsMicrobench(w98, 500);
+  // The paper's Section 1.2 point: unloaded microbenchmarks see only small
+  // constant-factor differences.
+  EXPECT_GT(w98_results.context_switch_us, nt_results.context_switch_us);
+  EXPECT_LT(w98_results.context_switch_us, nt_results.context_switch_us * 4.0);
+  EXPECT_LT(w98_results.dpc_dispatch_us, nt_results.dpc_dispatch_us * 4.0);
+  EXPECT_LT(w98_results.interrupt_dispatch_us, nt_results.interrupt_dispatch_us * 4.0);
+}
+
+TEST(OsMicrobenchTest, IterationCountIsRecorded) {
+  TestSystem system(kernel::MakeNt4Profile(), 13, Quiet());
+  const MicrobenchResults results = RunOsMicrobench(system, 100);
+  EXPECT_EQ(results.iterations, 100u);
+}
+
+}  // namespace
+}  // namespace wdmlat::lab

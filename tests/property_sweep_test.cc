@@ -1,0 +1,187 @@
+// Cross-configuration property sweeps (parameterized over OS personality,
+// workload and seed): invariants that must hold for every cell of the
+// experiment matrix, checked against the dispatcher's ground-truth
+// observers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/drivers/latency_driver.h"
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/lab/test_system.h"
+#include "src/workload/stress_load.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+namespace {
+
+enum class Os { kNt4, kWin98 };
+enum class Load { kOffice, kWorkstation, kGames, kWeb };
+
+kernel::KernelProfile MakeOs(Os os) {
+  return os == Os::kNt4 ? kernel::MakeNt4Profile() : kernel::MakeWin98Profile();
+}
+
+workload::StressProfile MakeLoad(Load load) {
+  switch (load) {
+    case Load::kOffice:
+      return workload::OfficeStress();
+    case Load::kWorkstation:
+      return workload::WorkstationStress();
+    case Load::kGames:
+      return workload::GamesStress();
+    case Load::kWeb:
+      return workload::WebStress();
+  }
+  return workload::IdleStress();
+}
+
+class ExperimentMatrixTest : public ::testing::TestWithParam<std::tuple<Os, Load>> {};
+
+TEST_P(ExperimentMatrixTest, DistributionInvariantsHold) {
+  const auto [os, load] = GetParam();
+  LabConfig config;
+  config.os = MakeOs(os);
+  config.stress = MakeLoad(load);
+  config.thread_priority = 28;
+  config.stress_minutes = 0.75;
+  config.seed = 123;
+  const LabReport report = RunLatencyExperiment(config);
+
+  // Sample accounting: every distribution has exactly one entry per sample.
+  ASSERT_GT(report.samples, 5000u);
+  EXPECT_EQ(report.dpc_interrupt.count(), report.samples);
+  EXPECT_EQ(report.thread.count(), report.samples);
+  EXPECT_EQ(report.thread_interrupt.count(), report.samples);
+
+  // thread_interrupt = dpc_interrupt + thread, per sample: means add
+  // exactly, maxima bound each other.
+  EXPECT_NEAR(report.thread_interrupt.mean_ms(),
+              report.dpc_interrupt.mean_ms() + report.thread.mean_ms(), 1e-6);
+  EXPECT_GE(report.thread_interrupt.max_ms(), report.dpc_interrupt.max_ms());
+  EXPECT_GE(report.thread_interrupt.max_ms(), report.thread.max_ms());
+  EXPECT_LE(report.thread_interrupt.max_ms(),
+            report.dpc_interrupt.max_ms() + report.thread.max_ms() + 1e-9);
+
+  // The tool's DPC interrupt latency includes the ±1 PIT period estimation
+  // offset: it can never be below zero nor below the ISR->DPC segment
+  // implied by the true ISR latencies.
+  EXPECT_GE(report.dpc_interrupt.min_ms(), 0.0);
+
+  // Ground truth: the PIT fired roughly once per millisecond the whole run
+  // (dropped edges excepted), and its true latency is never negative.
+  EXPECT_GT(report.true_pit_interrupt_latency.count(), report.samples);
+  EXPECT_GE(report.true_pit_interrupt_latency.min_ms(), 0.0);
+
+  // Legacy instrumentation gating.
+  EXPECT_EQ(report.has_interrupt_latency, os == Os::kWin98);
+  if (os == Os::kWin98) {
+    // ISR-to-DPC is non-negative and its mean plus the interrupt mean equals
+    // the DPC interrupt mean (exact per-sample sum).
+    EXPECT_GT(report.interrupt.count(), 0u);
+    EXPECT_NEAR(report.interrupt.mean_ms() + report.isr_to_dpc.mean_ms(),
+                report.dpc_interrupt.mean_ms(), 0.05);
+  }
+}
+
+TEST_P(ExperimentMatrixTest, HourlyWorstCasesAreOrderedAndBounded) {
+  const auto [os, load] = GetParam();
+  LabConfig config;
+  config.os = MakeOs(os);
+  config.stress = MakeLoad(load);
+  config.thread_priority = 28;
+  config.stress_minutes = 0.75;
+  config.seed = 321;
+  const LabReport report = RunLatencyExperiment(config);
+  const auto wc =
+      stats::ComputeWorstCases(report.thread, report.samples_per_hour, report.usage);
+  EXPECT_GT(wc.hourly_ms, 0.0);
+  EXPECT_LE(wc.hourly_ms, wc.daily_ms);
+  EXPECT_LE(wc.daily_ms, wc.weekly_ms);
+  EXPECT_LE(wc.weekly_ms, report.thread.max_ms() * 1.001);
+}
+
+std::string MatrixName(const ::testing::TestParamInfo<std::tuple<Os, Load>>& info) {
+  const auto [os, load] = info.param;
+  std::string name = os == Os::kNt4 ? "Nt4" : "Win98";
+  switch (load) {
+    case Load::kOffice:
+      return name + "Office";
+    case Load::kWorkstation:
+      return name + "Workstation";
+    case Load::kGames:
+      return name + "Games";
+    case Load::kWeb:
+      return name + "Web";
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, ExperimentMatrixTest,
+                         ::testing::Combine(::testing::Values(Os::kNt4, Os::kWin98),
+                                            ::testing::Values(Load::kOffice,
+                                                              Load::kWorkstation,
+                                                              Load::kGames, Load::kWeb)),
+                         MatrixName);
+
+// Seed sweep: determinism and seed-sensitivity of a full experiment cell.
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, ReproducibleAndSeedSensitive) {
+  auto run = [&](std::uint64_t seed) {
+    LabConfig config;
+    config.os = kernel::MakeWin98Profile();
+    config.stress = workload::GamesStress();
+    config.thread_priority = 24;
+    config.stress_minutes = 0.4;
+    config.seed = seed;
+    return RunLatencyExperiment(config);
+  };
+  const LabReport a = run(GetParam());
+  const LabReport b = run(GetParam());
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.thread.mean_ms(), b.thread.mean_ms());
+  EXPECT_DOUBLE_EQ(a.thread_interrupt.max_ms(), b.thread_interrupt.max_ms());
+  const LabReport c = run(GetParam() + 1000);
+  EXPECT_NE(a.thread.mean_ms(), c.thread.mean_ms());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest, ::testing::Values(1u, 42u, 1999u));
+
+// Ground-truth scheduling invariant: under arbitrary load, a PIT interrupt
+// is never serviced before it is asserted, and the measured thread is never
+// dispatched before its wait was satisfied.
+class CausalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CausalityTest, ObserverTimestampsAreCausal) {
+  TestSystem system(GetParam() % 2 == 0 ? kernel::MakeNt4Profile()
+                                        : kernel::MakeWin98Profile(),
+                    1000 + GetParam());
+  workload::StressLoad load(system.deps(), workload::GamesStress(), system.ForkRng());
+  drivers::LatencyDriver driver(system.kernel(), drivers::LatencyDriver::Config{});
+  bool causal = true;
+  std::uint64_t checked = 0;
+  system.kernel().dispatcher().on_isr_entry = [&](int, sim::Cycles asserted,
+                                                  sim::Cycles entry) {
+    causal &= entry >= asserted;
+    ++checked;
+  };
+  system.kernel().dispatcher().on_thread_dispatch =
+      [&](const kernel::KThread&, sim::Cycles signaled, sim::Cycles dispatched) {
+        causal &= dispatched >= signaled;
+        ++checked;
+      };
+  load.Start();
+  driver.Start();
+  system.RunFor(20.0);
+  EXPECT_TRUE(causal);
+  EXPECT_GT(checked, 20000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOses, CausalityTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace wdmlat::lab

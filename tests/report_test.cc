@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/mttf.h"
+#include "src/report/ascii_table.h"
+#include "src/report/loglog_plot.h"
+#include "src/sim/rng.h"
+#include "src/stats/histogram.h"
+
+namespace wdmlat::report {
+namespace {
+
+TEST(AsciiTableTest, RendersHeadersAndRows) {
+  AsciiTable table({"a", "bb", "ccc"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({"x", "yyyyy", "z"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("yyyyy"), std::string::npos);
+  // Borders present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnsAlignToWidestCell) {
+  AsciiTable table({"h"});
+  table.AddRow({"wide-cell-content"});
+  table.AddRow({"x"});
+  const std::string out = table.Render();
+  // Every line has the same length.
+  std::size_t expected = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTableTest, ShortRowsArePadded) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"only-one"});
+  EXPECT_NO_THROW({ const std::string out = table.Render(); });
+}
+
+TEST(AsciiTableTest, RuleInsertsSeparator) {
+  AsciiTable table({"a"});
+  table.AddRow({"1"});
+  table.AddRule();
+  table.AddRow({"2"});
+  const std::string out = table.Render();
+  // Outer borders (3) plus the inserted rule = 4 horizontal rules.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(AsciiTableTest, FmtFormatsDecimals) {
+  EXPECT_EQ(AsciiTable::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Fmt(10.0, 0), "10");
+}
+
+stats::LatencyHistogram MakeHistogram(double median_ms) {
+  sim::Rng rng(5);
+  stats::LatencyHistogram hist;
+  for (int i = 0; i < 50000; ++i) {
+    hist.RecordMs(rng.LogNormalMedian(median_ms, 1.0));
+  }
+  return hist;
+}
+
+TEST(LogLogPlotTest, RendersSeriesNamesAndBuckets) {
+  const auto hist_a = MakeHistogram(1.0);
+  const auto hist_b = MakeHistogram(4.0);
+  std::vector<LatencySeries> series{{"Series A", 'A', &hist_a}, {"Series B", 'B', &hist_b}};
+  const std::string out = RenderLatencyLogLog("Test Panel", series, 0.125, 128.0);
+  EXPECT_NE(out.find("Test Panel"), std::string::npos);
+  EXPECT_NE(out.find("Series A"), std::string::npos);
+  EXPECT_NE(out.find("Series B"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+  // Percent axis labels.
+  EXPECT_NE(out.find("100.0000%"), std::string::npos);
+  EXPECT_NE(out.find("0.0001%"), std::string::npos);
+}
+
+TEST(LogLogPlotTest, EmptyHistogramRendersWithoutMarks) {
+  stats::LatencyHistogram empty;
+  std::vector<LatencySeries> series{{"Empty", 'E', &empty}};
+  const std::string out = RenderLatencyLogLog("Empty Panel", series);
+  EXPECT_NE(out.find("Empty Panel"), std::string::npos);
+}
+
+TEST(MttfPlotTest, RendersCurveAndTable) {
+  const auto hist = MakeHistogram(2.0);
+  MttfSeries series;
+  series.name = "Test Load";
+  series.mark = 'T';
+  series.points = analysis::MttfSweep(hist, 4.0, 32.0, 4.0);
+  const std::string out = RenderMttf("MTTF Panel", {series});
+  EXPECT_NE(out.find("MTTF Panel"), std::string::npos);
+  EXPECT_NE(out.find("Test Load"), std::string::npos);
+  EXPECT_NE(out.find("ms of buffering"), std::string::npos);
+  EXPECT_NE(out.find("buffering ms"), std::string::npos);
+}
+
+TEST(MttfPlotTest, InfiniteMttfRendersAsBeyondObservable) {
+  stats::LatencyHistogram tight;
+  for (int i = 0; i < 1000; ++i) {
+    tight.RecordMs(0.1);
+  }
+  MttfSeries series;
+  series.name = "Quiet";
+  series.mark = 'Q';
+  series.points = analysis::MttfSweep(tight, 8.0, 16.0, 8.0);
+  const std::string out = RenderMttf("Quiet Panel", {series});
+  EXPECT_NE(out.find(">observable"), std::string::npos);
+}
+
+TEST(MttfPlotTest, EmptySeriesListRendersTitleOnly) {
+  const std::string out = RenderMttf("Nothing", {});
+  EXPECT_EQ(out, "Nothing\n");
+}
+
+}  // namespace
+}  // namespace wdmlat::report

@@ -1,0 +1,77 @@
+#include "src/sim/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wdmlat::sim {
+namespace {
+
+TEST(PoissonProcessTest, FiresAtApproximatelyTheConfiguredRate) {
+  Engine engine;
+  int fires = 0;
+  PoissonProcess process(engine, Rng(3), 100.0, [&] { ++fires; });
+  process.Start();
+  engine.RunUntil(SecToCycles(50.0));
+  // 100/s for 50 s => ~5000 events; Poisson sd ~ 70.
+  EXPECT_NEAR(fires, 5000, 300);
+}
+
+TEST(PoissonProcessTest, ZeroRateNeverFires) {
+  Engine engine;
+  int fires = 0;
+  PoissonProcess process(engine, Rng(4), 0.0, [&] { ++fires; });
+  process.Start();
+  EXPECT_FALSE(process.running());
+  engine.RunUntil(SecToCycles(10.0));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(PoissonProcessTest, StopHaltsFiring) {
+  Engine engine;
+  int fires = 0;
+  PoissonProcess process(engine, Rng(5), 1000.0, [&] { ++fires; });
+  process.Start();
+  engine.RunUntil(SecToCycles(1.0));
+  const int at_stop = fires;
+  EXPECT_GT(at_stop, 0);
+  process.Stop();
+  engine.RunUntil(SecToCycles(2.0));
+  EXPECT_EQ(fires, at_stop);
+}
+
+TEST(PoissonProcessTest, StartIsIdempotent) {
+  Engine engine;
+  int fires = 0;
+  PoissonProcess process(engine, Rng(6), 100.0, [&] { ++fires; });
+  process.Start();
+  process.Start();
+  engine.RunUntil(SecToCycles(10.0));
+  // A double start must not double the rate.
+  EXPECT_NEAR(fires, 1000, 150);
+}
+
+TEST(PoissonProcessTest, InterArrivalTimesAreExponentialish) {
+  Engine engine;
+  std::vector<Cycles> stamps;
+  PoissonProcess process(engine, Rng(7), 50.0, [&] { stamps.push_back(engine.now()); });
+  process.Start();
+  engine.RunUntil(SecToCycles(200.0));
+  ASSERT_GT(stamps.size(), 1000u);
+  // Coefficient of variation of exponential inter-arrivals is 1.
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    const double gap = CyclesToSec(stamps[i] - stamps[i - 1]);
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double n = static_cast<double>(stamps.size() - 1);
+  const double mean = sum / n;
+  const double cv = std::sqrt(sum_sq / n - mean * mean) / mean;
+  EXPECT_NEAR(mean, 1.0 / 50.0, 0.002);
+  EXPECT_NEAR(cv, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace wdmlat::sim

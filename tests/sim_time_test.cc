@@ -1,0 +1,79 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/irql.h"
+#include "src/kernel/label.h"
+
+namespace wdmlat::sim {
+namespace {
+
+TEST(TimeTest, CpuFrequencyIsThePapersTestbed) {
+  // 300 MHz Pentium II (Table 2).
+  EXPECT_EQ(kCpuHz, 300'000'000u);
+  EXPECT_EQ(kCyclesPerUs, 300u);
+  EXPECT_EQ(kCyclesPerMs, 300'000u);
+  EXPECT_EQ(kCyclesPerSec, 300'000'000u);
+}
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(UsToCycles(1.0), 300u);
+  EXPECT_EQ(MsToCycles(1.0), 300'000u);
+  EXPECT_EQ(SecToCycles(1.0), 300'000'000u);
+  EXPECT_DOUBLE_EQ(CyclesToUs(300), 1.0);
+  EXPECT_DOUBLE_EQ(CyclesToMs(300'000), 1.0);
+  EXPECT_DOUBLE_EQ(CyclesToSec(300'000'000), 1.0);
+}
+
+TEST(TimeTest, FractionalConversionsRound) {
+  EXPECT_EQ(UsToCycles(0.5), 150u);
+  EXPECT_EQ(UsToCycles(0.001), 0u);   // below one cycle rounds down
+  EXPECT_EQ(UsToCycles(0.0017), 1u);  // ~half a cycle rounds up
+}
+
+TEST(TimeTest, LargeDurationsDoNotOverflow) {
+  // A virtual week fits comfortably in 64 bits.
+  const Cycles week = SecToCycles(7.0 * 24 * 3600);
+  EXPECT_GT(week, 0u);
+  EXPECT_DOUBLE_EQ(CyclesToSec(week), 7.0 * 24 * 3600);
+}
+
+}  // namespace
+}  // namespace wdmlat::sim
+
+namespace wdmlat::kernel {
+namespace {
+
+TEST(IrqlTest, OrderingMatchesTheHierarchy) {
+  EXPECT_LT(Irql::kPassive, Irql::kApc);
+  EXPECT_LT(Irql::kApc, Irql::kDispatch);
+  EXPECT_LT(Irql::kDispatch, Irql::kDevice);
+  EXPECT_LT(Irql::kDeviceMax, Irql::kClock);
+  EXPECT_LT(Irql::kClock, Irql::kHigh);
+  EXPECT_EQ(MaxIrql(Irql::kDispatch, Irql::kClock), Irql::kClock);
+}
+
+TEST(IrqlTest, NamesAreStable) {
+  EXPECT_STREQ(IrqlName(Irql::kPassive), "PASSIVE");
+  EXPECT_STREQ(IrqlName(Irql::kDispatch), "DISPATCH");
+  EXPECT_STREQ(IrqlName(Irql::kClock), "CLOCK");
+  EXPECT_STREQ(IrqlName(Irql::kHigh), "HIGH");
+  EXPECT_STREQ(IrqlName(static_cast<Irql>(12)), "DIRQL");
+}
+
+TEST(LabelTest, ComparesByContentNotPointer) {
+  const std::string module = std::string("V") + "MM";
+  Label a{module.c_str(), "_mmFindContig"};
+  Label b{"VMM", "_mmFindContig"};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE((a == Label{"VMM", "_other"}));
+}
+
+TEST(LabelTest, ToStringFormatsModuleBangFunction) {
+  EXPECT_EQ(ToString(Label{"SYSAUDIO", "_ProcessTopologyConnection"}),
+            "SYSAUDIO!_ProcessTopologyConnection");
+  EXPECT_EQ(ToString(kIdleLabel), "IDLE!_idle");
+}
+
+}  // namespace
+}  // namespace wdmlat::kernel

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sim/rng.h"
+#include "src/stats/histogram.h"
+#include "src/stats/usage_model.h"
+
+namespace wdmlat::stats {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsWellBehaved) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.QuantileMs(0.5), 0.0);
+  EXPECT_EQ(hist.FractionAtOrAbove(1.0), 0.0);
+  EXPECT_EQ(hist.ExpectedMaxOfNMs(1000), 0.0);
+  EXPECT_EQ(hist.mean_ms(), 0.0);
+}
+
+TEST(HistogramTest, BasicStatistics) {
+  LatencyHistogram hist;
+  hist.RecordMs(1.0);
+  hist.RecordMs(2.0);
+  hist.RecordMs(3.0);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.min_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max_ms(), 3.0);
+  EXPECT_NEAR(hist.mean_ms(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, QuantileOneIsExactMax) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 100; ++i) {
+    hist.RecordMs(i * 0.1);
+  }
+  EXPECT_DOUBLE_EQ(hist.QuantileMs(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantilesAreAccurateWithinBucketResolution) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 10000; ++i) {
+    hist.RecordMs(static_cast<double>(i) / 1000.0);  // uniform 0.001..10 ms
+  }
+  // Bucket resolution is 1/32 octave (~2.2%); allow 5%.
+  EXPECT_NEAR(hist.QuantileMs(0.5), 5.0, 0.25);
+  EXPECT_NEAR(hist.QuantileMs(0.9), 9.0, 0.45);
+  EXPECT_NEAR(hist.QuantileMs(0.99), 9.9, 0.5);
+}
+
+TEST(HistogramTest, QuantileIsMonotonic) {
+  sim::Rng rng(3);
+  LatencyHistogram hist;
+  for (int i = 0; i < 100000; ++i) {
+    hist.RecordMs(rng.LogNormalMedian(1.0, 1.0));
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double value = hist.QuantileMs(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+}
+
+TEST(HistogramTest, FractionAtOrAboveMatchesDirectCount) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 900; ++i) {
+    hist.RecordMs(0.5);
+  }
+  for (int i = 0; i < 100; ++i) {
+    hist.RecordMs(20.0);
+  }
+  EXPECT_NEAR(hist.FractionAtOrAbove(10.0), 0.1, 0.005);
+  EXPECT_NEAR(hist.FractionAtOrAbove(0.1), 1.0, 1e-9);
+  EXPECT_NEAR(hist.FractionAtOrAbove(100.0), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, FractionAtOrAboveIsMonotoneNonIncreasing) {
+  sim::Rng rng(4);
+  LatencyHistogram hist;
+  for (int i = 0; i < 50000; ++i) {
+    hist.RecordMs(rng.BoundedPareto(1.2, 0.01, 50.0));
+  }
+  double prev = 1.0;
+  for (double ms = 0.01; ms < 100.0; ms *= 1.3) {
+    const double fraction = hist.FractionAtOrAbove(ms);
+    EXPECT_LE(fraction, prev + 1e-12);
+    prev = fraction;
+  }
+}
+
+TEST(HistogramTest, ExpectedMaxGrowsWithN) {
+  sim::Rng rng(5);
+  LatencyHistogram hist;
+  for (int i = 0; i < 200000; ++i) {
+    hist.RecordMs(rng.LogNormalMedian(0.1, 1.2));
+  }
+  const double hourly = hist.ExpectedMaxOfNMs(3600);
+  const double daily = hist.ExpectedMaxOfNMs(8 * 3600);
+  const double weekly = hist.ExpectedMaxOfNMs(40 * 3600);
+  EXPECT_GT(daily, hourly);
+  EXPECT_GT(weekly, daily);
+  EXPECT_LE(weekly, hist.max_ms());
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordMs(1.0);
+  a.RecordMs(2.0);
+  b.RecordMs(0.1);
+  b.RecordMs(50.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min_ms(), 0.1);
+  EXPECT_DOUBLE_EQ(a.max_ms(), 50.0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a;
+  a.RecordMs(3.0);
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.max_ms(), 3.0);
+}
+
+TEST(HistogramTest, PaperSeriesPercentagesSumToHundred) {
+  sim::Rng rng(6);
+  LatencyHistogram hist;
+  for (int i = 0; i < 30000; ++i) {
+    hist.RecordMs(rng.LogNormalMedian(1.0, 1.5));
+  }
+  const auto series = hist.PaperSeries(0.125, 128.0);
+  double total = 0.0;
+  for (const auto& bucket : series) {
+    total += bucket.percent;
+  }
+  EXPECT_NEAR(total, 100.0, 0.5);
+  // Edges double: 0.125, 0.25, ..., 128, overflow.
+  EXPECT_DOUBLE_EQ(series.front().hi_ms, 0.125);
+  EXPECT_EQ(series.size(), 12u);  // 11 edges + overflow
+}
+
+TEST(HistogramTest, UnderflowSamplesAreCountedNotLost) {
+  LatencyHistogram hist;
+  hist.RecordUs(0.001);  // below kMinUs
+  hist.RecordUs(100.0);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_NEAR(hist.FractionAtOrAbove(0.05 /*ms*/), 0.5, 0.01);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  LatencyHistogram hist;
+  hist.RecordMs(5.0);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.max_ms(), 0.0);
+}
+
+TEST(HistogramTest, CsvRoundTripShape) {
+  LatencyHistogram hist;
+  hist.RecordMs(1.0);
+  hist.RecordMs(4.0);
+  const std::string csv = hist.ToCsv();
+  EXPECT_NE(csv.find("bucket_hi_us,count"), std::string::npos);
+  // Two non-empty buckets -> three lines total.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+// Parameterized property sweep: for a variety of distributions, the
+// histogram's quantile/fraction functions must be mutually consistent:
+// FractionAtOrAbove(Quantile(q)) ~ 1-q.
+class HistogramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPropertyTest, QuantileAndFractionAreConsistent) {
+  sim::Rng rng(GetParam());
+  LatencyHistogram hist;
+  sim::DurationDist dist;
+  switch (GetParam() % 4) {
+    case 0:
+      dist = sim::DurationDist::LogNormal(50.0, 1.0);
+      break;
+    case 1:
+      dist = sim::DurationDist::BoundedPareto(1.3, 10.0, 50000.0);
+      break;
+    case 2:
+      dist = sim::DurationDist::Exponential(200.0);
+      break;
+    default:
+      dist = sim::DurationDist::Uniform(5.0, 5000.0);
+      break;
+  }
+  for (int i = 0; i < 100000; ++i) {
+    hist.RecordUs(dist.SampleUs(rng));
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double x = hist.QuantileMs(q);
+    const double fraction = hist.FractionAtOrAbove(x);
+    EXPECT_NEAR(fraction, 1.0 - q, 0.15 * (1.0 - q) + 0.0015) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramPropertyTest, ::testing::Range(0, 8));
+
+TEST(HistogramTest, ExtrapolatedQuantileMatchesParetoTruth) {
+  // Samples from an (effectively unbounded) Pareto tail: the extrapolated
+  // deep quantile should land near the analytic value even though the run
+  // never observed it.
+  sim::Rng rng(77);
+  LatencyHistogram hist;
+  const double alpha = 1.5, lo = 10.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    hist.RecordUs(rng.BoundedPareto(alpha, lo, 1e9));
+  }
+  // Analytic quantile at exceedance 1e-7: x = lo * (1e-7)^(-1/alpha).
+  const double q = 1.0 - 1e-7;
+  const double truth_ms = lo * std::pow(1e-7, -1.0 / alpha) / 1e3;
+  const double est_ms = hist.QuantileMsExtrapolated(q);
+  EXPECT_GT(est_ms, truth_ms / 3.0);
+  EXPECT_LT(est_ms, truth_ms * 3.0);
+  // And it must exceed the plain (data-capped) quantile.
+  EXPECT_GT(est_ms, hist.QuantileMs(q) * 0.999);
+}
+
+TEST(HistogramTest, ExtrapolationFallsBackWithinEmpiricalSupport) {
+  sim::Rng rng(78);
+  LatencyHistogram hist;
+  for (int i = 0; i < 100000; ++i) {
+    hist.RecordMs(rng.LogNormalMedian(1.0, 0.8));
+  }
+  // Plenty of samples above the median: identical to the plain quantile.
+  EXPECT_DOUBLE_EQ(hist.QuantileMsExtrapolated(0.9), hist.QuantileMs(0.9));
+}
+
+TEST(HistogramTest, ExtrapolatedExpectedMaxIsMonotoneInN) {
+  sim::Rng rng(79);
+  LatencyHistogram hist;
+  for (int i = 0; i < 100000; ++i) {
+    hist.RecordUs(rng.BoundedPareto(1.3, 20.0, 1e8));
+  }
+  double prev = 0.0;
+  for (std::uint64_t n : {1000ull, 100000ull, 10000000ull, 1000000000ull}) {
+    const double v = hist.ExpectedMaxOfNMsExtrapolated(n);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(UsageModelTest, ExtrapolatedWorstCasesDominateEmpirical) {
+  sim::Rng rng(80);
+  LatencyHistogram hist;
+  for (int i = 0; i < 200000; ++i) {
+    hist.RecordMs(rng.BoundedPareto(1.3, 0.02, 1e5));
+  }
+  const WorstCases plain = ComputeWorstCases(hist, 1.8e6, OfficeUsage());
+  const WorstCases extrapolated = ComputeWorstCasesExtrapolated(hist, 1.8e6, OfficeUsage());
+  EXPECT_GE(extrapolated.weekly_ms, plain.weekly_ms * 0.999);
+  EXPECT_GE(extrapolated.daily_ms, plain.daily_ms * 0.999);
+}
+
+// ---- Usage model -------------------------------------------------------------
+
+TEST(UsageModelTest, PaperCategoriesMatchSection31) {
+  EXPECT_EQ(OfficeUsage().compression, 10.0);  // "at least ten times as quickly"
+  EXPECT_EQ(WorkstationUsage().compression, 5.0);
+  EXPECT_EQ(GamesUsage().compression, 1.0);  // canned demos, no speedup
+  EXPECT_EQ(WebUsage().compression, 4.0);
+  EXPECT_EQ(OfficeUsage().week_hours, 40.0);
+  EXPECT_EQ(WorkstationUsage().week_hours, 30.0);
+  EXPECT_EQ(GamesUsage().week_hours, 12.5);
+}
+
+TEST(UsageModelTest, WorstCasesOrderedHourlyDailyWeekly) {
+  sim::Rng rng(9);
+  LatencyHistogram hist;
+  for (int i = 0; i < 300000; ++i) {
+    hist.RecordMs(rng.BoundedPareto(1.2, 0.01, 40.0));
+  }
+  const WorstCases wc = ComputeWorstCases(hist, 1.8e6, OfficeUsage());
+  EXPECT_GT(wc.hourly_ms, 0.0);
+  EXPECT_GE(wc.daily_ms, wc.hourly_ms);
+  EXPECT_GE(wc.weekly_ms, wc.daily_ms);
+  EXPECT_LE(wc.weekly_ms, hist.max_ms() * 1.01);
+}
+
+TEST(UsageModelTest, HigherCompressionLowersWorstCase) {
+  sim::Rng rng(10);
+  LatencyHistogram hist;
+  for (int i = 0; i < 300000; ++i) {
+    hist.RecordMs(rng.BoundedPareto(1.2, 0.01, 40.0));
+  }
+  UsageModel fast{"fast", 10.0, 8.0, 40.0};
+  UsageModel slow{"slow", 1.0, 8.0, 40.0};
+  const WorstCases wc_fast = ComputeWorstCases(hist, 1.8e6, fast);
+  const WorstCases wc_slow = ComputeWorstCases(hist, 1.8e6, slow);
+  // Compression means fewer usage samples per stress hour.
+  EXPECT_LE(wc_fast.hourly_ms, wc_slow.hourly_ms);
+}
+
+}  // namespace
+}  // namespace wdmlat::stats

@@ -1,0 +1,75 @@
+// Shared test fixtures: a minimal machine with deterministic (constant-cost)
+// kernel profiles so tests can assert exact latency arithmetic.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/hw/interrupt_controller.h"
+#include "src/hw/pit.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/profile.h"
+#include "src/sim/engine.h"
+#include "src/sim/rng.h"
+
+namespace wdmlat::testutil {
+
+// A kernel profile with constant costs and no self-noise: every latency in a
+// test is exactly the sum of the costs in play.
+inline kernel::KernelProfile QuietProfile() {
+  kernel::KernelProfile p;
+  p.name = "Quiet";
+  p.isr_dispatch_overhead = sim::DurationDist::Constant(2.0);
+  p.context_switch_cost = sim::DurationDist::Constant(10.0);
+  p.dpc_dispatch_cost = sim::DurationDist::Constant(1.0);
+  p.quantum_ms = 20.0;
+  p.default_clock_hz = 1000.0;
+  p.clock_isr_body = sim::DurationDist::Constant(3.0);
+  p.clock_isr_per_timer_us = 1.0;
+  p.has_legacy_timer_hook = true;  // let tests exercise the hook paths
+  p.legacy_vmm = true;
+  p.worker_thread_priority = kernel::kDefaultRealTimePriority;
+  p.wait_boost = 1;
+  return p;
+}
+
+// A tiny machine: PIC + PIT + kernel, plus two free device lines for tests
+// to assert interrupts on.
+class MiniSystem {
+ public:
+  explicit MiniSystem(kernel::KernelProfile profile = QuietProfile(), std::uint64_t seed = 7)
+      : rng_(seed), pic_(engine_) {
+    pit_line_ = pic_.ConnectLine("PIT", kernel::Irql::kClock);
+    device_line_a_ = pic_.ConnectLine("DEVA", static_cast<kernel::Irql>(12));
+    device_line_b_ = pic_.ConnectLine("DEVB", static_cast<kernel::Irql>(8));
+    pit_ = std::make_unique<hw::Pit>(engine_, pic_, pit_line_);
+    kernel_ = std::make_unique<kernel::Kernel>(engine_, rng_.Fork(), pic_, *pit_, pit_line_,
+                                               std::move(profile));
+  }
+
+  sim::Engine& engine() { return engine_; }
+  hw::InterruptController& pic() { return pic_; }
+  hw::Pit& pit() { return *pit_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  int pit_line() const { return pit_line_; }
+  int line_a() const { return device_line_a_; }  // IRQL 12
+  int line_b() const { return device_line_b_; }  // IRQL 8
+
+  void RunForMs(double ms) { engine_.RunUntil(engine_.now() + sim::MsToCycles(ms)); }
+  void RunForUs(double us) { engine_.RunUntil(engine_.now() + sim::UsToCycles(us)); }
+
+ private:
+  sim::Engine engine_;
+  sim::Rng rng_;
+  hw::InterruptController pic_;
+  int pit_line_;
+  int device_line_a_;
+  int device_line_b_;
+  std::unique_ptr<hw::Pit> pit_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+}  // namespace wdmlat::testutil
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,146 @@
+// Stress tests for the timer queue: many concurrent timers, re-arming,
+// cancellation races, and clock-frequency interaction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "tests/test_util.h"
+
+namespace wdmlat::kernel {
+namespace {
+
+using testutil::MiniSystem;
+
+TEST(TimerStressTest, HundredsOfConcurrentTimersAllFire) {
+  MiniSystem sys;
+  constexpr int kTimers = 400;
+  std::vector<std::unique_ptr<KTimer>> timers;
+  std::vector<std::unique_ptr<KDpc>> dpcs;
+  int fires = 0;
+  sim::Rng rng(9);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<KTimer>());
+    dpcs.push_back(std::make_unique<KDpc>([&fires] { ++fires; },
+                                          sim::DurationDist::Constant(1.0),
+                                          Label{"T", "_stress"}));
+    const double due = rng.Uniform(1.0, 400.0);
+    sys.kernel().KeSetTimerMs(timers[i].get(), due, dpcs[i].get());
+  }
+  sys.RunForMs(500.0);
+  EXPECT_EQ(fires, kTimers);
+  sys.RunForMs(100.0);
+  EXPECT_EQ(fires, kTimers);  // single shot: no repeats
+}
+
+TEST(TimerStressTest, ManyPeriodicTimersKeepTheirRates) {
+  MiniSystem sys;
+  constexpr int kTimers = 20;
+  std::vector<std::unique_ptr<KTimer>> timers;
+  std::vector<std::unique_ptr<KDpc>> dpcs;
+  std::vector<int> fires(kTimers, 0);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<KTimer>());
+    dpcs.push_back(std::make_unique<KDpc>([&fires, i] { ++fires[i]; },
+                                          sim::DurationDist::Constant(1.0),
+                                          Label{"T", "_periodic"}));
+    // Periods from 2 to 40 ms.
+    sys.kernel().KeSetTimerPeriodicMs(timers[i].get(), 2.0 * (i + 1), 2.0 * (i + 1),
+                                      dpcs[i].get());
+  }
+  sys.RunForMs(2000.0);
+  for (int i = 0; i < kTimers; ++i) {
+    const double expected = 2000.0 / (2.0 * (i + 1));
+    EXPECT_NEAR(fires[i], expected, expected * 0.05 + 2.0) << "timer " << i;
+  }
+}
+
+TEST(TimerStressTest, CancelStormLeavesOnlySurvivors) {
+  MiniSystem sys;
+  constexpr int kTimers = 100;
+  std::vector<std::unique_ptr<KTimer>> timers;
+  std::vector<std::unique_ptr<KDpc>> dpcs;
+  int fires = 0;
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<KTimer>());
+    dpcs.push_back(std::make_unique<KDpc>([&fires] { ++fires; },
+                                          sim::DurationDist::Constant(1.0),
+                                          Label{"T", "_cancel"}));
+    sys.kernel().KeSetTimerMs(timers[i].get(), 50.0, dpcs[i].get());
+  }
+  // Cancel the even ones just before expiry.
+  sys.engine().ScheduleAt(sim::MsToCycles(45.0), [&] {
+    for (int i = 0; i < kTimers; i += 2) {
+      EXPECT_TRUE(sys.kernel().KeCancelTimer(timers[i].get()));
+    }
+  });
+  sys.RunForMs(100.0);
+  EXPECT_EQ(fires, kTimers / 2);
+}
+
+TEST(TimerStressTest, ReArmFromOwnDpcActsPeriodic) {
+  MiniSystem sys;
+  KTimer timer;
+  int fires = 0;
+  std::unique_ptr<KDpc> dpc;
+  dpc = std::make_unique<KDpc>(
+      [&] {
+        ++fires;
+        if (fires < 50) {
+          sys.kernel().KeSetTimerMs(&timer, 5.0, dpc.get());
+        }
+      },
+      sim::DurationDist::Constant(1.0), Label{"T", "_rearm"});
+  sys.kernel().KeSetTimerMs(&timer, 5.0, dpc.get());
+  sys.RunForMs(400.0);
+  EXPECT_EQ(fires, 50);
+}
+
+TEST(TimerStressTest, ClockFrequencyControlsTimerResolution) {
+  // At 100 Hz, a 2 ms timer cannot fire before the next 10 ms tick.
+  MiniSystem slow;
+  slow.kernel().SetClockFrequency(100.0);
+  slow.RunForMs(15.0);  // let the new period take effect
+  KTimer timer;
+  sim::Cycles fired_at = 0;
+  KDpc dpc([&] { fired_at = slow.kernel().GetCycleCount(); },
+           sim::DurationDist::Constant(1.0), Label{"T", "_coarse"});
+  const sim::Cycles set_at = slow.engine().now();
+  slow.kernel().KeSetTimerMs(&timer, 2.0, &dpc);
+  slow.RunForMs(25.0);
+  ASSERT_NE(fired_at, 0u);
+  const double delay_ms = sim::CyclesToMs(fired_at - set_at);
+  EXPECT_GE(delay_ms, 2.0);
+  EXPECT_LE(delay_ms, 10.5);  // within one coarse tick
+  // The same timer at 1 kHz fires within ~1 ms of the due time.
+  MiniSystem fast;  // QuietProfile default is 1 kHz
+  sim::Cycles fast_fired = 0;
+  KTimer fast_timer;
+  KDpc fast_dpc([&] { fast_fired = fast.kernel().GetCycleCount(); },
+                sim::DurationDist::Constant(1.0), Label{"T", "_fine"});
+  const sim::Cycles fast_set = fast.engine().now();
+  fast.kernel().KeSetTimerMs(&fast_timer, 2.0, &fast_dpc);
+  fast.RunForMs(10.0);
+  ASSERT_NE(fast_fired, 0u);
+  EXPECT_LE(sim::CyclesToMs(fast_fired - fast_set), 3.1);
+}
+
+TEST(TimerStressTest, TimerQueuePendingCountTracksState) {
+  MiniSystem sys;
+  KTimer a;
+  KTimer b;
+  KDpc dpc([] {}, sim::DurationDist::Constant(1.0), Label{"T", "_count"});
+  sys.kernel().KeSetTimerMs(&a, 100.0, &dpc);
+  sys.kernel().KeSetTimerMs(&b, 100.0, &dpc);
+  EXPECT_TRUE(a.active());
+  EXPECT_TRUE(b.active());
+  sys.kernel().KeCancelTimer(&a);
+  EXPECT_FALSE(a.active());
+  sys.RunForMs(150.0);
+  EXPECT_FALSE(b.active());  // fired
+}
+
+}  // namespace
+}  // namespace wdmlat::kernel

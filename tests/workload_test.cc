@@ -1,0 +1,194 @@
+// Tests for the stress workloads and the Winstone throughput harness.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/profile.h"
+#include "src/lab/test_system.h"
+#include "src/workload/stress_load.h"
+#include "src/workload/stress_profile.h"
+#include <algorithm>
+
+#include "src/workload/winstone.h"
+
+namespace wdmlat::workload {
+namespace {
+
+lab::TestSystemOptions NoNoise() {
+  lab::TestSystemOptions options;
+  options.kernel_self_noise = false;
+  return options;
+}
+
+TEST(StressProfileTest, FourCategoriesHaveDistinctCharacters) {
+  const auto office = OfficeStress();
+  const auto workstation = WorkstationStress();
+  const auto games = GamesStress();
+  const auto web = WebStress();
+
+  // Section 3.1: office apps are driven by MS-Test at high UI rates;
+  // workstation apps are CPU/disk bound; games stream audio; the web load
+  // downloads over the NIC.
+  EXPECT_GT(office.ui_events_per_s, workstation.ui_events_per_s);
+  EXPECT_GT(workstation.file_ops_per_s, office.file_ops_per_s);
+  EXPECT_GT(workstation.cpu_threads, office.cpu_threads);
+  EXPECT_TRUE(games.audio_stream);
+  EXPECT_GT(web.downloads_per_s, 0.0);
+  EXPECT_EQ(office.downloads_per_s, 0.0);
+
+  // Table 3 shape: games produce the heaviest interrupt-masking stress; web
+  // browsing the longest lockout tail.
+  EXPECT_GT(games.masked_len_us.UpperBoundUs(), workstation.masked_len_us.UpperBoundUs());
+  EXPECT_GT(workstation.masked_len_us.UpperBoundUs(), office.masked_len_us.UpperBoundUs());
+  EXPECT_GT(web.lockout_len_us.UpperBoundUs(), games.lockout_len_us.UpperBoundUs() * 0.9);
+}
+
+TEST(StressProfileTest, IdleProfileGeneratesNothing) {
+  const auto idle = IdleStress();
+  EXPECT_EQ(idle.file_ops_per_s, 0.0);
+  EXPECT_EQ(idle.cpu_threads, 0);
+  EXPECT_EQ(idle.masked_rate_per_s, 0.0);
+}
+
+TEST(StressLoadTest, GeneratesActivityAtConfiguredRates) {
+  lab::TestSystem system(kernel::MakeWin98Profile(), 21, NoNoise());
+  StressLoad load(system.deps(), OfficeStress(), system.ForkRng());
+  load.Start();
+  system.RunFor(10.0);
+  // Office: 20 file ops/s (+ bursts), 25 UI events/s.
+  EXPECT_NEAR(static_cast<double>(load.file_ops()), 280.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(load.ui_events()), 250.0, 80.0);
+  EXPECT_GT(system.disk_driver().completions(), 50u);
+}
+
+TEST(StressLoadTest, StopQuiescesTheLoad) {
+  lab::TestSystem system(kernel::MakeWin98Profile(), 22, NoNoise());
+  StressLoad load(system.deps(), OfficeStress(), system.ForkRng());
+  load.Start();
+  system.RunFor(5.0);
+  load.Stop();
+  const std::uint64_t ops_at_stop = load.file_ops();
+  system.RunFor(5.0);
+  EXPECT_EQ(load.file_ops(), ops_at_stop);
+}
+
+TEST(StressLoadTest, WebLoadDrivesTheNic) {
+  lab::TestSystem system(kernel::MakeNt4Profile(), 23, NoNoise());
+  StressLoad load(system.deps(), WebStress(), system.ForkRng());
+  load.Start();
+  system.RunFor(30.0);
+  EXPECT_GT(load.downloads(), 4u);
+  EXPECT_GT(system.nic_driver().frames_processed(), 1000u);
+}
+
+TEST(StressLoadTest, LegacyStressIsScaledByOsProfile) {
+  // The same games profile must inject far more masked-section time on 98
+  // than on NT (masked_stress_scale 1.0 vs 0.10).
+  auto run = [](kernel::KernelProfile os) {
+    lab::TestSystem system(std::move(os), 24, NoNoise());
+    StressLoad load(system.deps(), GamesStress(), system.ForkRng());
+    stats::LatencyHistogram true_latency;
+    const int pit_line = system.kernel().clock_interrupt()->line();
+    system.kernel().dispatcher().on_isr_entry = [&](int line, sim::Cycles a, sim::Cycles e) {
+      if (line == pit_line) {
+        true_latency.Record(e - a);
+      }
+    };
+    load.Start();
+    system.RunFor(60.0);
+    return true_latency.max_ms();
+  };
+  const double nt_max = run(kernel::MakeNt4Profile());
+  const double w98_max = run(kernel::MakeWin98Profile());
+  EXPECT_GT(w98_max, nt_max * 2.0);
+}
+
+TEST(WinstoneTest, ScriptRunsToCompletion) {
+  lab::TestSystem system(kernel::MakeNt4Profile(), 25, NoNoise());
+  WinstoneScript::Config config;
+  config.iterations = 50;
+  WinstoneScript script(system.deps(), config, system.ForkRng());
+  double elapsed = 0.0;
+  script.Start([&](double seconds) { elapsed = seconds; });
+  system.RunFor(60.0);
+  EXPECT_TRUE(script.finished());
+  EXPECT_GT(elapsed, 0.1);
+  EXPECT_LT(elapsed, 60.0);
+}
+
+TEST(WinstoneTest, ThroughputDeltaBetweenOsesIsSmall) {
+  // Section 4.2: "the average delta between like scores was 10% and the
+  // maximum delta was 20%" — throughput must NOT show the order-of-magnitude
+  // differences the latency metrics show.
+  auto run = [](kernel::KernelProfile os, std::uint64_t seed) {
+    lab::TestSystem system(std::move(os), seed);
+    WinstoneScript::Config config;
+    config.iterations = 150;
+    WinstoneScript script(system.deps(), config, system.ForkRng());
+    double elapsed = 0.0;
+    script.Start([&](double seconds) { elapsed = seconds; });
+    system.RunFor(300.0);
+    EXPECT_TRUE(script.finished());
+    return elapsed;
+  };
+  const double nt = run(kernel::MakeNt4Profile(), 31);
+  const double w98 = run(kernel::MakeWin98Profile(), 31);
+  const double delta = std::abs(nt - w98) / std::min(nt, w98);
+  EXPECT_LT(delta, 0.25);
+}
+
+TEST(WinstoneSuiteTest, BusinessSuiteHasTheEightPaperApps) {
+  const auto apps = BusinessWinstone97();
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps[0].name, "Access 7.0");
+  EXPECT_EQ(apps[0].category, "Database");
+  EXPECT_EQ(apps.back().name, "WordPro 96");
+}
+
+TEST(WinstoneSuiteTest, HighEndSuiteHasTheSixPaperApps) {
+  const auto apps = HighEndWinstone97();
+  ASSERT_EQ(apps.size(), 6u);
+  EXPECT_EQ(apps[2].name, "Photoshop 3.0.5");
+  EXPECT_EQ(apps.back().category, "S/W Engineering");
+}
+
+TEST(WinstoneSuiteTest, SuiteRunsAllAppsToCompletion) {
+  lab::TestSystem system(kernel::MakeNt4Profile(), 27, NoNoise());
+  WinstoneSuite suite(system.deps(), BusinessWinstone97(), system.ForkRng());
+  double elapsed = 0.0;
+  suite.Start([&](double seconds) { elapsed = seconds; });
+  system.RunFor(900.0);
+  EXPECT_TRUE(suite.finished());
+  EXPECT_EQ(suite.apps_completed(), 8u);
+  EXPECT_GT(elapsed, 1.0);
+}
+
+TEST(WinstoneSuiteTest, HighEndIsMoreStressfulThanBusinessPerApp) {
+  // "Workstation applications are inherently more stressful": CPU per
+  // iteration and bytes per file op dominate Business across the board.
+  double business_cpu = 0.0;
+  for (const auto& app : BusinessWinstone97()) {
+    business_cpu = std::max(business_cpu, app.cpu_us_per_iteration);
+  }
+  for (const auto& app : HighEndWinstone97()) {
+    EXPECT_GE(app.cpu_us_per_iteration, business_cpu * 0.9) << app.name;
+  }
+}
+
+TEST(WinstoneTest, MoreIterationsTakeLonger) {
+  auto run = [](int iterations) {
+    lab::TestSystem system(kernel::MakeNt4Profile(), 26, NoNoise());
+    WinstoneScript::Config config;
+    config.iterations = iterations;
+    WinstoneScript script(system.deps(), config, system.ForkRng());
+    double elapsed = 0.0;
+    script.Start([&](double seconds) { elapsed = seconds; });
+    system.RunFor(300.0);
+    return elapsed;
+  };
+  const double short_run = run(30);
+  const double long_run = run(120);
+  EXPECT_GT(long_run, short_run * 2.0);
+}
+
+}  // namespace
+}  // namespace wdmlat::workload
