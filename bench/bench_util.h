@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/runtime/thread_pool.h"
+
 namespace wdmlat::bench {
 
 // Virtual measurement minutes per experiment cell. The default keeps every
@@ -26,6 +28,18 @@ inline std::uint64_t BenchSeed() {
     return static_cast<std::uint64_t>(std::atoll(env));
   }
   return 1999;  // OSDI '99
+}
+
+// Worker threads for matrix-driven benches: WDMLAT_JOBS, else every core.
+// Merged results are bit-identical for any value (see src/lab/matrix.h).
+inline int BenchJobs() {
+  if (const char* env = std::getenv("WDMLAT_JOBS")) {
+    const int value = std::atoi(env);
+    if (value > 0) {
+      return value;
+    }
+  }
+  return runtime::ThreadPool::HardwareThreads();
 }
 
 }  // namespace wdmlat::bench

@@ -15,7 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "src/kernel/profile.h"
-#include "src/lab/lab.h"
+#include "src/lab/matrix.h"
 #include "src/report/ascii_table.h"
 #include "src/stats/usage_model.h"
 #include "src/workload/stress_profile.h"
@@ -42,22 +42,12 @@ struct WorkloadResult {
   stats::WorstCases int_thread24;   // H/W Int. to kernel RT thread (Med.)
 };
 
-WorkloadResult RunWorkload(const workload::StressProfile& stress, double minutes,
-                           std::uint64_t seed) {
+// Extract the Table 3 rows for one workload from its two merged matrix
+// groups (priority 28 = "High", 24 = "Med."), pooled over every trial.
+WorkloadResult ExtractWorkload(const workload::StressProfile& stress,
+                               const lab::MergedCell& hi, const lab::MergedCell& med) {
   WorkloadResult result;
   result.name = stress.name;
-
-  auto run = [&](int priority) {
-    lab::LabConfig config;
-    config.os = kernel::MakeWin98Profile();
-    config.stress = stress;
-    config.thread_priority = priority;
-    config.stress_minutes = minutes;
-    config.seed = seed;
-    return lab::RunLatencyExperiment(config);
-  };
-  const lab::LabReport hi = run(28);
-  const lab::LabReport med = run(24);
 
   const stats::UsageModel& usage = stress.usage;
   auto worst = [&](const stats::LatencyHistogram& hist, double rate) {
@@ -68,13 +58,13 @@ WorkloadResult RunWorkload(const workload::StressProfile& stress, double minutes
     // table stays empirical — see EXPERIMENTS.md).
     return stats::ComputeWorstCases(hist, rate, usage);
   };
-  result.isr = worst(hi.interrupt, hi.samples_per_hour);
-  result.isr_to_dpc = worst(hi.isr_to_dpc, hi.samples_per_hour);
-  result.dpc = worst(hi.dpc_interrupt, hi.samples_per_hour);
-  result.thread28 = worst(hi.thread, hi.samples_per_hour);
-  result.int_thread28 = worst(hi.thread_interrupt, hi.samples_per_hour);
-  result.thread24 = worst(med.thread, med.samples_per_hour);
-  result.int_thread24 = worst(med.thread_interrupt, med.samples_per_hour);
+  result.isr = worst(hi.interrupt, hi.samples_per_hour());
+  result.isr_to_dpc = worst(hi.isr_to_dpc, hi.samples_per_hour());
+  result.dpc = worst(hi.dpc_interrupt, hi.samples_per_hour());
+  result.thread28 = worst(hi.thread, hi.samples_per_hour());
+  result.int_thread28 = worst(hi.thread_interrupt, hi.samples_per_hour());
+  result.thread24 = worst(med.thread, med.samples_per_hour());
+  result.int_thread24 = worst(med.thread_interrupt, med.samples_per_hour());
   return result;
 }
 
@@ -96,19 +86,32 @@ void PrintRow(AsciiTable& table, const char* service, const char* prefix,
 int main() {
   const double minutes = wdmlat::bench::MeasurementMinutes(8.0);
   const std::uint64_t seed = wdmlat::bench::BenchSeed();
+  const int jobs = wdmlat::bench::BenchJobs();
   std::printf(
       "Table 3 reproduction: Windows 98 expected hourly/daily/weekly worst-case\n"
       "latencies (ms), no sound scheme, no virus scanner. %.1f virtual minutes\n"
-      "per cell (WDMLAT_MINUTES to change). Paper columns shown as hr/day/wk.\n\n",
-      minutes);
+      "per cell (WDMLAT_MINUTES to change), %d parallel jobs (WDMLAT_JOBS).\n"
+      "Paper columns shown as hr/day/wk.\n\n",
+      minutes, jobs);
 
-  const std::vector<workload::StressProfile> loads = {
-      workload::OfficeStress(), workload::WorkstationStress(), workload::GamesStress(),
-      workload::WebStress()};
+  // The 98 half of the matrix: 1 OS x 4 workloads x {28, 24}, run in parallel.
+  lab::MatrixSpec spec;
+  spec.oses = {kernel::MakeWin98Profile()};
+  spec.workloads = {workload::OfficeStress(), workload::WorkstationStress(),
+                    workload::GamesStress(), workload::WebStress()};
+  spec.priorities = {28, 24};
+  spec.stress_minutes = minutes;
+  spec.master_seed = seed;
+  const lab::ExperimentMatrix matrix(spec);
+
+  std::printf("  measuring %zu cells...\n", matrix.cells().size());
+  const lab::MatrixResult run = matrix.Run(jobs);
+
   std::vector<WorkloadResult> results;
-  for (const auto& load : loads) {
-    std::printf("  measuring %s...\n", load.name.c_str());
-    results.push_back(RunWorkload(load, minutes, seed));
+  for (std::size_t wl = 0; wl < spec.workloads.size(); ++wl) {
+    results.push_back(ExtractWorkload(spec.workloads[wl],
+                                      run.merged[matrix.GroupIndex(0, wl, 0)],
+                                      run.merged[matrix.GroupIndex(0, wl, 1)]));
   }
   std::printf("\n");
 
@@ -141,5 +144,10 @@ int main() {
   std::printf(
       "\nShape checks (paper Section 4): games dominate interrupt latency; thread\n"
       "latency adds tens of ms on every workload; ISR->DPC adds <~2 ms.\n");
+  std::printf(
+      "\nWall clock: %zu cells in %.2f s (%.2f s summed cell time) -> %.2fx speedup "
+      "at %d jobs\n",
+      matrix.cells().size(), run.wall_seconds, run.total_cell_seconds, run.Speedup(),
+      jobs);
   return 0;
 }

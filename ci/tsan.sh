@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the parallel experiment-matrix runner.
+#
+# Builds the tree with -fsanitize=thread into a separate build directory and
+# runs the concurrency-sensitive suites: the thread pool, the histogram-merge
+# algebra, and the jobs=1-vs-jobs=4 matrix determinism contract. Any data
+# race in the parallel runner fails the job.
+#
+#   ci/tsan.sh              # from the repo root
+#   BUILD_DIR=... ci/tsan.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD_DIR" -j \
+  --target thread_pool_test histogram_merge_test matrix_determinism_test
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest'

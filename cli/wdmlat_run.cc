@@ -7,6 +7,7 @@
 //   wdmlat_run --os=win98 --workload=games --priority=28 --minutes=10
 //   wdmlat_run --os=nt4 --workload=web --priority=24 --plot
 //   wdmlat_run --os=win98 --workload=office --csv-dir=out/ --scanner
+//   wdmlat_run --matrix --jobs=4 --trials=2 --minutes=5
 //
 // Flags:
 //   --os=nt4|win98|w2kbeta     OS personality             (default win98)
@@ -19,6 +20,16 @@
 //   --plot                     render the log-log distribution panel
 //   --csv-dir=<dir>            export distributions as CSV
 //   --worst-cases              print hourly/daily/weekly expected worst cases
+//
+// Matrix mode (parallel experiment grid; see EXPERIMENTS.md):
+//   --matrix                   run the paper's full {NT,98} x {4 loads} x
+//                              {prio 28,24} grid instead of a single cell;
+//                              --seed is the master seed, per-cell seeds are
+//                              SplitMix64-derived from the grid coordinates
+//   --jobs=<N>                 worker threads (default: hardware cores);
+//                              merged results are bit-identical for any N
+//   --trials=<N>               independent seeds per cell, histograms merged
+//                              (default 1)
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +39,9 @@
 #include "src/kernel/profile.h"
 #include "src/lab/csv_export.h"
 #include "src/lab/lab.h"
+#include "src/lab/matrix.h"
 #include "src/report/loglog_plot.h"
+#include "src/runtime/thread_pool.h"
 #include "src/stats/usage_model.h"
 #include "src/workload/stress_profile.h"
 
@@ -45,7 +58,8 @@ using namespace wdmlat;
                "[--workload=office|workstation|games|web|idle]\n"
                "                  [--priority=N] [--minutes=F] [--seed=N] [--scanner] "
                "[--sounds]\n"
-               "                  [--plot] [--csv-dir=DIR] [--worst-cases]\n");
+               "                  [--plot] [--csv-dir=DIR] [--worst-cases]\n"
+               "                  [--matrix [--jobs=N] [--trials=N]]\n");
   std::exit(2);
 }
 
@@ -77,11 +91,20 @@ int main(int argc, char** argv) {
   bool sounds = false;
   bool plot = false;
   bool worst_cases = false;
+  bool matrix_mode = false;
+  int jobs = runtime::ThreadPool::HardwareThreads();
+  int trials = 1;
   std::string csv_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (MatchFlag(argv[i], "--os", &value)) {
+    if (MatchFlag(argv[i], "--matrix", &value)) {
+      matrix_mode = true;
+    } else if (MatchFlag(argv[i], "--jobs", &value)) {
+      jobs = std::atoi(value.c_str());
+    } else if (MatchFlag(argv[i], "--trials", &value)) {
+      trials = std::atoi(value.c_str());
+    } else if (MatchFlag(argv[i], "--os", &value)) {
       os_name = value;
     } else if (MatchFlag(argv[i], "--workload", &value)) {
       workload_name = value;
@@ -114,6 +137,61 @@ int main(int argc, char** argv) {
   if (minutes <= 0.0) {
     std::fprintf(stderr, "wdmlat_run: --minutes must be positive\n");
     return 2;
+  }
+  if (jobs < 1) {
+    std::fprintf(stderr, "wdmlat_run: --jobs must be at least 1\n");
+    return 2;
+  }
+  if (trials < 1) {
+    std::fprintf(stderr, "wdmlat_run: --trials must be at least 1\n");
+    return 2;
+  }
+
+  if (matrix_mode) {
+    lab::MatrixSpec spec = lab::PaperMatrix();
+    spec.trials = trials;
+    spec.stress_minutes = minutes;
+    spec.master_seed = seed;
+    spec.options.virus_scanner = scanner;
+    spec.options.sound_scheme =
+        sounds ? vmm98::SchemeKind::kDefault : vmm98::SchemeKind::kNoSounds;
+    const lab::ExperimentMatrix matrix(spec);
+
+    std::printf(
+        "wdmlat_run --matrix: %zu cells (%zu OS x %zu workloads x %zu priorities x %d "
+        "trials),\n%.1f virtual minutes per cell, master seed %llu, %d jobs\n\n",
+        matrix.cells().size(), spec.oses.size(), spec.workloads.size(),
+        spec.priorities.size(), spec.trials, minutes,
+        static_cast<unsigned long long>(seed), jobs);
+
+    const lab::MatrixResult result = matrix.Run(jobs, [&](const lab::MatrixCell& cell) {
+      std::printf("  done: %-16s %-18s prio %2d  trial %d  (seed %016llx)\n",
+                  cell.config.os.name.c_str(), cell.config.stress.name.c_str(),
+                  cell.config.thread_priority, cell.trial,
+                  static_cast<unsigned long long>(cell.seed));
+    });
+
+    std::printf("\nMerged distributions (per OS x workload x priority group):\n");
+    std::printf("  %-16s %-18s %-4s %-7s %-9s %9s %9s %9s\n", "OS", "workload", "prio",
+                "trials", "samples", "p50 ms", "p99 ms", "max ms");
+    for (const lab::MergedCell& group : result.merged) {
+      std::printf("  %-16s %-18s %-4d %-7d %-9llu %9.3f %9.3f %9.3f\n",
+                  group.os_name.c_str(), group.workload_name.c_str(),
+                  group.thread_priority, group.trials,
+                  static_cast<unsigned long long>(group.samples()),
+                  group.thread.QuantileMs(0.5), group.thread.QuantileMs(0.99),
+                  group.thread.max_ms());
+    }
+    std::printf(
+        "\n%zu cells in %.2f s wall (%.2f s summed cell time, %.2fx speedup at "
+        "--jobs=%d)\n",
+        matrix.cells().size(), result.wall_seconds, result.total_cell_seconds,
+        result.Speedup(), jobs);
+    std::printf(
+        "determinism: merged histograms are bit-identical for any --jobs value under "
+        "master seed %llu\n",
+        static_cast<unsigned long long>(seed));
+    return 0;
   }
 
   lab::LabConfig config;

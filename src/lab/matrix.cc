@@ -1,0 +1,137 @@
+#include "src/lab/matrix.h"
+
+#include <cassert>
+#include <chrono>
+#include <mutex>
+
+#include "src/kernel/profile.h"
+#include "src/runtime/thread_pool.h"
+#include "src/sim/rng.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+
+MatrixSpec PaperMatrix() {
+  MatrixSpec spec;
+  spec.oses = {kernel::MakeNt4Profile(), kernel::MakeWin98Profile()};
+  spec.workloads = {workload::OfficeStress(), workload::WorkstationStress(),
+                    workload::GamesStress(), workload::WebStress()};
+  spec.priorities = {28, 24};
+  return spec;
+}
+
+std::uint64_t ExperimentMatrix::CellSeed(std::uint64_t master_seed, std::size_t os_index,
+                                         std::size_t workload_index, int priority,
+                                         int trial) {
+  // Hash chain: XOR each coordinate into the running hash, then push it
+  // through a full SplitMix64 avalanche round. Each round is a bijection, so
+  // neighbouring cells (which differ in one small coordinate) land on
+  // statistically independent xoshiro streams.
+  std::uint64_t hash = master_seed;
+  const std::uint64_t coords[] = {
+      static_cast<std::uint64_t>(os_index), static_cast<std::uint64_t>(workload_index),
+      static_cast<std::uint64_t>(priority), static_cast<std::uint64_t>(trial)};
+  for (std::uint64_t coord : coords) {
+    std::uint64_t state = hash ^ coord;
+    hash = sim::SplitMix64(state);
+  }
+  return hash;
+}
+
+ExperimentMatrix::ExperimentMatrix(MatrixSpec spec) : spec_(std::move(spec)) {
+  if (spec_.trials < 1) {
+    spec_.trials = 1;
+  }
+  cells_.reserve(spec_.cell_count());
+  for (std::size_t os_i = 0; os_i < spec_.oses.size(); ++os_i) {
+    for (std::size_t wl_i = 0; wl_i < spec_.workloads.size(); ++wl_i) {
+      for (std::size_t pr_i = 0; pr_i < spec_.priorities.size(); ++pr_i) {
+        for (int trial = 0; trial < spec_.trials; ++trial) {
+          MatrixCell cell;
+          cell.index = cells_.size();
+          cell.os_index = os_i;
+          cell.workload_index = wl_i;
+          cell.priority_index = pr_i;
+          cell.trial = trial;
+          cell.seed = CellSeed(spec_.master_seed, os_i, wl_i, spec_.priorities[pr_i], trial);
+          cell.config.os = spec_.oses[os_i];
+          cell.config.stress = spec_.workloads[wl_i];
+          cell.config.thread_priority = spec_.priorities[pr_i];
+          cell.config.stress_minutes = spec_.stress_minutes;
+          cell.config.warmup_seconds = spec_.warmup_seconds;
+          cell.config.seed = cell.seed;
+          cell.config.options = spec_.options;
+          cell.config.driver = spec_.driver;
+          cells_.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+}
+
+std::size_t ExperimentMatrix::GroupIndex(std::size_t os_index, std::size_t workload_index,
+                                         std::size_t priority_index) const {
+  return (os_index * spec_.workloads.size() + workload_index) * spec_.priorities.size() +
+         priority_index;
+}
+
+MatrixResult ExperimentMatrix::Run(
+    int jobs, const std::function<void(const MatrixCell&)>& on_cell_done) const {
+  using Clock = std::chrono::steady_clock;
+  MatrixResult result;
+  result.reports.resize(cells_.size());
+  std::vector<double> cell_seconds(cells_.size(), 0.0);
+  std::mutex progress_mutex;
+
+  const Clock::time_point run_start = Clock::now();
+  // Each cell is an isolated single-threaded simulation writing only to its
+  // own slot; the pool provides no ordering and needs none.
+  runtime::ParallelFor(jobs, cells_.size(), [&](std::size_t i) {
+    const Clock::time_point cell_start = Clock::now();
+    result.reports[i] = RunLatencyExperiment(cells_[i].config);
+    cell_seconds[i] = std::chrono::duration<double>(Clock::now() - cell_start).count();
+    if (on_cell_done) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      on_cell_done(cells_[i]);
+    }
+  });
+  result.wall_seconds = std::chrono::duration<double>(Clock::now() - run_start).count();
+  for (double seconds : cell_seconds) {
+    result.total_cell_seconds += seconds;
+  }
+
+  // Merge trials into groups strictly in grid order: histogram bucket adds
+  // and floating-point sums see the same sequence whatever `jobs` was.
+  result.merged.resize(spec_.group_count());
+  for (const MatrixCell& cell : cells_) {
+    const LabReport& report = result.reports[cell.index];
+    MergedCell& group =
+        result.merged[GroupIndex(cell.os_index, cell.workload_index, cell.priority_index)];
+    if (group.trials == 0) {
+      group.os_name = report.os_name;
+      group.workload_name = report.workload_name;
+      group.thread_priority = report.thread_priority;
+      group.has_interrupt_latency = report.has_interrupt_latency;
+      group.usage = report.usage;
+    } else {
+      assert(stats::MergeableUsage(group.usage, report.usage));
+    }
+    group.dpc_interrupt.Merge(report.dpc_interrupt);
+    group.thread.Merge(report.thread);
+    group.thread_interrupt.Merge(report.thread_interrupt);
+    group.interrupt.Merge(report.interrupt);
+    group.isr_to_dpc.Merge(report.isr_to_dpc);
+    group.true_pit_interrupt_latency.Merge(report.true_pit_interrupt_latency);
+    // Recover the driver's measured stress-hours so the pooled rate stays
+    // total-samples / total-hours, not an average of per-trial rates.
+    const double stress_hours = report.samples_per_hour > 0.0
+                                    ? static_cast<double>(report.samples) /
+                                          report.samples_per_hour
+                                    : cell.config.stress_minutes / 60.0;
+    group.counters.Merge(stats::SampleCounters{report.samples, stress_hours});
+    ++group.trials;
+  }
+  return result;
+}
+
+}  // namespace wdmlat::lab

@@ -1,0 +1,140 @@
+// ExperimentMatrix: the paper's measurement grid, run in parallel.
+//
+// The paper's exhibits are built from a matrix of experiment cells —
+// {NT, 98} × {office, workstation, games, web} × {priority 24, 28} × seeds —
+// and each cell is an independent single-threaded simulation. This runner
+// expands an {os × workload × priority × trials} grid into LabConfigs with
+// SplitMix64-derived per-cell seeds, fans the cells across a
+// runtime::ThreadPool, and merges the per-trial LabReports of each
+// (os, workload, priority) group into pooled distributions.
+//
+// Determinism contract (enforced by tests/matrix_determinism_test.cc): for a
+// fixed master seed, the merged histograms are bit-identical for jobs=1 and
+// jobs=N. Two mechanisms guarantee it:
+//   1. A cell's seed depends only on its grid coordinates and the master
+//      seed — never on enumeration or completion order.
+//   2. Every cell writes its report into a pre-sized slot, and slots are
+//      merged sequentially in grid order after all cells finish, so even the
+//      floating-point sums accumulate in a jobs-independent order.
+
+#ifndef SRC_LAB_MATRIX_H_
+#define SRC_LAB_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/lab/lab.h"
+
+namespace wdmlat::lab {
+
+struct MatrixSpec {
+  std::vector<kernel::KernelProfile> oses;
+  std::vector<workload::StressProfile> workloads;
+  // Measured RT thread priorities (the paper uses 28 "High" and 24 "Med.").
+  std::vector<int> priorities;
+  // Independent trials per (os, workload, priority) group, each with its own
+  // derived seed; trial histograms merge into the group's pooled result.
+  int trials = 1;
+  double stress_minutes = 10.0;
+  double warmup_seconds = 5.0;
+  std::uint64_t master_seed = 1999;
+  TestSystemOptions options;
+  drivers::LatencyDriver::Config driver;  // thread_priority is overridden
+
+  std::size_t cell_count() const {
+    return oses.size() * workloads.size() * priorities.size() *
+           static_cast<std::size_t>(trials < 1 ? 1 : trials);
+  }
+  std::size_t group_count() const {
+    return oses.size() * workloads.size() * priorities.size();
+  }
+};
+
+// The paper's full Figure-4 grid: {NT 4.0, Windows 98} × the four stress
+// loads × priorities {28, 24}, one trial per cell.
+MatrixSpec PaperMatrix();
+
+// One expanded cell, in grid-enumeration order (os-major, then workload,
+// then priority, then trial).
+struct MatrixCell {
+  std::size_t index = 0;  // linear index in enumeration order
+  std::size_t os_index = 0;
+  std::size_t workload_index = 0;
+  std::size_t priority_index = 0;
+  int trial = 0;
+  std::uint64_t seed = 0;  // = CellSeed(master, coordinates)
+  LabConfig config;
+};
+
+// A merged (os, workload, priority) group: the per-trial LabReports combined
+// bucket-for-bucket via LatencyHistogram::Merge, sampling counters pooled.
+struct MergedCell {
+  std::string os_name;
+  std::string workload_name;
+  int thread_priority = 0;
+  int trials = 0;
+
+  stats::LatencyHistogram dpc_interrupt;
+  stats::LatencyHistogram thread;
+  stats::LatencyHistogram thread_interrupt;
+  stats::LatencyHistogram interrupt;
+  stats::LatencyHistogram isr_to_dpc;
+  stats::LatencyHistogram true_pit_interrupt_latency;
+  bool has_interrupt_latency = false;
+
+  stats::SampleCounters counters;
+  stats::UsageModel usage;
+
+  std::uint64_t samples() const { return counters.samples; }
+  double samples_per_hour() const { return counters.SamplesPerHour(); }
+};
+
+struct MatrixResult {
+  // Per-cell reports, parallel to ExperimentMatrix::cells().
+  std::vector<LabReport> reports;
+  // One merged group per (os, workload, priority), in grid order.
+  std::vector<MergedCell> merged;
+
+  // Wall-clock accounting for the speedup report: elapsed time of the whole
+  // run versus the summed per-cell times (≈ what a serial run would cost).
+  double wall_seconds = 0.0;
+  double total_cell_seconds = 0.0;
+  double Speedup() const {
+    return wall_seconds > 0.0 ? total_cell_seconds / wall_seconds : 1.0;
+  }
+};
+
+class ExperimentMatrix {
+ public:
+  explicit ExperimentMatrix(MatrixSpec spec);
+
+  const MatrixSpec& spec() const { return spec_; }
+  const std::vector<MatrixCell>& cells() const { return cells_; }
+
+  // Deterministic per-cell seed: a SplitMix64 hash chain over (master seed,
+  // grid coordinates). Depends only on the coordinates, so adding a trial or
+  // reordering the run never reseeds existing cells.
+  static std::uint64_t CellSeed(std::uint64_t master_seed, std::size_t os_index,
+                                std::size_t workload_index, int priority, int trial);
+
+  // Run every cell on `jobs` worker threads (jobs <= 1 runs inline) and merge
+  // trial groups. `on_cell_done`, if set, is invoked once per finished cell,
+  // serialized under a lock (completion order, not grid order).
+  MatrixResult Run(int jobs,
+                   const std::function<void(const MatrixCell&)>& on_cell_done = nullptr) const;
+
+  // Index of a group in MatrixResult::merged by grid coordinates.
+  std::size_t GroupIndex(std::size_t os_index, std::size_t workload_index,
+                         std::size_t priority_index) const;
+
+ private:
+  MatrixSpec spec_;
+  std::vector<MatrixCell> cells_;
+};
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_MATRIX_H_

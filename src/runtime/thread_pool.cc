@@ -1,0 +1,92 @@
+#include "src/runtime/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace wdmlat::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> future = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+int ThreadPool::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+void ParallelFor(int jobs, std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  {
+    ThreadPool pool(std::min<int>(jobs, static_cast<int>(n)));
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(pool.Submit([&body, i] { body(i); }));
+    }
+    // Pool destructor drains the queue and joins, so every body(i) has run
+    // (or thrown into its future) before we inspect results.
+  }
+  std::exception_ptr first;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) {
+        first = std::current_exception();
+      }
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+}  // namespace wdmlat::runtime

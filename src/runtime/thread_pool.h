@@ -1,0 +1,64 @@
+// A small fixed-size thread pool for fanning independent experiment cells
+// across cores.
+//
+// Deliberately work-stealing-free: the matrix runner needs no load balancing
+// beyond a shared FIFO queue, and a single mutex-protected deque keeps the
+// execution model simple enough to reason about under TSan. Determinism is
+// the caller's job — the pool guarantees only that every submitted task runs
+// exactly once; callers that want jobs-independent results must write each
+// task's output to its own slot and combine slots in a fixed order afterwards
+// (see lab::ExperimentMatrix).
+
+#ifndef SRC_RUNTIME_THREAD_POOL_H_
+#define SRC_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wdmlat::runtime {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+
+  // Drains every task submitted so far — queued tasks still run — then joins
+  // the workers. Shutdown-while-busy is therefore loss-free.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueue a task. The returned future becomes ready when the task finishes;
+  // an exception thrown by the task is captured and rethrown from get().
+  std::future<void> Submit(std::function<void()> task);
+
+  // Number of logical cores, never less than 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Run body(0) .. body(n-1), spread over `jobs` workers (inline when jobs <= 1
+// or n <= 1, with no pool spun up). Blocks until every index has run, even if
+// some throw; the first exception (in index order) is then rethrown.
+void ParallelFor(int jobs, std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace wdmlat::runtime
+
+#endif  // SRC_RUNTIME_THREAD_POOL_H_

@@ -7,9 +7,12 @@ namespace wdmlat::sim {
 bool EventHandle::pending() const { return rec_ && !rec_->cancelled && !rec_->fired; }
 
 void EventHandle::Cancel() {
-  if (rec_ && !rec_->fired) {
+  if (rec_ && !rec_->fired && !rec_->cancelled) {
     rec_->cancelled = true;
     rec_->callback = nullptr;  // release captured state eagerly
+    if (rec_->live_counter) {
+      --*rec_->live_counter;
+    }
   }
 }
 
@@ -19,6 +22,8 @@ EventHandle Engine::ScheduleAt(Cycles when, Callback cb) {
   }
   auto rec = std::make_shared<EventHandle::Record>();
   rec->callback = std::move(cb);
+  rec->live_counter = live_;
+  ++*live_;
   queue_.push(QueueEntry{when, next_seq_++, rec});
   return EventHandle(std::move(rec));
 }
@@ -32,10 +37,11 @@ bool Engine::Step() {
     QueueEntry entry = queue_.top();
     queue_.pop();
     if (entry.rec->cancelled) {
-      continue;
+      continue;  // lazy purge: cancelled records drop out as they surface
     }
     now_ = entry.when;
     entry.rec->fired = true;
+    --*live_;
     ++events_processed_;
     // Move the callback out so captured state dies with this scope even if
     // the handle outlives the event.

@@ -39,6 +39,10 @@ class EventHandle {
     std::function<void()> callback;
     bool cancelled = false;
     bool fired = false;
+    // Shared live-event counter of the owning engine; decremented exactly
+    // once, on fire or on first cancel. Shared ownership keeps Cancel() safe
+    // even on a handle that outlives its engine.
+    std::shared_ptr<std::size_t> live_counter;
   };
   explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
   std::shared_ptr<Record> rec_;
@@ -78,9 +82,10 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
 
-  // Number of scheduled-and-not-yet-fired events, including cancelled ones
-  // still in the calendar.
-  std::size_t events_pending() const { return queue_.size(); }
+  // Number of scheduled-and-not-yet-fired events, excluding cancelled ones
+  // (their records linger in the calendar until lazily purged on pop, but
+  // they no longer count). Tests can therefore assert on calendar size.
+  std::size_t events_pending() const { return *live_; }
 
  private:
   struct QueueEntry {
@@ -101,6 +106,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
+  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
 };
 

@@ -5,8 +5,6 @@
 
 namespace wdmlat::sim {
 
-namespace {
-
 std::uint64_t SplitMix64(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;
   std::uint64_t z = state;
@@ -14,6 +12,8 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
+
+namespace {
 
 std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

@@ -13,6 +13,11 @@
 
 namespace wdmlat::sim {
 
+// One SplitMix64 step: advances `state` and returns a well-mixed 64-bit
+// value. Exposed for deterministic derived-seed schemes (per-cell seeds of
+// the experiment matrix) in addition to seeding Rng itself.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
 // xoshiro256** seeded via SplitMix64. Small, fast, and good enough for
 // workload modelling; not cryptographic.
 class Rng {

@@ -13,6 +13,20 @@ UsageModel GamesUsage() { return UsageModel{"Recent 3D Games", 1.0, 2.5, 12.5}; 
 
 UsageModel WebUsage() { return UsageModel{"Web Browsing", 4.0, 3.5, 24.5}; }
 
+bool MergeableUsage(const UsageModel& a, const UsageModel& b) {
+  return a.category == b.category && a.compression == b.compression &&
+         a.day_hours == b.day_hours && a.week_hours == b.week_hours;
+}
+
+void SampleCounters::Merge(const SampleCounters& other) {
+  samples += other.samples;
+  stress_hours += other.stress_hours;
+}
+
+double SampleCounters::SamplesPerHour() const {
+  return stress_hours > 0.0 ? static_cast<double>(samples) / stress_hours : 0.0;
+}
+
 WorstCases ComputeWorstCases(const LatencyHistogram& hist, double samples_per_stress_hour,
                              const UsageModel& usage) {
   WorstCases out;

@@ -35,6 +35,23 @@ UsageModel WorkstationUsage();
 UsageModel GamesUsage();
 UsageModel WebUsage();
 
+// True when two usage models describe the same user category and can back a
+// merged distribution (required before pooling reports across matrix trials).
+bool MergeableUsage(const UsageModel& a, const UsageModel& b);
+
+// Sampling counters that merge alongside histograms when independent trials
+// of one experiment cell are pooled: total samples and total stress-hours.
+// The pooled sample rate feeds ComputeWorstCases exactly like a single
+// run's `samples_per_hour` — a sample-count-weighted rate, not an average
+// of per-trial rates.
+struct SampleCounters {
+  std::uint64_t samples = 0;
+  double stress_hours = 0.0;
+
+  void Merge(const SampleCounters& other);
+  double SamplesPerHour() const;  // 0 when no stress time has accumulated
+};
+
 struct WorstCases {
   double hourly_ms = 0.0;
   double daily_ms = 0.0;

@@ -1,0 +1,148 @@
+// Property-style checks for LatencyHistogram::Merge and the pooled
+// SampleCounters: merging must be commutative and associative on every
+// bucket, and a merged histogram must answer quantile queries exactly like a
+// histogram built from the concatenated sample stream — the algebra the
+// parallel matrix runner's determinism guarantee rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/stats/histogram.h"
+#include "src/stats/usage_model.h"
+
+namespace wdmlat::stats {
+namespace {
+
+// Heavy-tailed deterministic sample streams, one per seed, exercising the
+// underflow bucket, the log-bucket midrange, and the deep tail.
+std::vector<double> SampleStreamUs(std::uint64_t seed, int n) {
+  sim::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double us = rng.BoundedPareto(1.1, 0.5, 2e6);
+    if (rng.Bernoulli(0.05)) {
+      us = rng.Uniform(0.0, LatencyHistogram::kMinUs);  // underflow samples
+    }
+    out.push_back(us);
+  }
+  return out;
+}
+
+LatencyHistogram FromSamples(const std::vector<double>& samples_us) {
+  LatencyHistogram hist;
+  for (double us : samples_us) {
+    hist.RecordUs(us);
+  }
+  return hist;
+}
+
+// Bucket-for-bucket equality, including count, underflow and extrema, via
+// the CSV dump (which lists every non-empty bucket with its count).
+void ExpectBucketsIdentical(const LatencyHistogram& a, const LatencyHistogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+  EXPECT_EQ(a.min_ms(), b.min_ms());
+  EXPECT_EQ(a.max_ms(), b.max_ms());
+}
+
+TEST(HistogramMergeTest, MergeIsCommutative) {
+  const LatencyHistogram a = FromSamples(SampleStreamUs(1, 4000));
+  const LatencyHistogram b = FromSamples(SampleStreamUs(2, 2500));
+  LatencyHistogram ab = a;
+  ab.Merge(b);
+  LatencyHistogram ba = b;
+  ba.Merge(a);
+  ExpectBucketsIdentical(ab, ba);
+  // Floating-point sums may differ in ulps across orders; the mean must
+  // still agree to near machine precision.
+  EXPECT_NEAR(ab.mean_ms(), ba.mean_ms(), 1e-9 * std::max(1.0, ab.mean_ms()));
+}
+
+TEST(HistogramMergeTest, MergeIsAssociative) {
+  const LatencyHistogram a = FromSamples(SampleStreamUs(3, 3000));
+  const LatencyHistogram b = FromSamples(SampleStreamUs(4, 1000));
+  const LatencyHistogram c = FromSamples(SampleStreamUs(5, 2000));
+  LatencyHistogram left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  LatencyHistogram bc = b;  // a + (b + c)
+  bc.Merge(c);
+  LatencyHistogram right = a;
+  right.Merge(bc);
+  ExpectBucketsIdentical(left, right);
+}
+
+TEST(HistogramMergeTest, MergedQuantilesEqualConcatenatedStream) {
+  const std::vector<double> s1 = SampleStreamUs(6, 5000);
+  const std::vector<double> s2 = SampleStreamUs(7, 3000);
+  LatencyHistogram merged = FromSamples(s1);
+  merged.Merge(FromSamples(s2));
+
+  std::vector<double> concat = s1;
+  concat.insert(concat.end(), s2.begin(), s2.end());
+  const LatencyHistogram whole = FromSamples(concat);
+
+  ExpectBucketsIdentical(merged, whole);
+  // Quantiles depend only on bucket counts and extrema, so they must match
+  // bit-for-bit, not just approximately.
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999, 1.0}) {
+    EXPECT_EQ(merged.QuantileMs(q), whole.QuantileMs(q)) << "q=" << q;
+  }
+  for (double ms : {0.001, 0.1, 1.0, 10.0, 100.0}) {
+    EXPECT_EQ(merged.FractionAtOrAbove(ms), whole.FractionAtOrAbove(ms)) << "ms=" << ms;
+  }
+  EXPECT_EQ(merged.ExpectedMaxOfNMs(10000), whole.ExpectedMaxOfNMs(10000));
+}
+
+TEST(HistogramMergeTest, EmptyHistogramIsMergeIdentity) {
+  const LatencyHistogram a = FromSamples(SampleStreamUs(8, 1234));
+  LatencyHistogram left;  // empty + a
+  left.Merge(a);
+  ExpectBucketsIdentical(left, a);
+  EXPECT_EQ(left.mean_ms(), a.mean_ms());
+  LatencyHistogram right = a;  // a + empty
+  right.Merge(LatencyHistogram());
+  ExpectBucketsIdentical(right, a);
+  // min/max must come from the non-empty side, not the identity's zeros.
+  EXPECT_EQ(left.min_ms(), a.min_ms());
+  EXPECT_EQ(left.max_ms(), a.max_ms());
+}
+
+TEST(HistogramMergeTest, SelfMergeDoublesEveryBucket) {
+  const LatencyHistogram a = FromSamples(SampleStreamUs(9, 2000));
+  LatencyHistogram doubled = a;
+  doubled.Merge(a);
+  EXPECT_EQ(doubled.count(), 2 * a.count());
+  EXPECT_EQ(doubled.min_ms(), a.min_ms());
+  EXPECT_EQ(doubled.max_ms(), a.max_ms());
+  // Quantiles of X+X equal quantiles of X.
+  for (double q : {0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_EQ(doubled.QuantileMs(q), a.QuantileMs(q)) << "q=" << q;
+  }
+}
+
+TEST(SampleCountersTest, MergePoolsSamplesAndHours) {
+  SampleCounters a{3600, 0.5};   // 7200/h over half an hour
+  const SampleCounters b{1800, 1.0};  // 1800/h over an hour
+  a.Merge(b);
+  EXPECT_EQ(a.samples, 5400u);
+  EXPECT_DOUBLE_EQ(a.stress_hours, 1.5);
+  // Pooled rate is total/total (3600/h), not the 4500/h average of rates.
+  EXPECT_DOUBLE_EQ(a.SamplesPerHour(), 3600.0);
+  EXPECT_DOUBLE_EQ(SampleCounters{}.SamplesPerHour(), 0.0);
+}
+
+TEST(SampleCountersTest, MergeableUsageRequiresSameCategory) {
+  EXPECT_TRUE(MergeableUsage(OfficeUsage(), OfficeUsage()));
+  EXPECT_FALSE(MergeableUsage(OfficeUsage(), GamesUsage()));
+  UsageModel tweaked = WebUsage();
+  tweaked.day_hours += 1.0;
+  EXPECT_FALSE(MergeableUsage(WebUsage(), tweaked));
+}
+
+}  // namespace
+}  // namespace wdmlat::stats

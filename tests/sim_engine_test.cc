@@ -148,6 +148,67 @@ TEST(EngineTest, EventsProcessedCountsOnlyFired) {
   EXPECT_EQ(engine.events_processed(), 2u);
 }
 
+TEST(EngineTest, EventsPendingExcludesCancelled) {
+  Engine engine;
+  EventHandle first = engine.ScheduleAt(10, [] {});
+  EventHandle second = engine.ScheduleAt(20, [] {});
+  engine.ScheduleAt(30, [] {});
+  EXPECT_EQ(engine.events_pending(), 3u);
+  first.Cancel();
+  EXPECT_EQ(engine.events_pending(), 2u);
+  first.Cancel();  // double cancel must not decrement twice
+  EXPECT_EQ(engine.events_pending(), 2u);
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.events_pending(), 0u);
+  second.Cancel();  // cancel after fire must not underflow the count
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(EngineTest, EventsPendingTracksFiringStepByStep) {
+  Engine engine;
+  engine.ScheduleAt(1, [] {});
+  engine.ScheduleAt(2, [] {});
+  EXPECT_EQ(engine.events_pending(), 2u);
+  EXPECT_TRUE(engine.Step());
+  EXPECT_EQ(engine.events_pending(), 1u);
+  EXPECT_TRUE(engine.Step());
+  EXPECT_EQ(engine.events_pending(), 0u);
+}
+
+TEST(EngineTest, CancelledRecordsArePurgedOnPop) {
+  // A sea of cancelled events ahead of one live event: the calendar must
+  // report only the live one, skip the cancelled records without firing
+  // them, and end up empty.
+  Engine engine;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(engine.ScheduleAt(static_cast<Cycles>(i), [] { FAIL(); }));
+  }
+  bool fired = false;
+  engine.ScheduleAt(1000, [&] { fired = true; });
+  for (EventHandle& handle : handles) {
+    handle.Cancel();
+  }
+  EXPECT_EQ(engine.events_pending(), 1u);
+  engine.RunUntil(500);  // pops cancelled records without reaching the live event
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.events_pending(), 1u);
+  engine.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.events_pending(), 0u);
+  EXPECT_EQ(engine.events_processed(), 1u);
+}
+
+TEST(EngineTest, CancelViaHandleOutlivingEngineIsSafe) {
+  EventHandle handle;
+  {
+    Engine engine;
+    handle = engine.ScheduleAt(10, [] {});
+  }
+  handle.Cancel();  // engine gone; must not crash or touch freed memory
+  EXPECT_FALSE(handle.pending());
+}
+
 TEST(EngineTest, NestedSchedulingFromCallbacks) {
   Engine engine;
   int depth = 0;

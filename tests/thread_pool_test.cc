@@ -1,0 +1,121 @@
+// Coverage for runtime::ThreadPool: task completion, exception propagation
+// through futures and ParallelFor, and loss-free shutdown while busy.
+
+#include "src/runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace wdmlat::runtime {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.Submit([&count] { ++count; }));
+    }
+    for (auto& future : futures) {
+      future.get();
+    }
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> bad = pool.Submit([] { throw std::runtime_error("cell exploded"); });
+  std::future<void> good = pool.Submit([] {});
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_NO_THROW(good.get());
+}
+
+TEST(ThreadPoolTest, ShutdownWhileBusyDrainsTheQueue) {
+  // Many more slow-ish tasks than workers; destroy the pool immediately.
+  // The destructor must complete every queued task before joining.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++count;
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int jobs : {1, 4}) {
+    std::mutex mutex;
+    std::multiset<std::size_t> seen;
+    ParallelFor(jobs, 257, [&](std::size_t i) {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(i);
+    });
+    ASSERT_EQ(seen.size(), 257u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < 257; ++i) {
+      EXPECT_EQ(seen.count(i), 1u) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstExceptionAfterAllIndicesRan) {
+  std::atomic<int> ran{0};
+  auto body = [&ran](std::size_t i) {
+    ++ran;
+    if (i == 3 || i == 7) {
+      throw std::runtime_error("index " + std::to_string(i));
+    }
+  };
+  ran = 0;
+  EXPECT_THROW(ParallelFor(4, 16, body), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // a throwing index must not cancel the rest
+  ran = 0;
+  try {
+    ParallelFor(4, 16, body);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");  // first in index order
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWhenSingleJobOrSingleItem) {
+  // jobs=1 must run on the calling thread (no pool), preserving sequence.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  ParallelFor(1, 5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  ParallelFor(8, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(i, 0u);
+  });
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace wdmlat::runtime
