@@ -16,6 +16,7 @@
 #include "src/drivers/latency_driver.h"
 #include "src/kernel/profile.h"
 #include "src/lab/test_system.h"
+#include "src/obs/flight_recorder.h"
 #include "src/workload/stress_load.h"
 
 int main() {
@@ -35,12 +36,21 @@ int main() {
   tool_config.threshold_ms = 6.0;
   drivers::CauseTool tool(system.kernel(), driver, tool_config);
 
+  // Flight recorder on the same threshold: its dispatcher-trace ground truth
+  // scores the cause tool's IP-sampling attribution below.
+  obs::EpisodeFlightRecorder::Config rec_config;
+  rec_config.threshold_ms = tool_config.threshold_ms;
+  obs::EpisodeFlightRecorder recorder(system.kernel(), rec_config);
+
   workload::StressLoad load(system.deps(), workload::OfficeStress(), system.ForkRng());
 
   driver.Start();
   tool.Start();
+  recorder.Arm(driver, &tool);
+  system.kernel().dispatcher().set_trace_sink(recorder.trace_sink());
   load.Start();
   system.RunForMinutes(minutes);
+  system.kernel().dispatcher().set_trace_sink(nullptr);
 
   std::printf("Hook samples taken: %llu; episodes above %.1f ms: %zu\n\n",
               static_cast<unsigned long long>(tool.hook_samples()), tool_config.threshold_ms,
@@ -52,5 +62,9 @@ int main() {
       "             SYSAUDIO!_ProcessTopologyConnection(1), VMM!_mmCalcFrameBadness(2)\n"
       "  episode 1: SYSAUDIO!_ProcessTopologyConnection(1), VMM!_mmCalcFrameBadness(2),\n"
       "             VMM!_mmFindContig(2), KMIXER!unknown(1)\n");
+
+  // Score the paper's methodology: does PIT-tick IP sampling finger the
+  // module the dispatcher trace says actually consumed the episode?
+  std::printf("\n%s", obs::RenderAttributionReport(recorder.Summaries()).c_str());
   return 0;
 }

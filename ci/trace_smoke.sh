@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Smoke test for the observability exporters: run a short experiment matrix
+# with every sink attached, then validate the outputs.
+#
+#   * trace.json must be well-formed JSON with a traceEvents array
+#     (Chrome trace-event format, viewable in Perfetto / chrome://tracing)
+#   * metrics.json must be well-formed JSON with counters/gauges/histograms
+#   * metrics.csv must have the kind,name,field,value header
+#
+# Validation uses wdmlat_json_check (the repo's own RFC 8259 linter) so the
+# script needs no python or third-party JSON tooling. Registered as the
+# `trace_smoke` ctest; also runnable standalone from the repo root:
+#
+#   ci/trace_smoke.sh                 # builds nothing, expects build/ to exist
+#   BUILD_DIR=build-foo ci/trace_smoke.sh
+
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+RUN="${BUILD_DIR}/cli/wdmlat_run"
+CHECK="${BUILD_DIR}/cli/wdmlat_json_check"
+
+if [[ ! -x "${RUN}" || ! -x "${CHECK}" ]]; then
+  echo "trace_smoke: missing ${RUN} or ${CHECK}; build the tree first" >&2
+  exit 1
+fi
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/wdmlat_trace_smoke.XXXXXX")"
+trap 'rm -rf "${OUT}"' EXIT
+
+# Short virtual matrix with every observability sink attached. --jobs 4 and
+# the space-separated flag form deliberately mirror the documented usage.
+"${RUN}" --matrix --jobs 4 --trials 1 --minutes 0.1 --seed 1999 \
+  --trace-out "${OUT}/trace.json" \
+  --metrics-out "${OUT}/metrics.json" \
+  --metrics-csv "${OUT}/metrics.csv" \
+  --episode-threshold-us 4000 > "${OUT}/run.log"
+
+"${CHECK}" "${OUT}/trace.json" --require-key=traceEvents --require-key=displayTimeUnit
+"${CHECK}" "${OUT}/metrics.json" --require-key=counters --require-key=gauges \
+  --require-key=histograms
+
+head -1 "${OUT}/metrics.csv" | grep -q '^kind,name,field,value$' \
+  || { echo "trace_smoke: bad metrics CSV header" >&2; exit 1; }
+
+# The single-cell path must also produce a parseable trace and print the
+# attribution-accuracy report.
+"${RUN}" --os win98 --workload office --sounds --minutes 0.1 --seed 42 \
+  --episode-threshold-us 4000 --trace-out "${OUT}/cell.json" > "${OUT}/cell.log"
+"${CHECK}" "${OUT}/cell.json" --require-key=traceEvents
+grep -q "Attribution accuracy" "${OUT}/cell.log" \
+  || { echo "trace_smoke: missing attribution report" >&2; exit 1; }
+
+echo "trace_smoke: OK"

@@ -1,0 +1,76 @@
+// wdmlat_json_check — validate that a file is well-formed JSON.
+//
+// Used by ci/trace_smoke.sh to check the Chrome-trace and metrics exporters'
+// output without depending on python or a third-party JSON library; the
+// parser is the same strict RFC 8259 linter the unit tests use.
+//
+//   wdmlat_json_check trace.json --require-key=traceEvents
+//   wdmlat_json_check metrics.json --require-key=counters --require-key=histograms
+//
+// Exit status: 0 when every file parses and contains every required
+// top-level key, 1 otherwise, 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> required_keys;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--require-key=", 14) == 0) {
+      required_keys.emplace_back(arg + 14);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0 ||
+               std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "usage: wdmlat_json_check FILE... [--require-key=NAME]...\n");
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: wdmlat_json_check FILE... [--require-key=NAME]...\n");
+    return 2;
+  }
+
+  bool ok = true;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "wdmlat_json_check: cannot open %s\n", path.c_str());
+      ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    const wdmlat::obs::JsonLintResult result = wdmlat::obs::LintJson(text);
+    if (!result.valid) {
+      std::fprintf(stderr, "wdmlat_json_check: %s: invalid JSON at offset %zu: %s\n",
+                   path.c_str(), result.error_offset, result.error.c_str());
+      ok = false;
+      continue;
+    }
+    bool keys_ok = true;
+    for (const std::string& key : required_keys) {
+      if (!result.HasTopLevelKey(key)) {
+        std::fprintf(stderr, "wdmlat_json_check: %s: missing top-level key \"%s\"\n",
+                     path.c_str(), key.c_str());
+        keys_ok = false;
+      }
+    }
+    ok = ok && keys_ok;
+    if (keys_ok) {
+      std::printf("wdmlat_json_check: %s: OK (%zu bytes, %zu top-level keys)\n",
+                  path.c_str(), text.size(), result.top_level_keys.size());
+    }
+  }
+  return ok ? 0 : 1;
+}

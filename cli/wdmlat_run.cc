@@ -21,6 +21,20 @@
 //   --csv-dir=<dir>            export distributions as CSV
 //   --worst-cases              print hourly/daily/weekly expected worst cases
 //
+// Observability (see EXPERIMENTS.md "Tracing & metrics"):
+//   --trace-out=<file>         write a Chrome trace-event JSON (Perfetto /
+//                              chrome://tracing); in matrix mode the sim
+//                              tracks show the first cell, the host tracks
+//                              show every cell on its pool worker
+//   --metrics-out=<file>       write the run's MetricsRegistry as JSON
+//   --metrics-csv=<file>       same registry as kind,name,field,value CSV
+//   --queue-sample-ms=<float>  queue-depth sampling period (default 1.0,
+//                              active only with --metrics-out/--trace-out)
+//   --episode-threshold-us=<float>
+//                              arm the episode flight recorder + cause tool
+//                              at this thread latency; prints the
+//                              attribution-accuracy report after the run
+//
 // Matrix mode (parallel experiment grid; see EXPERIMENTS.md):
 //   --matrix                   run the paper's full {NT,98} x {4 loads} x
 //                              {prio 28,24} grid instead of a single cell;
@@ -34,12 +48,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/kernel/profile.h"
 #include "src/lab/csv_export.h"
 #include "src/lab/lab.h"
 #include "src/lab/matrix.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/report/loglog_plot.h"
 #include "src/runtime/thread_pool.h"
 #include "src/stats/usage_model.h"
@@ -59,8 +77,24 @@ using namespace wdmlat;
                "                  [--priority=N] [--minutes=F] [--seed=N] [--scanner] "
                "[--sounds]\n"
                "                  [--plot] [--csv-dir=DIR] [--worst-cases]\n"
+               "                  [--trace-out=FILE] [--metrics-out=FILE] "
+               "[--metrics-csv=FILE]\n"
+               "                  [--queue-sample-ms=F] [--episode-threshold-us=F]\n"
                "                  [--matrix [--jobs=N] [--trials=N]]\n");
   std::exit(2);
+}
+
+// Write `text` to `path`, reporting (but not failing on) I/O errors.
+void WriteTextFile(const std::string& path, const std::string& text, const char* what) {
+  std::ofstream out(path);
+  if (out) {
+    out << text;
+  }
+  if (out.good()) {
+    std::printf("wrote %s to %s\n", what, path.c_str());
+  } else {
+    std::fprintf(stderr, "wdmlat_run: failed to write %s to %s\n", what, path.c_str());
+  }
 }
 
 bool MatchFlag(const char* arg, const char* name, std::string* value) {
@@ -79,6 +113,17 @@ bool MatchFlag(const char* arg, const char* name, std::string* value) {
   return false;
 }
 
+// Value-taking flag: accepts both --name=VALUE and --name VALUE.
+bool MatchValueFlag(int argc, char** argv, int* i, const char* name, std::string* value) {
+  if (!MatchFlag(argv[*i], name, value)) {
+    return false;
+  }
+  if (value->empty() && *i + 1 < argc) {
+    *value = argv[++*i];
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,24 +140,29 @@ int main(int argc, char** argv) {
   int jobs = runtime::ThreadPool::HardwareThreads();
   int trials = 1;
   std::string csv_dir;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string metrics_csv;
+  double queue_sample_ms = 1.0;
+  double episode_threshold_us = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (MatchFlag(argv[i], "--matrix", &value)) {
       matrix_mode = true;
-    } else if (MatchFlag(argv[i], "--jobs", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--jobs", &value)) {
       jobs = std::atoi(value.c_str());
-    } else if (MatchFlag(argv[i], "--trials", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--trials", &value)) {
       trials = std::atoi(value.c_str());
-    } else if (MatchFlag(argv[i], "--os", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--os", &value)) {
       os_name = value;
-    } else if (MatchFlag(argv[i], "--workload", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--workload", &value)) {
       workload_name = value;
-    } else if (MatchFlag(argv[i], "--priority", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--priority", &value)) {
       priority = std::atoi(value.c_str());
-    } else if (MatchFlag(argv[i], "--minutes", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--minutes", &value)) {
       minutes = std::atof(value.c_str());
-    } else if (MatchFlag(argv[i], "--seed", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--seed", &value)) {
       seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (MatchFlag(argv[i], "--scanner", &value)) {
       scanner = true;
@@ -122,8 +172,18 @@ int main(int argc, char** argv) {
       plot = true;
     } else if (MatchFlag(argv[i], "--worst-cases", &value)) {
       worst_cases = true;
-    } else if (MatchFlag(argv[i], "--csv-dir", &value)) {
+    } else if (MatchValueFlag(argc, argv, &i, "--csv-dir", &value)) {
       csv_dir = value;
+    } else if (MatchValueFlag(argc, argv, &i, "--trace-out", &value)) {
+      trace_out = value;
+    } else if (MatchValueFlag(argc, argv, &i, "--metrics-out", &value)) {
+      metrics_out = value;
+    } else if (MatchValueFlag(argc, argv, &i, "--metrics-csv", &value)) {
+      metrics_csv = value;
+    } else if (MatchValueFlag(argc, argv, &i, "--queue-sample-ms", &value)) {
+      queue_sample_ms = std::atof(value.c_str());
+    } else if (MatchValueFlag(argc, argv, &i, "--episode-threshold-us", &value)) {
+      episode_threshold_us = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage();
     } else {
@@ -147,6 +207,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::ChromeTraceWriter trace_writer;
+  obs::MetricsRegistry metrics;
+  const bool want_metrics = !metrics_out.empty() || !metrics_csv.empty();
+
   if (matrix_mode) {
     lab::MatrixSpec spec = lab::PaperMatrix();
     spec.trials = trials;
@@ -155,6 +219,12 @@ int main(int argc, char** argv) {
     spec.options.virus_scanner = scanner;
     spec.options.sound_scheme =
         sounds ? vmm98::SchemeKind::kDefault : vmm98::SchemeKind::kNoSounds;
+    spec.collect_metrics = want_metrics;
+    spec.queue_sample_ms = queue_sample_ms;
+    spec.episode_threshold_us = episode_threshold_us;
+    if (!trace_out.empty()) {
+      spec.trace_sink = &trace_writer;
+    }
     const lab::ExperimentMatrix matrix(spec);
 
     std::printf(
@@ -191,6 +261,37 @@ int main(int argc, char** argv) {
         "determinism: merged histograms are bit-identical for any --jobs value under "
         "master seed %llu\n",
         static_cast<unsigned long long>(seed));
+
+    if (episode_threshold_us > 0.0) {
+      std::printf("\nFlight-recorder episodes (threshold %.0f us):\n", episode_threshold_us);
+      for (const lab::MergedCell& group : result.merged) {
+        if (group.episodes == 0) {
+          continue;
+        }
+        std::printf("  %-16s %-18s prio %-2d  %llu episodes, %llu attributed, "
+                    "%llu module matches\n",
+                    group.os_name.c_str(), group.workload_name.c_str(),
+                    group.thread_priority,
+                    static_cast<unsigned long long>(group.episodes),
+                    static_cast<unsigned long long>(group.episodes_attributed),
+                    static_cast<unsigned long long>(group.episode_module_matches));
+      }
+    }
+    if (!trace_out.empty()) {
+      lab::AppendHostTrace(trace_writer, matrix, result);
+      if (trace_writer.WriteFile(trace_out)) {
+        std::printf("wrote Chrome trace (%zu events) to %s\n", trace_writer.event_count(),
+                    trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "wdmlat_run: failed to write trace to %s\n", trace_out.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      WriteTextFile(metrics_out, result.metrics.ToJson(), "metrics JSON");
+    }
+    if (!metrics_csv.empty()) {
+      WriteTextFile(metrics_csv, result.metrics.ToCsv(), "metrics CSV");
+    }
     return 0;
   }
 
@@ -223,6 +324,14 @@ int main(int argc, char** argv) {
   config.options.virus_scanner = scanner;
   config.options.sound_scheme =
       sounds ? vmm98::SchemeKind::kDefault : vmm98::SchemeKind::kNoSounds;
+  if (!trace_out.empty()) {
+    config.obs.trace_sink = &trace_writer;
+  }
+  if (want_metrics) {
+    config.obs.metrics = &metrics;
+  }
+  config.obs.queue_sample_ms = queue_sample_ms;
+  config.obs.episode_threshold_us = episode_threshold_us;
 
   std::printf("wdmlat_run: %s, %s, priority %d, %.1f virtual minutes, seed %llu\n",
               config.os.name.c_str(), config.stress.name.c_str(), priority, minutes,
@@ -278,6 +387,24 @@ int main(int argc, char** argv) {
     const int files = lab::WriteReportCsv(report, csv_dir, prefix);
     std::printf("\nwrote %d CSV files to %s/%s_*.csv\n", files, csv_dir.c_str(),
                 prefix.c_str());
+  }
+
+  if (episode_threshold_us > 0.0) {
+    std::printf("\n%s", obs::RenderAttributionReport(report.episodes).c_str());
+  }
+  if (!trace_out.empty()) {
+    if (trace_writer.WriteFile(trace_out)) {
+      std::printf("wrote Chrome trace (%zu events) to %s\n", trace_writer.event_count(),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "wdmlat_run: failed to write trace to %s\n", trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    WriteTextFile(metrics_out, metrics.ToJson(), "metrics JSON");
+  }
+  if (!metrics_csv.empty()) {
+    WriteTextFile(metrics_csv, metrics.ToCsv(), "metrics CSV");
   }
   return 0;
 }

@@ -70,8 +70,13 @@ double LatencyDriver::samples_per_hour() const {
 
 void LatencyDriver::SetLongLatencyCallback(double threshold_ms,
                                            std::function<void(double)> callback) {
-  long_threshold_ms_ = threshold_ms;
-  long_callback_ = std::move(callback);
+  long_watches_.clear();
+  AddLongLatencyCallback(threshold_ms, std::move(callback));
+}
+
+void LatencyDriver::AddLongLatencyCallback(double threshold_ms,
+                                           std::function<void(double)> callback) {
+  long_watches_.push_back(LongLatencyWatch{threshold_ms, std::move(callback)});
 }
 
 // Driver I/O read routine (2.2.2).
@@ -151,8 +156,10 @@ void LatencyDriver::RecordSample() {
   irp_.asb[3] = 0;
 
   ++samples_;
-  if (long_callback_ && thread_ms >= long_threshold_ms_ && long_threshold_ms_ > 0.0) {
-    long_callback_(thread_ms);
+  for (const LongLatencyWatch& watch : long_watches_) {
+    if (watch.callback && watch.threshold_ms > 0.0 && thread_ms >= watch.threshold_ms) {
+      watch.callback(thread_ms);
+    }
   }
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/kernel/kernel.h"
 #include "src/stats/histogram.h"
@@ -81,9 +82,12 @@ class LatencyDriver {
   // Observed sampling rate (samples per hour of virtual time since Start).
   double samples_per_hour() const;
 
-  // Cause-tool integration: `callback(ms)` runs when a recorded thread
-  // latency is at or above `threshold_ms`.
+  // Cause-tool / flight-recorder integration: `callback(ms)` runs when a
+  // recorded thread latency is at or above `threshold_ms`. Set replaces all
+  // registered callbacks; Add appends (callbacks fire in registration
+  // order, each against its own threshold).
   void SetLongLatencyCallback(double threshold_ms, std::function<void(double)> callback);
+  void AddLongLatencyCallback(double threshold_ms, std::function<void(double)> callback);
 
  private:
   void LatRead(kernel::Irp* irp);
@@ -127,8 +131,11 @@ class LatencyDriver {
   stats::LatencyHistogram interrupt_;
   stats::LatencyHistogram isr_to_dpc_;
 
-  double long_threshold_ms_ = 0.0;
-  std::function<void(double)> long_callback_;
+  struct LongLatencyWatch {
+    double threshold_ms = 0.0;
+    std::function<void(double)> callback;
+  };
+  std::vector<LongLatencyWatch> long_watches_;
 };
 
 }  // namespace wdmlat::drivers

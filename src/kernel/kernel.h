@@ -76,6 +76,8 @@ class Kernel {
   // Returns false if the DPC is already queued.
   bool KeInsertQueueDpc(KDpc* dpc) { return dpcs_.Insert(dpc, engine_.now()); }
   std::size_t DpcQueueDepth() const { return dpcs_.size(); }
+  // Ready (not running) threads, all priorities (observability sampling).
+  std::size_t ReadyQueueLength() const { return ready_.size(); }
 
   // --- Timers -------------------------------------------------------------------
   // Single-shot timer due `ms` from now; expiry (at the next clock tick at or

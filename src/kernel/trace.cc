@@ -53,7 +53,7 @@ std::vector<TraceSession::LabelTime> TraceSession::TopTimeConsumers(
 std::string TraceSession::Summary(std::size_t recent_events) const {
   std::ostringstream out;
   out << "Trace session: " << total_ << " events\n";
-  for (int t = 0; t <= static_cast<int>(TraceEventType::kThreadReady); ++t) {
+  for (std::size_t t = 0; t < kNumTraceEventTypes; ++t) {
     const auto type = static_cast<TraceEventType>(t);
     if (count(type) > 0) {
       out << "  " << TraceEventName(type) << ": " << count(type) << "\n";

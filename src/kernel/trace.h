@@ -10,6 +10,7 @@
 #ifndef SRC_KERNEL_TRACE_H_
 #define SRC_KERNEL_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,7 +32,14 @@ enum class TraceEventType : std::uint8_t {
   kSectionEnd,
   kDispatchLockout,
   kThreadReady,
+  // Sentinel — keep last. Sizes every per-type array (TraceSession's
+  // counters, exporter tables), so adding an event type above cannot
+  // silently under-count.
+  kTraceEventTypeCount,
 };
+
+inline constexpr std::size_t kNumTraceEventTypes =
+    static_cast<std::size_t>(TraceEventType::kTraceEventTypeCount);
 
 constexpr const char* TraceEventName(TraceEventType type) {
   switch (type) {
@@ -53,6 +61,8 @@ constexpr const char* TraceEventName(TraceEventType type) {
       return "dispatch-lockout";
     case TraceEventType::kThreadReady:
       return "thread-ready";
+    case TraceEventType::kTraceEventTypeCount:
+      break;
   }
   return "?";
 }
@@ -108,7 +118,7 @@ class TraceSession : public TraceSink {
   std::size_t next_ = 0;
   bool wrapped_ = false;
   std::uint64_t total_ = 0;
-  std::uint64_t counts_[9] = {};
+  std::uint64_t counts_[kNumTraceEventTypes] = {};
   std::vector<LabelTime> label_times_;
 };
 

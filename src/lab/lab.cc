@@ -1,5 +1,11 @@
 #include "src/lab/lab.h"
 
+#include <memory>
+
+#include "src/drivers/cause_tool.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/kernel_metrics.h"
+#include "src/obs/trace_fanout.h"
 #include "src/workload/stress_load.h"
 
 namespace wdmlat::lab {
@@ -19,6 +25,44 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   report.thread_priority = config.thread_priority;
   report.usage = config.stress.usage;
 
+  // --- Observability (optional, pure observers) ------------------------------
+  const ObsOptions& obs = config.obs;
+  obs::TraceFanout fanout;
+  fanout.Add(obs.trace_sink);
+  std::unique_ptr<obs::KernelMetricsCollector> collector;
+  if (obs.metrics != nullptr) {
+    collector = std::make_unique<obs::KernelMetricsCollector>(*obs.metrics);
+    fanout.Add(collector.get());
+  }
+  std::unique_ptr<drivers::CauseTool> cause_tool;
+  std::unique_ptr<obs::EpisodeFlightRecorder> recorder;
+  if (obs.episode_threshold_us > 0.0) {
+    drivers::CauseTool::Config tool_config;
+    tool_config.threshold_ms = obs.episode_threshold_us / 1000.0;
+    tool_config.max_episodes = obs.max_episodes;
+    cause_tool = std::make_unique<drivers::CauseTool>(system.kernel(), driver, tool_config);
+    cause_tool->Start();  // registers its long-latency callback first
+
+    obs::EpisodeFlightRecorder::Config rec_config;
+    rec_config.threshold_ms = obs.episode_threshold_us / 1000.0;
+    rec_config.max_episodes = obs.max_episodes;
+    recorder = std::make_unique<obs::EpisodeFlightRecorder>(system.kernel(), rec_config);
+    recorder->Arm(driver, cause_tool.get());
+    fanout.Add(recorder->trace_sink());
+  }
+  if (!fanout.empty()) {
+    system.kernel().dispatcher().set_trace_sink(&fanout);
+  }
+  // The writer sees counter samples only when both a trace and metrics are
+  // requested for the same run (single-cell mode; matrix cells sample into
+  // their per-cell registries without a shared writer).
+  obs::QueueDepthSampler sampler(
+      system.kernel(), obs.metrics,
+      dynamic_cast<obs::ChromeTraceWriter*>(obs.trace_sink), obs.queue_sample_ms);
+  if (obs.queue_sample_ms > 0.0 && (obs.metrics != nullptr || obs.trace_sink != nullptr)) {
+    sampler.Start();
+  }
+
   // Ground-truth PIT interrupt latency for every tick (assert -> ISR entry).
   const int pit_line = system.kernel().clock_interrupt()->line();
   system.kernel().dispatcher().on_isr_entry =
@@ -35,6 +79,7 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   driver.Start();
   system.RunForMinutes(config.stress_minutes);
   driver.Stop();
+  system.kernel().dispatcher().set_trace_sink(nullptr);
 
   report.dpc_interrupt = driver.dpc_interrupt_latency();
   report.thread = driver.thread_latency();
@@ -44,6 +89,19 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   report.has_interrupt_latency = driver.measures_interrupt_latency();
   report.samples = driver.sample_count();
   report.samples_per_hour = driver.samples_per_hour();
+  if (recorder != nullptr) {
+    report.episodes = recorder->Summaries();
+  }
+  if (obs.metrics != nullptr) {
+    obs::CollectRunCounters(system.kernel(), *obs.metrics);
+    obs.metrics->Add("driver.samples", static_cast<double>(report.samples));
+    obs.metrics->Set("driver.samples_per_hour", report.samples_per_hour);
+    if (cause_tool != nullptr) {
+      obs.metrics->Add("cause_tool.hook_samples",
+                       static_cast<double>(cause_tool->hook_samples()));
+      obs.metrics->Add("obs.episodes", static_cast<double>(report.episodes.size()));
+    }
+  }
   return report;
 }
 

@@ -19,14 +19,39 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "src/drivers/latency_driver.h"
 #include "src/kernel/profile.h"
+#include "src/kernel/trace.h"
 #include "src/lab/test_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
 #include "src/stats/histogram.h"
 #include "src/stats/usage_model.h"
 #include "src/workload/stress_profile.h"
 
 namespace wdmlat::lab {
+
+// Optional observability for one experiment run. All pointers are borrowed
+// and may be null; with nothing set the dispatcher's trace sink stays null
+// and the hot path pays nothing. Sinks only observe — they consume no
+// simulation RNG and reorder no events — so attaching them leaves the
+// measured distributions bit-identical (tests/obs_lab_test.cc).
+struct ObsOptions {
+  // Receives every dispatcher transition (e.g. an obs::ChromeTraceWriter).
+  kernel::TraceSink* trace_sink = nullptr;
+  // Collects kernel event counts, time-at-raised-IRQL and lockout totals,
+  // plus end-of-run dispatcher/engine counters.
+  obs::MetricsRegistry* metrics = nullptr;
+  // >0: sample DPC/ready/work queue depths every so many virtual ms into
+  // `metrics` (and onto the trace's counter track when both are attached).
+  double queue_sample_ms = 0.0;
+  // >0: arm an episode flight recorder (plus a PIT-hook cause tool) at this
+  // thread-latency threshold; episode summaries land in LabReport::episodes.
+  double episode_threshold_us = 0.0;
+  std::size_t max_episodes = 64;
+};
 
 struct LabConfig {
   kernel::KernelProfile os;
@@ -39,6 +64,7 @@ struct LabConfig {
   std::uint64_t seed = 1;
   TestSystemOptions options;
   drivers::LatencyDriver::Config driver;  // thread_priority is overridden
+  ObsOptions obs;
 };
 
 struct LabReport {
@@ -62,6 +88,10 @@ struct LabReport {
   std::uint64_t samples = 0;
   double samples_per_hour = 0.0;
   stats::UsageModel usage;
+
+  // Long-latency episodes captured by the flight recorder (empty unless
+  // ObsOptions::episode_threshold_us was set).
+  std::vector<obs::EpisodeSummary> episodes;
 };
 
 LabReport RunLatencyExperiment(const LabConfig& config);

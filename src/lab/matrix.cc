@@ -1,8 +1,12 @@
 #include "src/lab/matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <mutex>
+#include <thread>
 
 #include "src/kernel/profile.h"
 #include "src/runtime/thread_pool.h"
@@ -80,22 +84,49 @@ MatrixResult ExperimentMatrix::Run(
   using Clock = std::chrono::steady_clock;
   MatrixResult result;
   result.reports.resize(cells_.size());
+  result.timings.resize(cells_.size());
   std::vector<double> cell_seconds(cells_.size(), 0.0);
+  // Per-cell registry slots: each cell writes only its own, and slots merge
+  // in grid order afterwards — the same slot discipline the reports use, so
+  // collecting metrics cannot perturb the determinism contract.
+  std::vector<obs::MetricsRegistry> cell_metrics(spec_.collect_metrics ? cells_.size() : 0);
   std::mutex progress_mutex;
+  std::map<std::thread::id, int> worker_ids;
 
   const Clock::time_point run_start = Clock::now();
   // Each cell is an isolated single-threaded simulation writing only to its
   // own slot; the pool provides no ordering and needs none.
   runtime::ParallelFor(jobs, cells_.size(), [&](std::size_t i) {
+    LabConfig config = cells_[i].config;
+    if (spec_.collect_metrics) {
+      config.obs.metrics = &cell_metrics[i];
+      config.obs.queue_sample_ms = spec_.queue_sample_ms;
+    }
+    config.obs.episode_threshold_us = spec_.episode_threshold_us;
+    config.obs.max_episodes = spec_.max_episodes;
+    if (i == 0) {
+      config.obs.trace_sink = spec_.trace_sink;
+    }
+    int worker = 0;
+    {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      worker = static_cast<int>(
+          worker_ids.emplace(std::this_thread::get_id(), worker_ids.size()).first->second);
+    }
     const Clock::time_point cell_start = Clock::now();
-    result.reports[i] = RunLatencyExperiment(cells_[i].config);
-    cell_seconds[i] = std::chrono::duration<double>(Clock::now() - cell_start).count();
+    result.reports[i] = RunLatencyExperiment(config);
+    const Clock::time_point cell_end = Clock::now();
+    cell_seconds[i] = std::chrono::duration<double>(cell_end - cell_start).count();
+    result.timings[i] = MatrixResult::CellTiming{
+        worker, std::chrono::duration<double>(cell_start - run_start).count(),
+        std::chrono::duration<double>(cell_end - run_start).count()};
     if (on_cell_done) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       on_cell_done(cells_[i]);
     }
   });
   result.wall_seconds = std::chrono::duration<double>(Clock::now() - run_start).count();
+  result.workers_observed = static_cast<int>(worker_ids.size());
   for (double seconds : cell_seconds) {
     result.total_cell_seconds += seconds;
   }
@@ -129,9 +160,64 @@ MatrixResult ExperimentMatrix::Run(
                                           report.samples_per_hour
                                     : cell.config.stress_minutes / 60.0;
     group.counters.Merge(stats::SampleCounters{report.samples, stress_hours});
+    group.episodes += report.episodes.size();
+    for (const obs::EpisodeSummary& episode : report.episodes) {
+      group.episodes_attributed += episode.attributed ? 1 : 0;
+      group.episode_module_matches += episode.module_match ? 1 : 0;
+    }
     ++group.trials;
   }
+
+  if (spec_.collect_metrics) {
+    // Grid order again, so counter sums and histogram buckets accumulate in
+    // a jobs-independent sequence.
+    for (const MatrixCell& cell : cells_) {
+      result.metrics.Merge(cell_metrics[cell.index]);
+    }
+    // Host-side view of the run itself (wall clock, so not part of the
+    // determinism contract — these describe the runner, not the simulation).
+    result.metrics.Add("matrix.cells", static_cast<double>(cells_.size()));
+    for (const MatrixCell& cell : cells_) {
+      result.metrics.Observe("matrix.cell_wall_ms", cell_seconds[cell.index] * 1e3);
+    }
+    result.metrics.Set("matrix.wall_seconds", result.wall_seconds);
+    result.metrics.Set("matrix.total_cell_seconds", result.total_cell_seconds);
+    result.metrics.Set("matrix.speedup", result.Speedup());
+    result.metrics.Set("matrix.workers", static_cast<double>(result.workers_observed));
+    result.metrics.Set("matrix.utilization", result.Utilization());
+  }
   return result;
+}
+
+void AppendHostTrace(obs::ChromeTraceWriter& writer, const ExperimentMatrix& matrix,
+                     const MatrixResult& result) {
+  writer.SetProcessName(obs::ChromeTraceWriter::kHostPid, "matrix runner (host)");
+  const std::size_t n = std::min(matrix.cells().size(), result.timings.size());
+  std::vector<bool> worker_named;
+  for (std::size_t i = 0; i < n; ++i) {
+    const MatrixCell& cell = matrix.cells()[i];
+    const MatrixResult::CellTiming& timing = result.timings[i];
+    // Host worker tracks are numbered from 1; tid 0 reads as "unknown".
+    const int tid = timing.worker + 1;
+    if (static_cast<std::size_t>(timing.worker) >= worker_named.size()) {
+      worker_named.resize(timing.worker + 1, false);
+    }
+    if (!worker_named[timing.worker]) {
+      char track[32];
+      std::snprintf(track, sizeof(track), "worker %d", timing.worker);
+      writer.SetThreadName(obs::ChromeTraceWriter::kHostPid, tid, track);
+      worker_named[timing.worker] = true;
+    }
+    const LabConfig& config = cell.config;
+    const std::string name = config.os.name + " / " + config.stress.name + " / prio " +
+                             std::to_string(config.thread_priority);
+    writer.CompleteSlice(
+        obs::ChromeTraceWriter::kHostPid, tid, timing.start_s * 1e6,
+        (timing.end_s - timing.start_s) * 1e6, name,
+        {{"seed", std::to_string(cell.seed)}},
+        {{"trial", static_cast<double>(cell.trial)},
+         {"samples", static_cast<double>(result.reports[i].samples)}});
+  }
 }
 
 }  // namespace wdmlat::lab

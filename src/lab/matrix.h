@@ -27,8 +27,12 @@
 #include <vector>
 
 #include "src/lab/lab.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics.h"
 
 namespace wdmlat::lab {
+
+class ExperimentMatrix;
 
 struct MatrixSpec {
   std::vector<kernel::KernelProfile> oses;
@@ -43,6 +47,22 @@ struct MatrixSpec {
   std::uint64_t master_seed = 1999;
   TestSystemOptions options;
   drivers::LatencyDriver::Config driver;  // thread_priority is overridden
+
+  // --- Observability (expanded into each cell's ObsOptions) -----------------
+  // Collect per-cell MetricsRegistries and merge them — grid order, so the
+  // merged registry is jobs-independent — into MatrixResult::metrics.
+  bool collect_metrics = false;
+  // >0 (and collect_metrics): per-cell queue-depth sampling period.
+  double queue_sample_ms = 0.0;
+  // >0: arm every cell's episode flight recorder at this threshold; episode
+  // tallies land in the merged groups.
+  double episode_threshold_us = 0.0;
+  std::size_t max_episodes = 64;
+  // Receives the dispatcher trace of the FIRST cell only: a sink shared by
+  // concurrently-running cells would interleave their tracks meaninglessly,
+  // so the sim-side tracks show one representative cell while the host-side
+  // tracks (lab::AppendHostTrace) cover the whole run.
+  kernel::TraceSink* trace_sink = nullptr;
 
   std::size_t cell_count() const {
     return oses.size() * workloads.size() * priorities.size() *
@@ -88,6 +108,12 @@ struct MergedCell {
   stats::SampleCounters counters;
   stats::UsageModel usage;
 
+  // Flight-recorder tallies pooled across trials (zero unless
+  // MatrixSpec::episode_threshold_us was set).
+  std::uint64_t episodes = 0;
+  std::uint64_t episodes_attributed = 0;
+  std::uint64_t episode_module_matches = 0;
+
   std::uint64_t samples() const { return counters.samples; }
   double samples_per_hour() const { return counters.SamplesPerHour(); }
 };
@@ -105,7 +131,33 @@ struct MatrixResult {
   double Speedup() const {
     return wall_seconds > 0.0 ? total_cell_seconds / wall_seconds : 1.0;
   }
+
+  // Merged per-cell registries (grid order) plus host-side "matrix.*"
+  // metrics; empty unless MatrixSpec::collect_metrics was set.
+  obs::MetricsRegistry metrics;
+
+  // Host-side schedule of each cell, parallel to ExperimentMatrix::cells():
+  // which pool worker ran it and when (seconds since the run started).
+  struct CellTiming {
+    int worker = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  std::vector<CellTiming> timings;
+  int workers_observed = 0;
+
+  // Pool utilization: summed cell time over (wall time × workers).
+  double Utilization() const {
+    const double capacity = wall_seconds * static_cast<double>(workers_observed);
+    return capacity > 0.0 ? total_cell_seconds / capacity : 0.0;
+  }
 };
+
+// Append the host-side view of a finished matrix run to `writer`: one track
+// per pool worker under ChromeTraceWriter::kHostPid, one complete slice per
+// cell named "os/workload/prio" with its seed and wall time as args.
+void AppendHostTrace(obs::ChromeTraceWriter& writer, const ExperimentMatrix& matrix,
+                     const MatrixResult& result);
 
 class ExperimentMatrix {
  public:

@@ -1,0 +1,266 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wdmlat::obs {
+
+namespace {
+
+void AppendEscaped(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void AppendNumber(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  out << buf;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter() {
+  SetProcessName(kSimPid, "wdmlat sim");
+  SetThreadName(kSimPid, kInterruptTid, "cpu: interrupt stack (ISR + sections)");
+  SetThreadName(kSimPid, kDpcTid, "cpu: dpc");
+  SetThreadName(kSimPid, kThreadTid, "cpu: thread");
+  SetThreadName(kSimPid, kLockoutTid, "cpu: dispatch lockout");
+}
+
+void ChromeTraceWriter::Push(Event event) {
+  if (event.phase != 'M') {
+    last_ts_us_ = std::max(last_ts_us_, event.ts_us);
+  }
+  if (event.phase == 'B') {
+    ++open_slices_[{event.pid, event.tid}];
+  } else if (event.phase == 'E') {
+    --open_slices_[{event.pid, event.tid}];
+  }
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::OnTraceEvent(const kernel::TraceEvent& event) {
+  using kernel::TraceEventType;
+  const double ts = sim::CyclesToUs(event.tsc);
+  const double dur = sim::CyclesToUs(event.duration);
+  switch (event.type) {
+    case TraceEventType::kIsrEnter:
+      BeginSlice(kSimPid, kInterruptTid, ts, ToString(event.label));
+      events_.back().number_args.emplace_back("line", event.arg);
+      break;
+    case TraceEventType::kIsrExit:
+      EndSlice(kSimPid, kInterruptTid, ts);
+      break;
+    case TraceEventType::kSectionStart:
+      BeginSlice(kSimPid, kInterruptTid, ts, ToString(event.label));
+      events_.back().number_args.emplace_back("requested_us", dur);
+      break;
+    case TraceEventType::kSectionEnd:
+      EndSlice(kSimPid, kInterruptTid, ts);
+      break;
+    case TraceEventType::kDpcStart:
+      BeginSlice(kSimPid, kDpcTid, ts, ToString(event.label));
+      events_.back().number_args.emplace_back("queue_delay_us", dur);
+      break;
+    case TraceEventType::kDpcEnd:
+      EndSlice(kSimPid, kDpcTid, ts);
+      break;
+    case TraceEventType::kContextSwitch:
+      if (thread_slice_open_) {
+        EndSlice(kSimPid, kThreadTid, ts);
+      }
+      BeginSlice(kSimPid, kThreadTid, ts, "thread prio " + std::to_string(event.arg));
+      thread_slice_open_ = true;
+      break;
+    case TraceEventType::kThreadReady:
+      Instant(kSimPid, kThreadTid, ts, "ready (prio " + std::to_string(event.arg) + ")");
+      break;
+    case TraceEventType::kDispatchLockout:
+      CompleteSlice(kSimPid, kLockoutTid, ts, dur, "lockout: " + ToString(event.label));
+      break;
+    case TraceEventType::kTraceEventTypeCount:
+      break;
+  }
+}
+
+void ChromeTraceWriter::BeginSlice(int pid, int tid, double ts_us, std::string name) {
+  Event event;
+  event.phase = 'B';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.name = std::move(name);
+  Push(std::move(event));
+}
+
+void ChromeTraceWriter::EndSlice(int pid, int tid, double ts_us) {
+  Event event;
+  event.phase = 'E';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  Push(std::move(event));
+}
+
+void ChromeTraceWriter::CompleteSlice(int pid, int tid, double ts_us, double dur_us,
+                                      std::string name,
+                                      std::vector<std::pair<std::string, std::string>> string_args,
+                                      std::vector<std::pair<std::string, double>> number_args) {
+  Event event;
+  event.phase = 'X';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.name = std::move(name);
+  event.string_args = std::move(string_args);
+  event.number_args = std::move(number_args);
+  Push(std::move(event));
+}
+
+void ChromeTraceWriter::Instant(int pid, int tid, double ts_us, std::string name) {
+  Event event;
+  event.phase = 'i';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts_us = ts_us;
+  event.name = std::move(name);
+  Push(std::move(event));
+}
+
+void ChromeTraceWriter::Counter(int pid, double ts_us, std::string name, double value) {
+  Event event;
+  event.phase = 'C';
+  event.pid = pid;
+  event.tid = 0;
+  event.ts_us = ts_us;
+  event.name = std::move(name);
+  event.number_args.emplace_back("value", value);
+  Push(std::move(event));
+}
+
+void ChromeTraceWriter::SetProcessName(int pid, const std::string& name) {
+  Event event;
+  event.phase = 'M';
+  event.pid = pid;
+  event.tid = 0;
+  event.name = "process_name";
+  event.string_args.emplace_back("name", name);
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::SetThreadName(int pid, int tid, const std::string& name) {
+  Event event;
+  event.phase = 'M';
+  event.pid = pid;
+  event.tid = tid;
+  event.name = "thread_name";
+  event.string_args.emplace_back("name", name);
+  events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::WriteJson(std::ostream& out) const {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  const auto write_event = [&](const Event& event) {
+    out << (first ? "\n" : ",\n") << " {\"ph\": \"" << event.phase << "\", \"pid\": "
+        << event.pid << ", \"tid\": " << event.tid << ", \"ts\": ";
+    AppendNumber(out, event.ts_us);
+    if (event.phase == 'X') {
+      out << ", \"dur\": ";
+      AppendNumber(out, event.dur_us);
+    }
+    if (event.phase == 'i') {
+      out << ", \"s\": \"t\"";
+    }
+    if (!event.name.empty()) {
+      out << ", \"name\": \"";
+      AppendEscaped(out, event.name);
+      out << "\"";
+    }
+    if (!event.string_args.empty() || !event.number_args.empty()) {
+      out << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.string_args) {
+        out << (first_arg ? "" : ", ") << "\"" << key << "\": \"";
+        AppendEscaped(out, value);
+        out << "\"";
+        first_arg = false;
+      }
+      for (const auto& [key, value] : event.number_args) {
+        out << (first_arg ? "" : ", ") << "\"" << key << "\": ";
+        AppendNumber(out, value);
+        first_arg = false;
+      }
+      out << "}";
+    }
+    out << "}";
+    first = false;
+  };
+  for (const Event& event : events_) {
+    write_event(event);
+  }
+  // Close still-open slices so B/E nesting in the serialized trace always
+  // matches (e.g. the thread slice running when the experiment ended).
+  for (const auto& [track, depth] : open_slices_) {
+    for (int i = 0; i < depth; ++i) {
+      Event closer;
+      closer.phase = 'E';
+      closer.pid = track.first;
+      closer.tid = track.second;
+      closer.ts_us = last_ts_us_;
+      write_event(closer);
+    }
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string ChromeTraceWriter::ToJson() const {
+  std::ostringstream out;
+  WriteJson(out);
+  return out.str();
+}
+
+bool ChromeTraceWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace wdmlat::obs

@@ -1,0 +1,99 @@
+// ChromeTraceWriter: converts kernel::TraceEvent streams (and host-side
+// matrix-runner activity) into Chrome trace-event JSON, viewable in Perfetto
+// or chrome://tracing.
+//
+// Track layout: the simulated machine is one "process" with one track per
+// CPU context, mirroring the dispatcher's privilege stack —
+//   interrupt-stack   ISRs and raised-IRQL kernel sections (B/E slices nest
+//                     exactly like the dispatcher's interrupt stack)
+//   dpc               the running DPC
+//   thread            the scheduled thread (context switches close one slice
+//                     and open the next; thread-ready marks are instants)
+//   dispatch-lockout  Win16Mutex/VMM lockout windows as complete events
+// The matrix runner adds a second "process" with one track per host worker
+// thread, one complete event per experiment cell (see lab::AppendHostTrace).
+//
+// The writer is a passive kernel::TraceSink: attaching it never changes
+// simulation results, and with no sink attached the dispatcher's emit path
+// stays zero-cost.
+
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/trace.h"
+
+namespace wdmlat::obs {
+
+class ChromeTraceWriter : public kernel::TraceSink {
+ public:
+  // Process ids.
+  static constexpr int kSimPid = 1;
+  static constexpr int kHostPid = 2;
+  // Simulated-CPU track ids within kSimPid.
+  static constexpr int kInterruptTid = 1;
+  static constexpr int kDpcTid = 2;
+  static constexpr int kThreadTid = 3;
+  static constexpr int kLockoutTid = 4;
+
+  struct Event {
+    char phase = 'i';  // B, E, X, i, C, M
+    int pid = kSimPid;
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;  // X events only
+    std::string name;
+    // Rendered verbatim as the "args" object value: either a JSON number
+    // (second == true) or a string to be escaped (second == false).
+    std::vector<std::pair<std::string, std::string>> string_args;
+    std::vector<std::pair<std::string, double>> number_args;
+  };
+
+  ChromeTraceWriter();
+
+  // kernel::TraceSink — maps dispatcher transitions onto the sim tracks.
+  void OnTraceEvent(const kernel::TraceEvent& event) override;
+
+  // Host/generic API (used by the matrix runner and the queue sampler).
+  void BeginSlice(int pid, int tid, double ts_us, std::string name);
+  void EndSlice(int pid, int tid, double ts_us);
+  void CompleteSlice(int pid, int tid, double ts_us, double dur_us, std::string name,
+                     std::vector<std::pair<std::string, std::string>> string_args = {},
+                     std::vector<std::pair<std::string, double>> number_args = {});
+  void Instant(int pid, int tid, double ts_us, std::string name);
+  // Counter track: one 'C' event per sample; Perfetto renders a step chart.
+  void Counter(int pid, double ts_us, std::string name, double value);
+  void SetProcessName(int pid, const std::string& name);
+  void SetThreadName(int pid, int tid, const std::string& name);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t event_count() const { return events_.size(); }
+
+  // Serialize as {"traceEvents": [...], "displayTimeUnit": "ms"}. Slices
+  // still open at serialization time are closed at the last seen timestamp,
+  // so B/E nesting in the output always matches.
+  void WriteJson(std::ostream& out) const;
+  std::string ToJson() const;
+  // Returns false (and writes nothing) when the file cannot be opened.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Push(Event event);
+
+  std::vector<Event> events_;
+  // Open B-slice depth per (pid, tid); consulted to synthesize closing E
+  // events during serialization.
+  std::map<std::pair<int, int>, int> open_slices_;
+  bool thread_slice_open_ = false;
+  double last_ts_us_ = 0.0;
+};
+
+}  // namespace wdmlat::obs
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,116 @@
+// EpisodeFlightRecorder: a black-box recorder for long-latency episodes.
+//
+// The paper's cause tool (Section 2.3) attributes long thread latencies to
+// modules by sampling the instruction pointer on every PIT tick — an
+// *outside* view that can only see what the clock interrupt happened to
+// land on. The simulator also has the *inside* view: the dispatcher's trace
+// stream says exactly which ISRs, raised-IRQL sections, DPCs and dispatch
+// lockouts ran. This recorder keeps a trailing TraceSession ring and, when
+// the latency tool reports a sample over the threshold, snapshots the ring
+// together with the cause tool's sample buffer into a structured episode
+// record carrying ground-truth blame — which makes the Table-4 methodology
+// *scorable*: did IP sampling finger the module that actually consumed the
+// episode's raised-IRQL time?
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/drivers/cause_tool.h"
+#include "src/drivers/latency_driver.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/trace.h"
+
+namespace wdmlat::obs {
+
+// Thread-safe to copy across matrix workers: plain values only.
+struct EpisodeSummary {
+  double latency_ms = 0.0;
+  double reported_at_ms = 0.0;  // virtual time of the report
+  // Ground truth: the label whose ISR/section/DPC/lockout wall time dominates
+  // the episode window, and how much of the window it consumed.
+  std::string true_module;
+  std::string true_function;
+  double true_ms = 0.0;
+  // The cause tool's verdict: its most-sampled label in the dumped ring.
+  std::string cause_module;
+  std::string cause_function;
+  std::uint64_t cause_samples = 0;
+  bool attributed = false;    // the tool dumped at least one sample
+  bool module_match = false;  // attributed && cause_module == true_module
+};
+
+// Aggregate attribution-accuracy score over a run's episodes.
+struct AttributionScore {
+  std::uint64_t episodes = 0;
+  std::uint64_t attributed = 0;
+  std::uint64_t module_matches = 0;
+  std::uint64_t function_matches = 0;
+  // Fraction of attributed episodes whose top cause-tool module matches the
+  // ground-truth module (0 when nothing was attributed).
+  double ModuleAccuracy() const {
+    return attributed == 0 ? 0.0
+                           : static_cast<double>(module_matches) / static_cast<double>(attributed);
+  }
+};
+
+AttributionScore ScoreAttribution(const std::vector<EpisodeSummary>& episodes);
+
+// Table-style text report of the score plus per-episode verdict lines.
+std::string RenderAttributionReport(const std::vector<EpisodeSummary>& episodes);
+
+class EpisodeFlightRecorder {
+ public:
+  struct Config {
+    // Thread latencies at or above this threshold trigger a snapshot.
+    double threshold_ms = 8.0;
+    // Capacity of the trailing trace ring (events, not bytes).
+    std::size_t ring_capacity = 4096;
+    std::size_t max_episodes = 64;
+  };
+
+  struct Episode {
+    double latency_ms = 0.0;
+    sim::Cycles reported_at = 0;
+    // Trailing trace events inside the latency window.
+    std::vector<kernel::TraceEvent> trace;
+    // The cause tool's dumped ring for the same episode (empty when no tool
+    // is attached or its episode cap was hit).
+    std::vector<drivers::CauseTool::Sample> cause_samples;
+    EpisodeSummary summary;
+  };
+
+  EpisodeFlightRecorder(kernel::Kernel& kernel, Config config);
+
+  // The trailing trace ring; attach (typically via TraceFanout) to the
+  // dispatcher so the recorder sees every transition.
+  kernel::TraceSink* trace_sink() { return &session_; }
+  const kernel::TraceSession& session() const { return session_; }
+
+  // Register the snapshot callback on the driver (appended, so an earlier
+  // CauseTool registration keeps firing first and its episode dump is
+  // already available when the recorder snapshots). `cause_tool` may be
+  // null: episodes then carry ground truth only.
+  void Arm(drivers::LatencyDriver& driver, drivers::CauseTool* cause_tool);
+
+  const std::vector<Episode>& episodes() const { return episodes_; }
+  std::vector<EpisodeSummary> Summaries() const;
+  AttributionScore Score() const;
+
+ private:
+  void OnLongLatency(double latency_ms);
+
+  kernel::Kernel& kernel_;
+  Config cfg_;
+  kernel::TraceSession session_;
+  drivers::CauseTool* cause_tool_ = nullptr;
+  std::size_t cause_episodes_seen_ = 0;
+  std::vector<Episode> episodes_;
+};
+
+}  // namespace wdmlat::obs
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

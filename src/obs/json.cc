@@ -1,0 +1,268 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+
+namespace wdmlat::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonLintResult Run() {
+    JsonLintResult result;
+    SkipWhitespace();
+    const bool is_object = !AtEnd() && Peek() == '{';
+    if (!ParseValue(is_object ? &result.top_level_keys : nullptr)) {
+      result.error_offset = pos_;
+      result.error = error_;
+      return result;
+    }
+    SkipWhitespace();
+    if (!AtEnd()) {
+      result.error_offset = pos_;
+      result.error = "trailing characters after JSON value";
+      return result;
+    }
+    result.valid = true;
+    return result;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Fail(const char* message) {
+    if (error_.empty()) {
+      error_ = message;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  // `keys` non-null only for the document's top-level object.
+  bool ParseValue(std::vector<std::string>* keys = nullptr) {
+    if (++depth_ > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    SkipWhitespace();
+    if (AtEnd()) {
+      --depth_;
+      return Fail("unexpected end of input");
+    }
+    bool ok = false;
+    switch (Peek()) {
+      case '{':
+        ok = ParseObject(keys);
+        break;
+      case '[':
+        ok = ParseArray();
+        break;
+      case '"':
+        ok = ParseString(nullptr);
+        break;
+      case 't':
+        ok = ConsumeLiteral("true");
+        break;
+      case 'f':
+        ok = ConsumeLiteral("false");
+        break;
+      case 'n':
+        ok = ConsumeLiteral("null");
+        break;
+      default:
+        ok = ParseNumber();
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ParseObject(std::vector<std::string>* keys) {
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (AtEnd() || Peek() != '"' || !ParseString(&key)) {
+        return Fail("expected string object key");
+      }
+      if (keys != nullptr) {
+        keys->push_back(std::move(key));
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray() {
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    Consume('"');
+    for (;;) {
+      if (AtEnd()) {
+        return Fail("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) {
+          return Fail("unterminated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            if (out != nullptr) {
+              out->push_back(esc);  // approximate; keys never use escapes here
+            }
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+                return Fail("invalid \\u escape");
+              }
+              ++pos_;
+            }
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+        continue;
+      }
+      if (out != nullptr) {
+        out->push_back(static_cast<char>(c));
+      }
+      ++pos_;
+    }
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    Consume('-');
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+        ++pos_;
+      }
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonLintResult::HasTopLevelKey(std::string_view key) const {
+  for (const std::string& k : top_level_keys) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonLintResult LintJson(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace wdmlat::obs

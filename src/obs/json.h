@@ -1,0 +1,37 @@
+// A minimal JSON linter for the observability exporters.
+//
+// The trace and metrics writers emit JSON by hand (no third-party dependency
+// is available in this tree), so the schema-validating tests and the
+// ci/trace_smoke.sh ctest need an independent parser to confirm the output
+// actually parses. This is a strict RFC 8259 recursive-descent validator: it
+// builds no DOM, just checks well-formedness and reports the top-level
+// object's keys so callers can assert required members exist.
+
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdmlat::obs {
+
+struct JsonLintResult {
+  bool valid = false;
+  // Populated when !valid: offset and message of the first error.
+  std::size_t error_offset = 0;
+  std::string error;
+  // When the document is a valid object: its top-level member names, in
+  // document order.
+  std::vector<std::string> top_level_keys;
+
+  bool HasTopLevelKey(std::string_view key) const;
+};
+
+// Validate that `text` is exactly one well-formed JSON value (plus optional
+// surrounding whitespace).
+JsonLintResult LintJson(std::string_view text);
+
+}  // namespace wdmlat::obs
+
+#endif  // SRC_OBS_JSON_H_

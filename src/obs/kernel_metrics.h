@@ -1,0 +1,63 @@
+// Kernel-side metric collection: a TraceSink that folds dispatcher trace
+// events into a MetricsRegistry (event counts, time-at-raised-IRQL totals,
+// dispatch-lockout totals), and a periodic sampler for queue depths (DPC
+// queue, ready queue, work-item queue).
+//
+// Both are passive observers: the collector reacts to trace events the
+// dispatcher already emits, and the sampler's engine callbacks only read
+// kernel state — neither consumes simulation RNG nor reorders other events,
+// so attaching them leaves results bit-identical (asserted by
+// tests/obs_lab_test.cc).
+
+#ifndef SRC_OBS_KERNEL_METRICS_H_
+#define SRC_OBS_KERNEL_METRICS_H_
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/trace.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics.h"
+
+namespace wdmlat::obs {
+
+// Metric names are "kernel.<activity>.<field>": count, ms_total (wall
+// milliseconds accumulated) and an "ms" histogram of individual durations.
+class KernelMetricsCollector : public kernel::TraceSink {
+ public:
+  explicit KernelMetricsCollector(MetricsRegistry& registry) : registry_(registry) {}
+
+  void OnTraceEvent(const kernel::TraceEvent& event) override;
+
+ private:
+  MetricsRegistry& registry_;
+};
+
+// Samples queue depths into the registry every `period_ms` of virtual time
+// (histograms "kernel.dpc_queue_depth", "kernel.ready_queue_len",
+// "kernel.work_queue_depth" plus peak gauges), and mirrors them onto a
+// Chrome trace counter track when a writer is attached.
+class QueueDepthSampler {
+ public:
+  QueueDepthSampler(kernel::Kernel& kernel, MetricsRegistry* registry,
+                    ChromeTraceWriter* trace, double period_ms)
+      : kernel_(kernel), registry_(registry), trace_(trace), period_ms_(period_ms) {}
+
+  // Schedules the first sample one period from now; each sample reschedules
+  // the next. Stops implicitly when the engine stops running events.
+  void Start();
+
+ private:
+  void Sample();
+
+  kernel::Kernel& kernel_;
+  MetricsRegistry* registry_;
+  ChromeTraceWriter* trace_;
+  double period_ms_;
+};
+
+// Dump the dispatcher's and engine's end-of-run counters into the registry
+// ("dispatcher.*", "sim.events_processed").
+void CollectRunCounters(kernel::Kernel& kernel, MetricsRegistry& registry);
+
+}  // namespace wdmlat::obs
+
+#endif  // SRC_OBS_KERNEL_METRICS_H_

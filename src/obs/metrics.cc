@@ -1,0 +1,162 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+namespace wdmlat::obs {
+
+namespace {
+
+// Shortest round-trip-safe decimal representation; JSON has no Inf/NaN, so
+// clamp those to null-safe sentinels (they should not occur in practice).
+std::string NumberToJson(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      return shorter;
+    }
+  }
+  return buf;
+}
+
+// Metric names are internal identifiers, but the exporter must stay
+// well-formed whatever callers register.
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendHistogramFields(const stats::LatencyHistogram& hist,
+                           const std::function<void(const char*, double)>& field) {
+  field("count", static_cast<double>(hist.count()));
+  field("min", hist.min_ms());
+  field("max", hist.max_ms());
+  field("mean", hist.mean_ms());
+  field("p50", hist.QuantileMs(0.5));
+  field("p90", hist.QuantileMs(0.9));
+  field("p99", hist.QuantileMs(0.99));
+  field("p999", hist.QuantileMs(0.999));
+}
+
+}  // namespace
+
+double MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const stats::LatencyHistogram* MetricsRegistry::histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end() || value > it->second) {
+      gauges_[name] = value;
+    }
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    histograms_[name].Merge(hist);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  const auto scalar_section = [&](const char* title,
+                                  const std::map<std::string, double>& entries) {
+    out << "  \"" << title << "\": {";
+    bool first = true;
+    for (const auto& [name, value] : entries) {
+      out << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+          << "\": " << NumberToJson(value);
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "}";
+  };
+  out << "{\n";
+  scalar_section("counters", counters_);
+  out << ",\n";
+  scalar_section("gauges", gauges_);
+  out << ",\n  \"histograms\": {";
+  bool first_hist = true;
+  for (const auto& [name, hist] : histograms_) {
+    out << (first_hist ? "\n" : ",\n") << "    \"" << EscapeJson(name) << "\": {";
+    bool first_field = true;
+    AppendHistogramFields(hist, [&](const char* field, double value) {
+      out << (first_field ? "" : ", ") << "\"" << field << "\": " << NumberToJson(value);
+      first_field = false;
+    });
+    out << "}";
+    first_hist = false;
+  }
+  out << (first_hist ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& [name, value] : counters_) {
+    out << "counter," << name << ",value," << NumberToJson(value) << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out << "gauge," << name << ",value," << NumberToJson(value) << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    AppendHistogramFields(hist, [&](const char* field, double value) {
+      out << "histogram," << name << "," << field << "," << NumberToJson(value) << "\n";
+    });
+  }
+  return out.str();
+}
+
+}  // namespace wdmlat::obs

@@ -1,0 +1,67 @@
+// MetricsRegistry: named counters, gauges and value histograms for the
+// observability layer.
+//
+// The paper's exhibits are distributions, so the registry reuses the same
+// log-bucketed stats::LatencyHistogram for every "Observe" series (queue
+// depths, per-episode times, per-cell wall clocks) and inherits its merge
+// algebra: merging per-trial registries in grid order is bit-deterministic,
+// exactly like the matrix runner's histogram merging (see
+// tests/histogram_merge_test.cc and tests/metrics_registry_test.cc).
+//
+// Merge semantics, chosen so a merged registry reads like one run:
+//   counter    — sums (event totals, accumulated milliseconds)
+//   gauge      — maximum (peaks, utilization snapshots)
+//   histogram  — bucket-for-bucket merge (stats::LatencyHistogram::Merge)
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <map>
+#include <string>
+
+#include "src/stats/histogram.h"
+
+namespace wdmlat::obs {
+
+class MetricsRegistry {
+ public:
+  // Counters accumulate; a missing counter starts at zero.
+  void Add(const std::string& name, double delta = 1.0) { counters_[name] += delta; }
+  // Gauges hold the latest value set.
+  void Set(const std::string& name, double value) { gauges_[name] = value; }
+  // Histograms record individual observations. Values are stored in the
+  // histogram's "milliseconds" unit, so exported statistics come back in the
+  // same unit the caller passed (a queue depth of 3 exports as 3).
+  void Observe(const std::string& name, double value) { histograms_[name].RecordMs(value); }
+
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  // nullptr when the series does not exist.
+  const stats::LatencyHistogram* histogram(const std::string& name) const;
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  // Fold `other` into this registry: counters sum, gauges take the maximum,
+  // histograms merge bucket-for-bucket. Counter sums and histogram buckets
+  // are order-independent; callers wanting bit-identical floating-point sums
+  // across runs must merge in a fixed order (the matrix runner merges in
+  // grid order, as it does for latency histograms).
+  void Merge(const MetricsRegistry& other);
+
+  // JSON object with "counters", "gauges" and "histograms" members, keys
+  // sorted (std::map order), histograms summarized as
+  // {count,min,max,mean,p50,p90,p99,p999}.
+  std::string ToJson() const;
+
+  // Flat CSV: kind,name,field,value — one row per counter/gauge, one row per
+  // exported histogram statistic.
+  std::string ToCsv() const;
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, stats::LatencyHistogram> histograms_;
+};
+
+}  // namespace wdmlat::obs
+
+#endif  // SRC_OBS_METRICS_H_

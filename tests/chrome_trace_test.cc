@@ -1,0 +1,140 @@
+// ChromeTraceWriter exporter checks: the JSON must be well-formed, every
+// track's B/E slices must nest and balance (including slices still open when
+// the run ends), and per-track timestamps must be monotonic — the invariants
+// Perfetto / chrome://tracing need to render the file at all.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/label.h"
+#include "src/kernel/trace.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/json.h"
+#include "src/sim/time.h"
+
+namespace wdmlat::obs {
+namespace {
+
+using kernel::TraceEvent;
+using kernel::TraceEventType;
+
+TraceEvent Ev(TraceEventType type, double ts_us, kernel::Label label = {}, int arg = -1,
+              double duration_us = 0.0) {
+  TraceEvent event;
+  event.type = type;
+  event.tsc = sim::UsToCycles(ts_us);
+  event.label = label;
+  event.arg = arg;
+  event.duration = sim::UsToCycles(duration_us);
+  return event;
+}
+
+// A small but representative dispatcher stream: a nested ISR-over-section
+// window, a DPC, a context switch, a lockout, and a thread-ready mark.
+void FeedScenario(ChromeTraceWriter& writer) {
+  const kernel::Label vmm{"VMM", "_mmFindContig"};
+  const kernel::Label isr{"LATDRV", "_PitIsr"};
+  const kernel::Label dpc{"LATDRV", "_LatDpcRoutine"};
+  writer.OnTraceEvent(Ev(TraceEventType::kSectionStart, 10.0, vmm, -1, 30.0));
+  writer.OnTraceEvent(Ev(TraceEventType::kIsrEnter, 20.0, isr, 0));
+  writer.OnTraceEvent(Ev(TraceEventType::kIsrExit, 25.0, isr, 0, 5.0));
+  writer.OnTraceEvent(Ev(TraceEventType::kSectionEnd, 45.0, vmm, -1, 35.0));
+  writer.OnTraceEvent(Ev(TraceEventType::kDpcStart, 46.0, dpc, -1, 1.0));
+  writer.OnTraceEvent(Ev(TraceEventType::kDpcEnd, 48.0, dpc, -1, 2.0));
+  writer.OnTraceEvent(Ev(TraceEventType::kThreadReady, 48.0, {}, 28));
+  writer.OnTraceEvent(Ev(TraceEventType::kContextSwitch, 49.0, {}, 28));
+  writer.OnTraceEvent(Ev(TraceEventType::kDispatchLockout, 60.0, vmm, -1, 12.0));
+}
+
+TEST(ChromeTraceTest, JsonIsWellFormed) {
+  ChromeTraceWriter writer;
+  FeedScenario(writer);
+  writer.Counter(ChromeTraceWriter::kSimPid, 50.0, "dpc queue", 3.0);
+  const JsonLintResult lint = LintJson(writer.ToJson());
+  EXPECT_TRUE(lint.valid) << lint.error << " at offset " << lint.error_offset;
+  EXPECT_TRUE(lint.HasTopLevelKey("traceEvents"));
+  EXPECT_TRUE(lint.HasTopLevelKey("displayTimeUnit"));
+}
+
+TEST(ChromeTraceTest, BeginEndEventsBalancePerTrack) {
+  ChromeTraceWriter writer;
+  FeedScenario(writer);
+  // The context switch leaves a thread slice open; serialization must close
+  // it, so count phases in the rendered JSON, not in events().
+  const std::string json = writer.ToJson();
+  std::map<char, int> phases;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\": \"", pos)) != std::string::npos;) {
+    pos += 7;
+    ++phases[json[pos]];
+  }
+  EXPECT_EQ(phases['B'], phases['E']);
+  EXPECT_GT(phases['B'], 0);
+  EXPECT_EQ(phases['X'], 1);  // the lockout window
+  EXPECT_EQ(phases['i'], 1);  // the thread-ready mark
+}
+
+TEST(ChromeTraceTest, NestingNeverGoesNegativeAndTimestampsAreMonotonic) {
+  ChromeTraceWriter writer;
+  FeedScenario(writer);
+  std::map<std::pair<int, int>, int> depth;
+  std::map<std::pair<int, int>, double> last_ts;
+  for (const ChromeTraceWriter::Event& event : writer.events()) {
+    if (event.phase == 'M') {
+      continue;
+    }
+    const std::pair<int, int> track{event.pid, event.tid};
+    if (last_ts.count(track) != 0) {
+      EXPECT_GE(event.ts_us, last_ts[track]) << "track " << event.pid << "/" << event.tid;
+    }
+    last_ts[track] = event.ts_us;
+    if (event.phase == 'B') {
+      ++depth[track];
+    } else if (event.phase == 'E') {
+      EXPECT_GT(depth[track], 0) << "E with no open B on track " << event.tid;
+      --depth[track];
+    }
+  }
+  // The ISR nested inside the VMM section on the interrupt track.
+  EXPECT_EQ((depth[{ChromeTraceWriter::kSimPid, ChromeTraceWriter::kInterruptTid}]), 0);
+}
+
+TEST(ChromeTraceTest, TrackMetadataAndHostSlices) {
+  ChromeTraceWriter writer;
+  writer.SetProcessName(ChromeTraceWriter::kHostPid, "matrix runner (host)");
+  writer.SetThreadName(ChromeTraceWriter::kHostPid, 1, "worker 0");
+  writer.CompleteSlice(ChromeTraceWriter::kHostPid, 1, 0.0, 1500.0, "cell 0",
+                       {{"seed", "1999"}}, {{"trial", 0.0}});
+  const std::string json = writer.ToJson();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("matrix runner (host)"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 1500"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": \"1999\""), std::string::npos);
+  const JsonLintResult lint = LintJson(json);
+  EXPECT_TRUE(lint.valid) << lint.error;
+}
+
+TEST(ChromeTraceTest, EscapesNamesAndSentinelIsIgnored) {
+  ChromeTraceWriter writer;
+  writer.BeginSlice(ChromeTraceWriter::kSimPid, ChromeTraceWriter::kThreadTid, 1.0,
+                    "quote \" backslash \\ newline \n");
+  writer.EndSlice(ChromeTraceWriter::kSimPid, ChromeTraceWriter::kThreadTid, 2.0);
+  const std::size_t before = writer.event_count();
+  writer.OnTraceEvent(Ev(TraceEventType::kTraceEventTypeCount, 3.0));
+  EXPECT_EQ(writer.event_count(), before);  // sentinel maps to nothing
+  const JsonLintResult lint = LintJson(writer.ToJson());
+  EXPECT_TRUE(lint.valid) << lint.error << " at offset " << lint.error_offset;
+}
+
+TEST(ChromeTraceTest, EmptyWriterStillSerializes) {
+  ChromeTraceWriter writer;  // only the track-name metadata from the ctor
+  const JsonLintResult lint = LintJson(writer.ToJson());
+  EXPECT_TRUE(lint.valid) << lint.error;
+  EXPECT_TRUE(lint.HasTopLevelKey("traceEvents"));
+}
+
+}  // namespace
+}  // namespace wdmlat::obs

@@ -1,0 +1,177 @@
+// MetricsRegistry merge algebra and exporter checks, mirroring the
+// histogram-merge property tests: counters must sum, gauges must take the
+// maximum, histograms must merge bucket-for-bucket, and the JSON/CSV
+// exporters must emit well-formed output with deterministic key order — the
+// contract the matrix runner's grid-order registry merging rests on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/sim/rng.h"
+
+namespace wdmlat::obs {
+namespace {
+
+MetricsRegistry SampleRegistry(std::uint64_t seed, int n) {
+  sim::Rng rng(seed);
+  MetricsRegistry reg;
+  for (int i = 0; i < n; ++i) {
+    reg.Add("events", 1.0);
+    reg.Add("ms_total", rng.Uniform(0.0, 2.0));
+    reg.Set("peak", rng.Uniform(0.0, 100.0));
+    reg.Observe("depth", rng.Uniform(0.0, 16.0));
+    reg.Observe("latency_ms", rng.BoundedPareto(1.1, 0.01, 50.0));
+  }
+  return reg;
+}
+
+void ExpectRegistriesIdentical(const MetricsRegistry& a, const MetricsRegistry& b) {
+  // The CSV dump covers every counter, gauge and histogram statistic, so
+  // textual equality is bucket-for-bucket equality.
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(MetricsRegistryTest, AccessorsAndDefaults) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("missing"), 0.0);
+  EXPECT_EQ(reg.gauge("missing"), 0.0);
+  EXPECT_EQ(reg.histogram("missing"), nullptr);
+
+  reg.Add("hits");
+  reg.Add("hits", 2.5);
+  reg.Set("depth", 7.0);
+  reg.Set("depth", 3.0);  // gauges hold the latest value
+  reg.Observe("wait_ms", 1.25);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_DOUBLE_EQ(reg.counter("hits"), 3.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth"), 3.0);
+  ASSERT_NE(reg.histogram("wait_ms"), nullptr);
+  EXPECT_EQ(reg.histogram("wait_ms")->count(), 1u);
+  // Observe stores in caller units: a 1.25 observation reads back as 1.25.
+  EXPECT_DOUBLE_EQ(reg.histogram("wait_ms")->max_ms(), 1.25);
+}
+
+TEST(MetricsRegistryTest, MergeSemantics) {
+  MetricsRegistry a;
+  a.Add("events", 10.0);
+  a.Set("peak", 5.0);
+  a.Observe("depth", 1.0);
+  MetricsRegistry b;
+  b.Add("events", 32.0);
+  b.Add("only_in_b", 1.0);
+  b.Set("peak", 3.0);
+  b.Set("only_in_b_gauge", 9.0);
+  b.Observe("depth", 4.0);
+
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.counter("events"), 42.0);      // counters sum
+  EXPECT_DOUBLE_EQ(a.counter("only_in_b"), 1.0);    // missing counters adopt
+  EXPECT_DOUBLE_EQ(a.gauge("peak"), 5.0);           // gauges take the max
+  EXPECT_DOUBLE_EQ(a.gauge("only_in_b_gauge"), 9.0);
+  ASSERT_NE(a.histogram("depth"), nullptr);
+  EXPECT_EQ(a.histogram("depth")->count(), 2u);     // histograms pool
+  EXPECT_DOUBLE_EQ(a.histogram("depth")->max_ms(), 4.0);
+}
+
+TEST(MetricsRegistryTest, MergeIsCommutativeOnBuckets) {
+  const MetricsRegistry a = SampleRegistry(1, 500);
+  const MetricsRegistry b = SampleRegistry(2, 300);
+  MetricsRegistry ab = a;
+  ab.Merge(b);
+  MetricsRegistry ba = b;
+  ba.Merge(a);
+  // Histogram buckets and the gauge max are order-independent; counter sums
+  // agree to double precision on these magnitudes.
+  EXPECT_EQ(ab.histogram("depth")->ToCsv(), ba.histogram("depth")->ToCsv());
+  EXPECT_EQ(ab.histogram("latency_ms")->ToCsv(), ba.histogram("latency_ms")->ToCsv());
+  EXPECT_DOUBLE_EQ(ab.gauge("peak"), ba.gauge("peak"));
+  EXPECT_DOUBLE_EQ(ab.counter("events"), ba.counter("events"));
+}
+
+TEST(MetricsRegistryTest, MergeIsAssociative) {
+  const MetricsRegistry a = SampleRegistry(3, 400);
+  const MetricsRegistry b = SampleRegistry(4, 200);
+  const MetricsRegistry c = SampleRegistry(5, 300);
+  MetricsRegistry left = a;  // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  MetricsRegistry bc = b;  // a + (b + c)
+  bc.Merge(c);
+  MetricsRegistry right = a;
+  right.Merge(bc);
+  // Bucket counts, quantiles and the gauge max are exact under any
+  // association; floating-point counter sums and histogram means may differ
+  // in ulps across orders (same caveat as LatencyHistogram::Merge).
+  for (const char* name : {"depth", "latency_ms"}) {
+    EXPECT_EQ(left.histogram(name)->ToCsv(), right.histogram(name)->ToCsv()) << name;
+    EXPECT_EQ(left.histogram(name)->QuantileMs(0.99), right.histogram(name)->QuantileMs(0.99));
+  }
+  EXPECT_DOUBLE_EQ(left.gauge("peak"), right.gauge("peak"));
+  EXPECT_DOUBLE_EQ(left.counter("events"), right.counter("events"));
+  EXPECT_NEAR(left.counter("ms_total"), right.counter("ms_total"),
+              1e-9 * right.counter("ms_total"));
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryIsMergeIdentity) {
+  const MetricsRegistry a = SampleRegistry(6, 250);
+  MetricsRegistry left;  // empty + a
+  left.Merge(a);
+  ExpectRegistriesIdentical(left, a);
+  MetricsRegistry right = a;  // a + empty
+  right.Merge(MetricsRegistry());
+  ExpectRegistriesIdentical(right, a);
+}
+
+TEST(MetricsRegistryTest, FixedOrderMergeIsBitDeterministic) {
+  // The matrix runner's guarantee: merging the same per-cell registries in
+  // the same (grid) order must produce byte-identical exports, run to run.
+  std::vector<MetricsRegistry> cells;
+  for (std::uint64_t s = 10; s < 18; ++s) {
+    cells.push_back(SampleRegistry(s, 100));
+  }
+  MetricsRegistry once;
+  MetricsRegistry twice;
+  for (const MetricsRegistry& cell : cells) {
+    once.Merge(cell);
+  }
+  for (const MetricsRegistry& cell : cells) {
+    twice.Merge(cell);
+  }
+  ExpectRegistriesIdentical(once, twice);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsWellFormed) {
+  MetricsRegistry reg = SampleRegistry(7, 300);
+  reg.Add("needs \"escaping\"\n", 1.0);  // exporter must escape metric names
+  const JsonLintResult lint = LintJson(reg.ToJson());
+  EXPECT_TRUE(lint.valid) << lint.error << " at offset " << lint.error_offset;
+  EXPECT_TRUE(lint.HasTopLevelKey("counters"));
+  EXPECT_TRUE(lint.HasTopLevelKey("gauges"));
+  EXPECT_TRUE(lint.HasTopLevelKey("histograms"));
+
+  // An empty registry still exports a complete, valid skeleton.
+  const JsonLintResult empty_lint = LintJson(MetricsRegistry().ToJson());
+  EXPECT_TRUE(empty_lint.valid) << empty_lint.error;
+  EXPECT_TRUE(empty_lint.HasTopLevelKey("counters"));
+}
+
+TEST(MetricsRegistryTest, CsvExportShape) {
+  MetricsRegistry reg;
+  reg.Add("a.count", 3.0);
+  reg.Set("b.peak", 2.0);
+  reg.Observe("c.depth", 1.0);
+  const std::string csv = reg.ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,a.count,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,b.peak,value,2"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,c.depth,count,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdmlat::obs

@@ -1,0 +1,107 @@
+// Observability passivity: attaching every sink — Chrome trace writer,
+// metrics collector, queue-depth sampler, cause tool and episode flight
+// recorder — must leave the measured distributions bit-identical to a bare
+// run. The sinks only read state; they consume no simulation RNG and reorder
+// no events, so PR 1's matrix determinism contract survives PR 2 intact.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+namespace {
+
+LabConfig BaseConfig() {
+  LabConfig config;
+  config.os = kernel::MakeWin98Profile();
+  config.stress = workload::GamesStress();
+  config.stress_minutes = 0.2;
+  config.seed = 7;
+  config.options.sound_scheme = vmm98::SchemeKind::kDefault;
+  return config;
+}
+
+void ExpectReportsIdentical(const LabReport& a, const LabReport& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.thread.ToCsv(), b.thread.ToCsv());
+  EXPECT_EQ(a.dpc_interrupt.ToCsv(), b.dpc_interrupt.ToCsv());
+  EXPECT_EQ(a.thread_interrupt.ToCsv(), b.thread_interrupt.ToCsv());
+  EXPECT_EQ(a.interrupt.ToCsv(), b.interrupt.ToCsv());
+  EXPECT_EQ(a.isr_to_dpc.ToCsv(), b.isr_to_dpc.ToCsv());
+  EXPECT_EQ(a.true_pit_interrupt_latency.ToCsv(), b.true_pit_interrupt_latency.ToCsv());
+  EXPECT_EQ(a.thread.max_ms(), b.thread.max_ms());
+  EXPECT_EQ(a.samples_per_hour, b.samples_per_hour);
+}
+
+TEST(ObsLabTest, SinksLeaveResultsBitIdentical) {
+  const LabReport bare = RunLatencyExperiment(BaseConfig());
+
+  LabConfig observed = BaseConfig();
+  obs::ChromeTraceWriter trace;
+  obs::MetricsRegistry metrics;
+  observed.obs.trace_sink = &trace;
+  observed.obs.metrics = &metrics;
+  observed.obs.queue_sample_ms = 1.0;
+  observed.obs.episode_threshold_us = 4000.0;
+  const LabReport instrumented = RunLatencyExperiment(observed);
+
+  ExpectReportsIdentical(bare, instrumented);
+
+  // And the sinks actually observed the run.
+  EXPECT_GT(trace.event_count(), 0u);
+  EXPECT_FALSE(metrics.empty());
+  EXPECT_GT(metrics.counter("kernel.isr.count"), 0.0);
+  EXPECT_GT(metrics.counter("dispatcher.context_switches"), 0.0);
+  EXPECT_NE(metrics.histogram("kernel.dpc_queue_depth"), nullptr);
+  EXPECT_GT(metrics.counter("driver.samples"), 0.0);
+}
+
+TEST(ObsLabTest, InstrumentedRunsAreReproducible) {
+  // Same seed, sinks attached both times: the exports themselves must be
+  // deterministic too (metrics byte-identical; trace event streams equal).
+  auto run = [](obs::ChromeTraceWriter& trace, obs::MetricsRegistry& metrics) {
+    LabConfig config = BaseConfig();
+    config.obs.trace_sink = &trace;
+    config.obs.metrics = &metrics;
+    config.obs.queue_sample_ms = 1.0;
+    return RunLatencyExperiment(config);
+  };
+  obs::ChromeTraceWriter trace1;
+  obs::MetricsRegistry metrics1;
+  const LabReport r1 = run(trace1, metrics1);
+  obs::ChromeTraceWriter trace2;
+  obs::MetricsRegistry metrics2;
+  const LabReport r2 = run(trace2, metrics2);
+
+  ExpectReportsIdentical(r1, r2);
+  EXPECT_EQ(metrics1.ToJson(), metrics2.ToJson());
+  EXPECT_EQ(metrics1.ToCsv(), metrics2.ToCsv());
+  EXPECT_EQ(trace1.event_count(), trace2.event_count());
+  EXPECT_EQ(trace1.ToJson(), trace2.ToJson());
+
+  // The exports must also be valid JSON end to end.
+  const obs::JsonLintResult trace_lint = obs::LintJson(trace1.ToJson());
+  EXPECT_TRUE(trace_lint.valid) << trace_lint.error;
+  const obs::JsonLintResult metrics_lint = obs::LintJson(metrics1.ToJson());
+  EXPECT_TRUE(metrics_lint.valid) << metrics_lint.error;
+}
+
+TEST(ObsLabTest, EpisodeThresholdDoesNotPerturbEither) {
+  // The cause tool's PIT hook and the recorder's trace ring are the most
+  // invasive observers; verify they are still passive on their own.
+  LabConfig with_episodes = BaseConfig();
+  with_episodes.obs.episode_threshold_us = 4000.0;
+  const LabReport a = RunLatencyExperiment(BaseConfig());
+  const LabReport b = RunLatencyExperiment(with_episodes);
+  ExpectReportsIdentical(a, b);
+}
+
+}  // namespace
+}  // namespace wdmlat::lab
