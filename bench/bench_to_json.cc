@@ -1,0 +1,497 @@
+// Converts google-benchmark JSON output into the repo's BENCH_*.json schema,
+// and compares two such files for perf regressions. Used by ci/perf_smoke.sh
+// to guard the engine hot path against re-introduced allocations or
+// complexity, with the blessed numbers committed at bench/baselines/.
+//
+//   bench_to_json --convert raw.json --source micro_kernel_ops --out BENCH_micro.json
+//   bench_to_json --compare baseline.json candidate.json [--max-ratio 3.0]
+//
+// The schema is deliberately tiny so it survives benchmark-library upgrades:
+//
+//   { "schema": "wdmlat-bench-v1",
+//     "source": "micro_kernel_ops",
+//     "benchmarks": [ { "name": "...", "real_ns": 1.0, "cpu_ns": 1.0,
+//                       "iterations": 100 } ] }
+//
+// Compare mode checks cpu_ns (less host-noise than wall time) of every
+// baseline benchmark against the candidate and exits nonzero if any ratio
+// exceeds --max-ratio or a baseline benchmark disappeared (renames require
+// re-baselining; see EXPERIMENTS.md). The generous default ratio of 3.0
+// tolerates shared-CI noise while still catching order-of-magnitude
+// regressions like an accidental allocation on the schedule path.
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON reader (src/obs/json.h is a writer/linter
+// only). Supports the full value grammar we consume; numbers become doubles.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    JsonValue value;
+    SkipWs();
+    if (!ParseValue(&value)) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return std::nullopt;  // trailing garbage
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeLiteral(const char* literal) {
+    const std::size_t n = std::string(literal).size();
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return false;
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Benchmark names are ASCII; keep \u simple by emitting '?' for
+          // anything outside Latin-1 rather than implementing UTF-16 pairs.
+          if (pos_ + 4 > text_.size()) {
+            return false;
+          }
+          const unsigned long code = std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out->push_back(code < 256 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct BenchEntry {
+  std::string name;
+  double real_ns = 0.0;
+  double cpu_ns = 0.0;
+  double iterations = 0.0;
+};
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::optional<JsonValue> ParseFile(const std::string& path) {
+  const auto text = ReadFile(path);
+  if (!text) {
+    std::cerr << "bench_to_json: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  auto value = JsonReader(*text).Parse();
+  if (!value) {
+    std::cerr << "bench_to_json: " << path << " is not valid JSON\n";
+  }
+  return value;
+}
+
+double ToNs(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  return value;  // google-benchmark default is ns
+}
+
+// Pull the per-iteration rows out of google-benchmark's --benchmark_format=
+// json output, skipping aggregate rows (mean/median/stddev) if present.
+std::optional<std::vector<BenchEntry>> ExtractFromGoogleBenchmark(const JsonValue& root) {
+  const JsonValue* benchmarks = root.Find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != JsonValue::Kind::kArray) {
+    std::cerr << "bench_to_json: no benchmarks array (is this google-benchmark output?)\n";
+    return std::nullopt;
+  }
+  std::vector<BenchEntry> entries;
+  for (const JsonValue& row : benchmarks->array) {
+    const JsonValue* run_type = row.Find("run_type");
+    if (run_type != nullptr && run_type->string != "iteration") {
+      continue;
+    }
+    const JsonValue* name = row.Find("name");
+    const JsonValue* real_time = row.Find("real_time");
+    const JsonValue* cpu_time = row.Find("cpu_time");
+    const JsonValue* iterations = row.Find("iterations");
+    if (name == nullptr || real_time == nullptr || cpu_time == nullptr) {
+      std::cerr << "bench_to_json: benchmark row missing name/real_time/cpu_time\n";
+      return std::nullopt;
+    }
+    const JsonValue* unit = row.Find("time_unit");
+    const std::string time_unit = unit != nullptr ? unit->string : "ns";
+    entries.push_back(BenchEntry{name->string, ToNs(real_time->number, time_unit),
+                                 ToNs(cpu_time->number, time_unit),
+                                 iterations != nullptr ? iterations->number : 0.0});
+  }
+  return entries;
+}
+
+// Read a file already in the wdmlat-bench-v1 schema.
+std::optional<std::vector<BenchEntry>> ExtractFromRepoSchema(const std::string& path) {
+  const auto root = ParseFile(path);
+  if (!root) {
+    return std::nullopt;
+  }
+  const JsonValue* schema = root->Find("schema");
+  if (schema == nullptr || schema->string != "wdmlat-bench-v1") {
+    std::cerr << "bench_to_json: " << path << " is not wdmlat-bench-v1\n";
+    return std::nullopt;
+  }
+  const JsonValue* benchmarks = root->Find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != JsonValue::Kind::kArray) {
+    std::cerr << "bench_to_json: " << path << " has no benchmarks array\n";
+    return std::nullopt;
+  }
+  std::vector<BenchEntry> entries;
+  for (const JsonValue& row : benchmarks->array) {
+    const JsonValue* name = row.Find("name");
+    const JsonValue* real_ns = row.Find("real_ns");
+    const JsonValue* cpu_ns = row.Find("cpu_ns");
+    const JsonValue* iterations = row.Find("iterations");
+    if (name == nullptr || real_ns == nullptr || cpu_ns == nullptr) {
+      std::cerr << "bench_to_json: " << path << " row missing name/real_ns/cpu_ns\n";
+      return std::nullopt;
+    }
+    entries.push_back(BenchEntry{name->string, real_ns->number, cpu_ns->number,
+                                 iterations != nullptr ? iterations->number : 0.0});
+  }
+  return entries;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+int Convert(const std::string& raw_path, const std::string& source, const std::string& out_path) {
+  const auto root = ParseFile(raw_path);
+  if (!root) {
+    return 1;
+  }
+  const auto entries = ExtractFromGoogleBenchmark(*root);
+  if (!entries || entries->empty()) {
+    std::cerr << "bench_to_json: no benchmark rows in " << raw_path << "\n";
+    return 1;
+  }
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n  \"schema\": \"wdmlat-bench-v1\",\n  \"source\": \"" << EscapeJson(source)
+      << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    const BenchEntry& e = (*entries)[i];
+    out << "    {\"name\": \"" << EscapeJson(e.name) << "\", \"real_ns\": " << e.real_ns
+        << ", \"cpu_ns\": " << e.cpu_ns << ", \"iterations\": " << static_cast<long long>(e.iterations)
+        << "}" << (i + 1 < entries->size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::ofstream file(out_path);
+  if (!file) {
+    std::cerr << "bench_to_json: cannot write " << out_path << "\n";
+    return 1;
+  }
+  file << out.str();
+  std::cout << "bench_to_json: wrote " << entries->size() << " benchmarks to " << out_path << "\n";
+  return 0;
+}
+
+int Compare(const std::string& baseline_path, const std::string& candidate_path,
+            double max_ratio) {
+  const auto baseline = ExtractFromRepoSchema(baseline_path);
+  const auto candidate = ExtractFromRepoSchema(candidate_path);
+  if (!baseline || !candidate) {
+    return 1;
+  }
+  int failures = 0;
+  for (const BenchEntry& base : *baseline) {
+    const BenchEntry* cand = nullptr;
+    for (const BenchEntry& c : *candidate) {
+      if (c.name == base.name) {
+        cand = &c;
+        break;
+      }
+    }
+    if (cand == nullptr) {
+      std::cerr << "FAIL " << base.name << ": missing from candidate (re-baseline after renames)\n";
+      ++failures;
+      continue;
+    }
+    if (base.cpu_ns <= 0.0) {
+      std::cerr << "FAIL " << base.name << ": baseline cpu_ns is not positive\n";
+      ++failures;
+      continue;
+    }
+    const double ratio = cand->cpu_ns / base.cpu_ns;
+    const bool ok = ratio <= max_ratio;
+    std::cout << (ok ? "ok   " : "FAIL ") << base.name << ": cpu " << base.cpu_ns << " -> "
+              << cand->cpu_ns << " ns (" << ratio << "x, limit " << max_ratio << "x)\n";
+    if (!ok) {
+      ++failures;
+    }
+  }
+  for (const BenchEntry& c : *candidate) {
+    bool known = false;
+    for (const BenchEntry& base : *baseline) {
+      known = known || base.name == c.name;
+    }
+    if (!known) {
+      std::cout << "new  " << c.name << ": not in baseline (informational)\n";
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "bench_to_json: " << failures << " benchmark(s) regressed past " << max_ratio
+              << "x\n";
+    return 1;
+  }
+  std::cout << "bench_to_json: all " << baseline->size() << " benchmarks within " << max_ratio
+            << "x of baseline\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  bench_to_json --convert RAW.json --source NAME --out OUT.json\n"
+      << "  bench_to_json --compare BASELINE.json CANDIDATE.json [--max-ratio 3.0]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return Usage();
+  }
+  if (args[0] == "--convert") {
+    std::string raw;
+    std::string source = "unknown";
+    std::string out;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--source" && i + 1 < args.size()) {
+        source = args[++i];
+      } else if (args[i] == "--out" && i + 1 < args.size()) {
+        out = args[++i];
+      } else if (raw.empty()) {
+        raw = args[i];
+      } else {
+        return Usage();
+      }
+    }
+    if (raw.empty() || out.empty()) {
+      return Usage();
+    }
+    return Convert(raw, source, out);
+  }
+  if (args[0] == "--compare") {
+    std::string baseline;
+    std::string candidate;
+    double max_ratio = 3.0;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--max-ratio" && i + 1 < args.size()) {
+        max_ratio = std::strtod(args[++i].c_str(), nullptr);
+      } else if (baseline.empty()) {
+        baseline = args[i];
+      } else if (candidate.empty()) {
+        candidate = args[i];
+      } else {
+        return Usage();
+      }
+    }
+    if (baseline.empty() || candidate.empty() || max_ratio <= 0.0) {
+      return Usage();
+    }
+    return Compare(baseline, candidate, max_ratio);
+  }
+  return Usage();
+}

@@ -6,11 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
 #include "src/drivers/latency_driver.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/profile.h"
 #include "src/lab/test_system.h"
 #include "src/sim/engine.h"
+#include "src/sim/rng.h"
+#include "src/stats/histogram.h"
 #include "src/workload/stress_load.h"
 #include "src/workload/stress_profile.h"
 
@@ -38,6 +44,48 @@ void BM_EngineCancelledEvent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineCancelledEvent);
+
+// The dispatcher's timer churn: every resume cancels the previous completion
+// and schedules a new one, so most scheduled events die without firing. This
+// exercises the stale-entry purge and the bulk compaction.
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  sim::Engine engine;
+  sim::EventHandle completion;
+  std::uint64_t fired = 0;
+  int step_phase = 0;
+  for (auto _ : state) {
+    completion.Cancel();
+    completion = engine.ScheduleAfter(100, [&] { ++fired; });
+    if (++step_phase == 3) {
+      step_phase = 0;
+      engine.Step();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
+// Per-sample histogram bucketing cost (runs once per measured latency).
+void BM_HistogramRecord(benchmark::State& state) {
+  // Log-uniform samples across the resolvable range, precomputed so the
+  // benchmark measures RecordUs, not the RNG.
+  sim::Rng rng(42);
+  std::vector<double> samples(4096);
+  for (double& us : samples) {
+    us = stats::LatencyHistogram::kMinUs *
+         std::exp2(rng.Uniform(0.0, static_cast<double>(stats::LatencyHistogram::kOctaves)));
+  }
+  stats::LatencyHistogram hist;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hist.RecordUs(samples[i]);
+    if (++i == samples.size()) {
+      i = 0;
+    }
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramRecord);
 
 // One full virtual second of an idle kernel (clock ticks, worker thread).
 template <kernel::KernelProfile (*MakeProfile)()>

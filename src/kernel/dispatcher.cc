@@ -487,8 +487,11 @@ void Dispatcher::ResumeFrame(Frame* frame) {
   }
   frame->resumed_at = engine_.now();
   frame->running = true;
-  frame->completion =
-      engine_.ScheduleAfter(frame->remaining, [this, frame] { OnFrameElapsed(frame); });
+  auto on_elapsed = [this, frame] { OnFrameElapsed(frame); };
+  static_assert(sim::InplaceCallback::kFitsInline<decltype(on_elapsed)>,
+                "frame completions are the engine's hottest clients and must "
+                "never take the callback heap-fallback path");
+  frame->completion = engine_.ScheduleAfter(frame->remaining, std::move(on_elapsed));
 }
 
 sim::Cycles& Dispatcher::ActiveThreadRemaining() {
@@ -519,8 +522,11 @@ void Dispatcher::ResumeThreadTimer() {
   }
   thread_resumed_at_ = engine_.now();
   thread_running_ = true;
-  thread_completion_ =
-      engine_.ScheduleAfter(ActiveThreadRemaining(), [this] { OnThreadElapsed(); });
+  auto on_elapsed = [this] { OnThreadElapsed(); };
+  static_assert(sim::InplaceCallback::kFitsInline<decltype(on_elapsed)>,
+                "thread completions are on the engine hot path and must "
+                "never take the callback heap-fallback path");
+  thread_completion_ = engine_.ScheduleAfter(ActiveThreadRemaining(), std::move(on_elapsed));
 }
 
 }  // namespace wdmlat::kernel

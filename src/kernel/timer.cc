@@ -4,6 +4,12 @@
 
 namespace wdmlat::kernel {
 
+namespace {
+// Same floor as the engine calendar: below this, lazy purge at due time is
+// cheaper than a rebuild.
+constexpr std::size_t kCompactMinEntries = 64;
+}  // namespace
+
 void TimerQueue::Set(KTimer* timer, sim::Cycles due, sim::Cycles period, KDpc* dpc) {
   assert(timer != nullptr);
   if (timer->active_) {
@@ -16,7 +22,8 @@ void TimerQueue::Set(KTimer* timer, sim::Cycles due, sim::Cycles period, KDpc* d
   timer->dpc_ = dpc;
   timer->active_ = true;
   ++active_count_;
-  heap_.push(HeapEntry{due, next_seq_++, timer, timer->generation_});
+  Push(HeapEntry{due, next_seq_++, timer, timer->generation_});
+  MaybeCompact();
 }
 
 bool TimerQueue::Cancel(KTimer* timer) {
@@ -27,32 +34,24 @@ bool TimerQueue::Cancel(KTimer* timer) {
   ++timer->generation_;  // invalidate the heap entry lazily
   timer->active_ = false;
   --active_count_;
+  MaybeCompact();
   return true;
 }
 
-int TimerQueue::ExpireDue(sim::Cycles now, const std::function<void(KTimer*, KDpc*)>& fire) {
-  int expired = 0;
-  while (!heap_.empty() && heap_.top().due <= now) {
-    HeapEntry entry = heap_.top();
-    heap_.pop();
-    KTimer* timer = entry.timer;
-    if (!timer->active_ || entry.generation != timer->generation_) {
-      continue;  // stale
-    }
-    ++expired;
-    if (timer->period_ > 0) {
-      // Periodic: re-arm relative to the due time, not the tick, so the
-      // period does not drift.
-      timer->due_ += timer->period_;
-      ++timer->generation_;
-      heap_.push(HeapEntry{timer->due_, next_seq_++, timer, timer->generation_});
-    } else {
-      timer->active_ = false;
-      --active_count_;
-    }
-    fire(timer, timer->dpc_);
+void TimerQueue::MaybeCompact() {
+  // Each active timer owns exactly one current heap entry; everything beyond
+  // that is a stale arming. The latency driver re-Sets its timer on every
+  // sample, so without compaction a long-due stale entry per sample would
+  // ride the heap until its due time.
+  if (heap_.size() < kCompactMinEntries || heap_.size() - active_count_ <= heap_.size() / 2) {
+    return;
   }
-  return expired;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [](const HeapEntry& e) {
+                               return !e.timer->active_ || e.generation != e.timer->generation_;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), FiresLater{});
 }
 
 }  // namespace wdmlat::kernel

@@ -7,13 +7,18 @@
 // ±1-tick resolution the paper describes. Single-shot timers are WDM
 // original; NT 4.0 added periodic timers (paper Section 2.2), which we also
 // support.
+//
+// The queue mirrors the engine calendar's allocation-free design: a plain
+// binary heap of POD entries, generation-tagged so Cancel/re-Set invalidate
+// lazily, with bulk compaction once stale entries outnumber active timers.
+// ExpireDue is templated on the fire functor so the per-tick call from the
+// clock ISR constructs no std::function.
 
 #ifndef SRC_KERNEL_TIMER_H_
 #define SRC_KERNEL_TIMER_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/kernel/dpc.h"
@@ -51,12 +56,41 @@ class TimerQueue {
   bool Cancel(KTimer* timer);
 
   // Called from the clock ISR: fire every timer due at or before `now`.
-  // `fire` receives the timer's DPC (never nullptr entries with null DPCs are
-  // delivered — timers without DPCs simply complete). Returns the number of
-  // timers expired.
-  int ExpireDue(sim::Cycles now, const std::function<void(KTimer*, KDpc*)>& fire);
+  // `fire` receives the timer and its DPC (possibly nullptr — timers without
+  // DPCs simply complete). Returns the number of timers expired.
+  template <typename Fire>
+  int ExpireDue(sim::Cycles now, Fire&& fire) {
+    int expired = 0;
+    while (!heap_.empty() && heap_.front().due <= now) {
+      const HeapEntry entry = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+      heap_.pop_back();
+      KTimer* timer = entry.timer;
+      if (!timer->active_ || entry.generation != timer->generation_) {
+        continue;  // stale: cancelled or superseded by a re-Set
+      }
+      ++expired;
+      if (timer->period_ > 0) {
+        // Periodic: re-arm relative to the due time, not the tick, so the
+        // period does not drift.
+        timer->due_ += timer->period_;
+        ++timer->generation_;
+        Push(HeapEntry{timer->due_, next_seq_++, timer, timer->generation_});
+      } else {
+        timer->active_ = false;
+        --active_count_;
+      }
+      fire(timer, timer->dpc_);
+    }
+    return expired;
+  }
 
   std::size_t pending() const { return active_count_; }
+
+  // Observability: stale (cancelled / superseded) entries still in the heap.
+  std::size_t stale_entries() const {
+    return heap_.size() > active_count_ ? heap_.size() - active_count_ : 0;
+  }
 
  private:
   struct HeapEntry {
@@ -65,7 +99,7 @@ class TimerQueue {
     KTimer* timer;
     std::uint64_t generation;
   };
-  struct Later {
+  struct FiresLater {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.due != b.due) {
         return a.due > b.due;
@@ -74,7 +108,13 @@ class TimerQueue {
     }
   };
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  void Push(HeapEntry entry) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  }
+  void MaybeCompact();
+
+  std::vector<HeapEntry> heap_;
   std::uint64_t next_seq_ = 0;
   std::size_t active_count_ = 0;
 };

@@ -1,57 +1,8 @@
 #include "src/sim/engine.h"
 
-#include <utility>
+#include <algorithm>
 
 namespace wdmlat::sim {
-
-bool EventHandle::pending() const { return rec_ && !rec_->cancelled && !rec_->fired; }
-
-void EventHandle::Cancel() {
-  if (rec_ && !rec_->fired && !rec_->cancelled) {
-    rec_->cancelled = true;
-    rec_->callback = nullptr;  // release captured state eagerly
-    if (rec_->live_counter) {
-      --*rec_->live_counter;
-    }
-  }
-}
-
-EventHandle Engine::ScheduleAt(Cycles when, Callback cb) {
-  if (when < now_) {
-    when = now_;
-  }
-  auto rec = std::make_shared<EventHandle::Record>();
-  rec->callback = std::move(cb);
-  rec->live_counter = live_;
-  ++*live_;
-  queue_.push(QueueEntry{when, next_seq_++, rec});
-  return EventHandle(std::move(rec));
-}
-
-EventHandle Engine::ScheduleAfter(Cycles delay, Callback cb) {
-  return ScheduleAt(now_ + delay, std::move(cb));
-}
-
-bool Engine::Step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    if (entry.rec->cancelled) {
-      continue;  // lazy purge: cancelled records drop out as they surface
-    }
-    now_ = entry.when;
-    entry.rec->fired = true;
-    --*live_;
-    ++events_processed_;
-    // Move the callback out so captured state dies with this scope even if
-    // the handle outlives the event.
-    auto cb = std::move(entry.rec->callback);
-    entry.rec->callback = nullptr;
-    cb();
-    return true;
-  }
-  return false;
-}
 
 void Engine::RunUntilIdle() {
   stop_requested_ = false;
@@ -61,20 +12,26 @@ void Engine::RunUntilIdle() {
 
 void Engine::RunUntil(Cycles deadline) {
   stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty()) {
-    // Skip cancelled entries without advancing time.
-    if (queue_.top().rec->cancelled) {
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().when > deadline) {
-      break;
-    }
-    Step();
+  QueueEntry entry;
+  while (!stop_requested_ && PopNextLive(deadline, &entry)) {
+    Fire(entry);
   }
   if (!stop_requested_ && now_ < deadline) {
     now_ = deadline;
   }
+}
+
+void Engine::Compact() {
+  // DispatcherTest-style workloads cancel constantly; without compaction the
+  // dead entries would be dragged through every sift until their (possibly
+  // far-future) due time surfaces.
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const QueueEntry& e) {
+                               return pool_->generation(e.slot) != e.generation;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), FiresLater{});
+  ++compactions_;
 }
 
 }  // namespace wdmlat::sim

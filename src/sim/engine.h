@@ -5,54 +5,99 @@
 // wdmlat — hardware devices, the kernel, workloads, the measurement drivers —
 // is driven from this calendar. There is no wall-clock anywhere; virtual
 // hours of Windows activity run in wall-clock seconds.
+//
+// The hot path is allocation-free in steady state: event records live in a
+// slab/free-list EventPool, callbacks are small-buffer-optimized
+// InplaceCallbacks, and the calendar is a plain binary heap of POD entries.
+// Cancelled events leave stale heap entries behind that are lazily purged on
+// pop and bulk-compacted when they outnumber the live ones (see DESIGN.md
+// §7 for the invariants).
 
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <limits>
 #include <vector>
 
+#include "src/sim/event_pool.h"
+#include "src/sim/inplace_callback.h"
 #include "src/sim/time.h"
 
 namespace wdmlat::sim {
 
 class Engine;
 
-// Cancellable reference to a scheduled event. Default-constructed handles are
-// inert; cancelling an already-fired or already-cancelled event is a no-op.
+// Cancellable reference to a scheduled event: {pool, slot, generation}.
+// Default-constructed handles are inert; cancelling an already-fired or
+// already-cancelled event is a no-op, as is cancelling through a handle whose
+// slot has been recycled for a newer event or whose engine has been
+// destroyed (the handle's pool reference keeps the slot memory valid).
 class EventHandle {
  public:
   EventHandle() = default;
+  EventHandle(const EventHandle& other)
+      : pool_(other.pool_), generation_(other.generation_), slot_(other.slot_) {
+    if (pool_ != nullptr) {
+      pool_->AddRef();
+    }
+  }
+  EventHandle(EventHandle&& other) noexcept
+      : pool_(other.pool_), generation_(other.generation_), slot_(other.slot_) {
+    other.pool_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& other) {
+    EventHandle copy(other);
+    swap(copy);
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~EventHandle() {
+    if (pool_ != nullptr) {
+      pool_->Release();
+    }
+  }
 
   // True if the event is still pending (not fired, not cancelled).
-  bool pending() const;
+  bool pending() const { return pool_ != nullptr && pool_->generation(slot_) == generation_; }
 
   // Prevent the event from firing. Safe to call in any state.
-  void Cancel();
+  void Cancel() {
+    if (pool_ != nullptr) {
+      pool_->CancelIfCurrent(slot_, generation_);
+    }
+  }
 
  private:
   friend class Engine;
-  struct Record {
-    std::function<void()> callback;
-    bool cancelled = false;
-    bool fired = false;
-    // Shared live-event counter of the owning engine; decremented exactly
-    // once, on fire or on first cancel. Shared ownership keeps Cancel() safe
-    // even on a handle that outlives its engine.
-    std::shared_ptr<std::size_t> live_counter;
-  };
-  explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
-  std::shared_ptr<Record> rec_;
+  EventHandle(EventPool* pool, std::uint32_t slot, std::uint64_t generation)
+      : pool_(pool), generation_(generation), slot_(slot) {
+    pool_->AddRef();
+  }
+  void swap(EventHandle& other) noexcept {
+    std::swap(pool_, other.pool_);
+    std::swap(generation_, other.generation_);
+    std::swap(slot_, other.slot_);
+  }
+
+  EventPool* pool_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint32_t slot_ = EventPool::kInvalidSlot;
 };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
-  Engine() = default;
+  Engine() : pool_(new EventPool) {}
+  ~Engine() {
+    pool_->Shutdown();
+    pool_->Release();
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -61,14 +106,37 @@ class Engine {
 
   // Schedule `cb` at absolute time `when`. Times in the past are clamped to
   // now(). Events scheduled for the same instant fire in insertion order.
-  EventHandle ScheduleAt(Cycles when, Callback cb);
+  // The callable is constructed directly into its pool slot, so for captures
+  // within InplaceCallback::kInlineSize this performs no heap allocation.
+  template <typename F>
+  EventHandle ScheduleAt(Cycles when, F&& cb) {
+    if (when < now_) {
+      when = now_;
+    }
+    const std::uint32_t slot = pool_->Allocate(std::forward<F>(cb));
+    const std::uint64_t generation = pool_->generation(slot);
+    heap_.push_back(QueueEntry{when, next_seq_++, generation, slot});
+    std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+    MaybeCompact();
+    return EventHandle(pool_, slot, generation);
+  }
 
   // Schedule `cb` `delay` cycles from now.
-  EventHandle ScheduleAfter(Cycles delay, Callback cb);
+  template <typename F>
+  EventHandle ScheduleAfter(Cycles delay, F&& cb) {
+    return ScheduleAt(now_ + delay, std::forward<F>(cb));
+  }
 
   // Execute the next pending event, if any. Returns false when the calendar
   // is empty.
-  bool Step();
+  bool Step() {
+    QueueEntry entry;
+    if (!PopNextLive(kNoDeadline, &entry)) {
+      return false;
+    }
+    Fire(entry);
+    return true;
+  }
 
   // Run events until the calendar is empty or a callback calls RequestStop().
   void RunUntilIdle();
@@ -83,17 +151,31 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
 
   // Number of scheduled-and-not-yet-fired events, excluding cancelled ones
-  // (their records linger in the calendar until lazily purged on pop, but
-  // they no longer count). Tests can therefore assert on calendar size.
-  std::size_t events_pending() const { return *live_; }
+  // (their heap entries linger in the calendar until lazily purged on pop or
+  // bulk-compacted, but they no longer count). Tests can therefore assert on
+  // calendar size.
+  std::size_t events_pending() const { return pool_->live(); }
+
+  // Observability: stale (cancelled) entries still occupying the calendar,
+  // and how many times the calendar has been compacted.
+  std::size_t stale_entries() const {
+    return heap_.size() > pool_->live() ? heap_.size() - pool_->live() : 0;
+  }
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
+  // POD calendar entry: no refcounts, no indirection on sift. `generation`
+  // pins the entry to one pool-slot incarnation; a mismatch means the event
+  // was cancelled (or fired through an earlier entry) and the entry is dead.
   struct QueueEntry {
     Cycles when;
     std::uint64_t seq;
-    std::shared_ptr<EventHandle::Record> rec;
+    std::uint64_t generation;
+    std::uint32_t slot;
   };
-  struct Later {
+  // std::push_heap/pop_heap comparator: the front of the heap is the entry
+  // that fires first, so "less" means "fires later".
+  struct FiresLater {
     bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.when != b.when) {
         return a.when > b.when;
@@ -102,12 +184,59 @@ class Engine {
     }
   };
 
+  static constexpr Cycles kNoDeadline = std::numeric_limits<Cycles>::max();
+  // Below this calendar size, compaction is never worth the make_heap; the
+  // lazy purge on pop handles small backlogs for free.
+  static constexpr std::size_t kCompactMinEntries = 64;
+
+  // Purge stale entries off the top of the heap, then pop the next live
+  // entry into `out` if its time is <= `deadline`. The single home of the
+  // lazy-purge logic shared by Step and RunUntil.
+  bool PopNextLive(Cycles deadline, QueueEntry* out) {
+    MaybeCompact();
+    // Lazy purge: dead entries (generation mismatch = cancelled) drop out as
+    // they surface, even when they lie beyond the deadline.
+    while (!heap_.empty() && pool_->generation(heap_.front().slot) != heap_.front().generation) {
+      std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+      heap_.pop_back();
+    }
+    if (heap_.empty() || heap_.front().when > deadline) {
+      return false;
+    }
+    *out = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+    heap_.pop_back();
+    return true;
+  }
+
+  // Fire a popped entry: advance time, free its pool slot, run the callback.
+  void Fire(const QueueEntry& entry) {
+    now_ = entry.when;
+    ++events_processed_;
+    // Move the callback out of the pool (freeing the slot for reuse) so
+    // captured state dies with this scope even if a handle outlives the
+    // event, and so the callback may itself schedule into the freed slot.
+    InplaceCallback cb = pool_->Take(entry.slot);
+    cb();
+  }
+
+  // Rebuild the heap without dead entries once they outnumber live ones.
+  // Every live event owns exactly one heap entry, so the dead-entry count is
+  // the size excess over the pool's live count.
+  void MaybeCompact() {
+    if (heap_.size() >= kCompactMinEntries && heap_.size() - pool_->live() > heap_.size() / 2) {
+      Compact();
+    }
+  }
+  void Compact();
+
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t compactions_ = 0;
   bool stop_requested_ = false;
-  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  EventPool* pool_;
+  std::vector<QueueEntry> heap_;
 };
 
 }  // namespace wdmlat::sim

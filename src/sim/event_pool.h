@@ -1,0 +1,155 @@
+// Slab-allocated, generation-tagged pool of event records.
+//
+// The engine owns one pool and addresses records by 32-bit slot index; freed
+// slots are recycled through an intrusive free list, so steady-state
+// scheduling never allocates. Every slot carries a 64-bit generation counter
+// that increments on allocate *and* on release: a generation is odd exactly
+// while that incarnation is scheduled, and an EventHandle's stored generation
+// matches the slot's current one only for the incarnation it was issued for.
+// Stale handles (fired, cancelled, or slot-reused) therefore read "not
+// pending" and cancel as a no-op without any per-event heap record.
+//
+// Handles keep the pool alive through a non-atomic intrusive refcount (the
+// engine and all its handles live on one thread by construction), which is
+// what makes Cancel()/pending() safe even on a handle that outlives the
+// engine: the engine's destructor Shutdown()s the pool — releasing captured
+// state and bumping every live generation — and drops its reference, while
+// the memory stays valid until the last handle lets go.
+
+#ifndef SRC_SIM_EVENT_POOL_H_
+#define SRC_SIM_EVENT_POOL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/inplace_callback.h"
+
+namespace wdmlat::sim {
+
+class EventPool {
+ public:
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+  // Slab granularity: 256 slots ≈ 16 KiB per slab, allocated on demand and
+  // never released until the pool dies, so slot addresses are stable.
+  static constexpr std::uint32_t kSlabBits = 8;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  void AddRef() { ++refs_; }
+  void Release() {
+    assert(refs_ > 0);
+    if (--refs_ == 0) {
+      delete this;
+    }
+  }
+
+  // Claim a free slot for a newly scheduled event, constructing the callable
+  // directly in the slot (no relocation). Returns the slot index; the slot's
+  // generation (now odd) identifies this incarnation.
+  template <typename F>
+  std::uint32_t Allocate(F&& cb) {
+    if (free_head_ == kInvalidSlot) {
+      Grow();
+    }
+    const std::uint32_t index = free_head_;
+    Slot& s = slot(index);
+    free_head_ = s.next_free;
+    ++s.generation;  // odd: scheduled
+    s.callback.emplace(std::forward<F>(cb));
+    ++live_;
+    return index;
+  }
+
+  // Move the callback out and free the slot (the event is firing).
+  InplaceCallback Take(std::uint32_t index) {
+    Slot& s = slot(index);
+    assert((s.generation & 1) != 0 && "taking a slot that is not scheduled");
+    InplaceCallback cb = std::move(s.callback);
+    ReleaseSlot(index, s);
+    return cb;
+  }
+
+  // Cancel incarnation `generation` of `index` if it is still the current
+  // one. Returns true when the event was live and is now cancelled; stale
+  // generations (fired / already cancelled / slot reused / engine shut down)
+  // are a no-op.
+  bool CancelIfCurrent(std::uint32_t index, std::uint64_t generation) {
+    Slot& s = slot(index);
+    if (s.generation != generation) {
+      return false;
+    }
+    s.callback.reset();  // release captured state eagerly
+    ReleaseSlot(index, s);
+    return true;
+  }
+
+  std::uint64_t generation(std::uint32_t index) const { return slot(index).generation; }
+
+  // Scheduled-and-not-yet-fired events, excluding cancelled ones.
+  std::size_t live() const { return live_; }
+
+  // Total slots ever created (capacity high-water mark), for tests.
+  std::size_t capacity() const { return slabs_.size() * kSlabSize; }
+
+  // Called by the engine's destructor: cancel every live incarnation so
+  // captured state is released and outstanding handles read "not pending".
+  void Shutdown() {
+    for (auto& slab : slabs_) {
+      for (std::uint32_t i = 0; i < kSlabSize; ++i) {
+        Slot& s = slab[i];
+        if ((s.generation & 1) != 0) {
+          s.callback.reset();
+          ++s.generation;
+        }
+      }
+    }
+    live_ = 0;
+  }
+
+ private:
+  struct Slot {
+    InplaceCallback callback;
+    std::uint64_t generation = 0;  // odd while scheduled, even while free
+    std::uint32_t next_free = kInvalidSlot;
+  };
+
+  Slot& slot(std::uint32_t index) { return slabs_[index >> kSlabBits][index & (kSlabSize - 1)]; }
+  const Slot& slot(std::uint32_t index) const {
+    return slabs_[index >> kSlabBits][index & (kSlabSize - 1)];
+  }
+
+  void ReleaseSlot(std::uint32_t index, Slot& s) {
+    ++s.generation;  // even: free
+    s.next_free = free_head_;
+    free_head_ = index;
+    assert(live_ > 0);
+    --live_;
+  }
+
+  void Grow() {
+    const std::uint32_t base = static_cast<std::uint32_t>(slabs_.size()) << kSlabBits;
+    assert(slabs_.size() < (1u << (32 - kSlabBits)) && "event pool exhausted");
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+    // Thread the new slab onto the free list in ascending index order.
+    Slot* slab = slabs_.back().get();
+    for (std::uint32_t i = 0; i < kSlabSize - 1; ++i) {
+      slab[i].next_free = base + i + 1;
+    }
+    slab[kSlabSize - 1].next_free = free_head_;
+    free_head_ = base;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::uint32_t free_head_ = kInvalidSlot;
+  std::size_t live_ = 0;
+  std::size_t refs_ = 1;  // the engine's reference
+};
+
+}  // namespace wdmlat::sim
+
+#endif  // SRC_SIM_EVENT_POOL_H_

@@ -1,16 +1,74 @@
 #include "src/stats/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <sstream>
 
 namespace wdmlat::stats {
 
+namespace {
+
+// Sub-octave boundary tables for the branch-light BucketIndex below.
+// boundary[k] = 2^(k/32) for k in [0, 32] — the same std::exp2 calls that
+// define the bucket edges in BucketLoUs, so a table compare selects exactly
+// the bucket whose [lo, hi) edges contain the sample. start[c] is the
+// largest k whose boundary lies at or below the mantissa cell
+// [1 + c/64, 1 + (c+1)/64); since the narrowest sub-bucket (2^(1/32) - 1 ≈
+// 0.0219) is wider than a cell (1/64), the true k is start[c] or
+// start[c] + 1 — one compare fixes it up.
+struct SubOctaveTables {
+  double boundary[LatencyHistogram::kSubBucketsPerOctave + 1];
+  int start[64];
+};
+
+const SubOctaveTables kSubOctave = [] {
+  SubOctaveTables t;
+  for (int k = 0; k <= LatencyHistogram::kSubBucketsPerOctave; ++k) {
+    t.boundary[k] = std::exp2(static_cast<double>(k) /
+                              LatencyHistogram::kSubBucketsPerOctave);
+  }
+  for (int c = 0; c < 64; ++c) {
+    const double cell_lo = 1.0 + static_cast<double>(c) / 64.0;
+    int k = 0;
+    while (k + 1 < LatencyHistogram::kSubBucketsPerOctave && t.boundary[k + 1] <= cell_lo) {
+      ++k;
+    }
+    t.start[c] = k;
+  }
+  return t;
+}();
+
+}  // namespace
+
+// Bit-manipulation replacement for the former per-sample std::log2: the
+// IEEE-754 exponent field gives floor(log2(q)) directly, and the mantissa is
+// ranked against the 32 sub-octave boundaries. Equivalence with the log2
+// formulation: floor(32·log2(m·2^e)) = 32·e + floor(32·log2(m)), and
+// floor(32·log2(m)) is exactly "the largest k with 2^(k/32) <= m", which the
+// table lookup + single fix-up compare computes (StatsTest.
+// BucketIndexMatchesLog2Reference exercises both against each other).
 int LatencyHistogram::BucketIndex(double us) {
-  const double octave = std::log2(us / kMinUs);
-  int index = static_cast<int>(octave * kSubBucketsPerOctave);
-  return std::clamp(index, 0, kBucketCount - 1);
+  const double q = us / kMinUs;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(q);
+  const int biased_exponent = static_cast<int>((bits >> 52) & 0x7FF);
+  if (biased_exponent == 0) {
+    return 0;  // zero / subnormal: below every bucket, as log2 -> -inf was
+  }
+  if (biased_exponent == 0x7FF) {
+    return kBucketCount - 1;  // infinity: clamp high, as log2 -> +inf was
+  }
+  // Mantissa m in [1, 2): q = m * 2^(biased_exponent - 1023).
+  const double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFull) | 0x3FF0000000000000ull);
+  int k = kSubOctave.start[(bits >> 46) & 0x3F];
+  if (k + 1 < kSubBucketsPerOctave && m >= kSubOctave.boundary[k + 1]) {
+    ++k;
+  }
+  const std::int64_t index =
+      static_cast<std::int64_t>(biased_exponent - 1023) * kSubBucketsPerOctave + k;
+  return static_cast<int>(
+      std::clamp<std::int64_t>(index, 0, kBucketCount - 1));
 }
 
 double LatencyHistogram::BucketLoUs(int index) {

@@ -31,6 +31,12 @@ class LatencyHistogram {
   static constexpr int kOctaves = 32;
   static constexpr int kBucketCount = kOctaves * kSubBucketsPerOctave;
 
+  // Log-spaced bucket for a sample: floor(kSubBucketsPerOctave *
+  // log2(us / kMinUs)), clamped to [0, kBucketCount). Computed with IEEE-754
+  // bit manipulation instead of std::log2 (the bucketing is on every sample's
+  // hot path); public so tests can check it against the log2 reference.
+  static int BucketIndex(double us);
+
   void Record(sim::Cycles latency) { RecordUs(sim::CyclesToUs(latency)); }
   void RecordUs(double us);
   void RecordMs(double ms) { RecordUs(ms * 1000.0); }
@@ -78,7 +84,6 @@ class LatencyHistogram {
   std::string ToCsv() const;
 
  private:
-  static int BucketIndex(double us);
   static double BucketLoUs(int index);
   static double BucketHiUs(int index);
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/sim/rng.h"
@@ -285,6 +286,56 @@ TEST(UsageModelTest, WorstCasesOrderedHourlyDailyWeekly) {
   EXPECT_GE(wc.daily_ms, wc.hourly_ms);
   EXPECT_GE(wc.weekly_ms, wc.daily_ms);
   EXPECT_LE(wc.weekly_ms, hist.max_ms() * 1.01);
+}
+
+TEST(StatsTest, BucketIndexMatchesLog2Reference) {
+  // The bit-manipulation BucketIndex must select the same bucket as the
+  // std::log2 formulation it replaced. The two can legitimately differ only
+  // for samples within ~1 ulp of a bucket boundary, where the reference's
+  // own log2 rounding is already arbitrary — skip those.
+  const auto reference = [](double us) {
+    const double exact = std::log2(us / LatencyHistogram::kMinUs) *
+                         LatencyHistogram::kSubBucketsPerOctave;
+    return std::clamp(static_cast<int>(exact), 0, LatencyHistogram::kBucketCount - 1);
+  };
+  const auto near_boundary = [](double us) {
+    const double exact = std::log2(us / LatencyHistogram::kMinUs) *
+                         LatencyHistogram::kSubBucketsPerOctave;
+    return std::abs(exact - std::round(exact)) < 1e-9;
+  };
+
+  // Exact powers of two of the minimum, across the whole range.
+  for (int octave = 0; octave < LatencyHistogram::kOctaves; ++octave) {
+    const double us = LatencyHistogram::kMinUs * std::exp2(octave);
+    if (near_boundary(us)) {
+      continue;
+    }
+    EXPECT_EQ(LatencyHistogram::BucketIndex(us), reference(us)) << "us=" << us;
+  }
+  // Values derived the way real samples are: cycle counts through CyclesToUs.
+  for (sim::Cycles cycles : {1ull, 3ull, 30ull, 299ull, 300ull, 1000001ull, 123456789ull}) {
+    const double us = sim::CyclesToUs(cycles);
+    if (us < LatencyHistogram::kMinUs || near_boundary(us)) {
+      continue;
+    }
+    EXPECT_EQ(LatencyHistogram::BucketIndex(us), reference(us)) << "cycles=" << cycles;
+  }
+  // A large log-uniform sweep over the resolvable range.
+  sim::Rng rng(42);
+  int checked = 0;
+  for (int i = 0; i < 10000000; ++i) {
+    const double us = LatencyHistogram::kMinUs *
+                      std::exp2(rng.Uniform(0.0, static_cast<double>(LatencyHistogram::kOctaves)));
+    if (near_boundary(us)) {
+      continue;
+    }
+    ASSERT_EQ(LatencyHistogram::BucketIndex(us), reference(us)) << "us=" << us;
+    ++checked;
+  }
+  EXPECT_GT(checked, 9000000);
+  // Degenerate inputs clamp instead of misbehaving.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1e308), LatencyHistogram::kBucketCount - 1);
 }
 
 TEST(UsageModelTest, HigherCompressionLowersWorstCase) {
