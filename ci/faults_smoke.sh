@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Smoke test for the fault-injection subsystem: run the built-in virus_scan
+# plan as a differential A/B experiment on the paper's Figure-5 cell
+# (Win98 / office), then validate the outputs.
+#
+#   * the report must show the worst-case thread latency increasing under
+#     the plan (the Figure-5 effect: the scanner's lockout holds stretch
+#     the tail by orders of magnitude)
+#   * the --diff-out JSON must be well-formed with the documented top-level
+#     keys (plan, baseline, perturbed, shifts)
+#   * a JSON plan file must round-trip through the parser and drive the
+#     same machinery as a built-in plan
+#
+# Validation uses wdmlat_json_check (the repo's own RFC 8259 linter) so the
+# script needs no python or third-party JSON tooling. Registered as the
+# `faults_smoke` ctest; also runnable standalone from the repo root:
+#
+#   ci/faults_smoke.sh                # builds nothing, expects build/ to exist
+#   BUILD_DIR=build-foo ci/faults_smoke.sh
+
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+RUN="${BUILD_DIR}/cli/wdmlat_run"
+CHECK="${BUILD_DIR}/cli/wdmlat_json_check"
+
+if [[ ! -x "${RUN}" || ! -x "${CHECK}" ]]; then
+  echo "faults_smoke: missing ${RUN} or ${CHECK}; build the tree first" >&2
+  exit 1
+fi
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/wdmlat_faults_smoke.XXXXXX")"
+trap 'rm -rf "${OUT}"' EXIT
+
+# The acceptance cell: virus_scan differential on seeded Win98 / office.
+"${RUN}" --os win98 --workload office --priority 24 --minutes 0.5 --seed 1999 \
+  --faults virus_scan --differential \
+  --diff-out "${OUT}/diff.json" --diff-csv "${OUT}/diff.csv" > "${OUT}/diff.log"
+
+"${CHECK}" "${OUT}/diff.json" --require-key=plan --require-key=baseline \
+  --require-key=perturbed --require-key=shifts
+
+head -1 "${OUT}/diff.csv" | grep -q '^metric,statistic,baseline,perturbed$' \
+  || { echo "faults_smoke: bad differential CSV header" >&2; exit 1; }
+
+grep -q 'observed max ms' "${OUT}/diff.log" \
+  || { echo "faults_smoke: missing worst-case row in report" >&2; exit 1; }
+
+# The Figure-5 effect: the plan must make the observed worst-case thread
+# latency strictly worse than baseline (by a wide margin; require > 1.5x).
+awk -F, '$1 == "thread" && $2 == "max_ms" {
+  if (!($4 > 1.5 * $3)) {
+    printf "faults_smoke: virus_scan did not degrade worst case (%s -> %s ms)\n", $3, $4
+    exit 1
+  }
+}' "${OUT}/diff.csv"
+
+# A JSON plan file must drive the same machinery: a one-shot dispatch
+# lockout hold fired once at 10 ms.
+cat > "${OUT}/plan.json" <<'EOF'
+{
+  "name": "smoke_lockout",
+  "seed": 7,
+  "faults": [
+    {"kind": "lockout_hold", "trigger": "one_shot", "at_ms": 10.0,
+     "duration_us": 2000.0, "function": "_SmokeHold"}
+  ]
+}
+EOF
+"${RUN}" --os nt4 --workload games --minutes 0.1 --seed 3 \
+  --faults "${OUT}/plan.json" > "${OUT}/plan.log"
+grep -q 'fault plan "smoke_lockout": 1 activation' "${OUT}/plan.log" \
+  || { echo "faults_smoke: JSON plan did not fire" >&2; exit 1; }
+
+# Matrix mode accepts a plan too and stays deterministic across --jobs.
+"${RUN}" --matrix --jobs 1 --minutes 0.05 --seed 1999 --faults masked_window \
+  > "${OUT}/m1.log"
+"${RUN}" --matrix --jobs 4 --minutes 0.05 --seed 1999 --faults masked_window \
+  > "${OUT}/m4.log"
+# Strip the lines that legitimately vary across --jobs: the completion
+# order, the wall-clock summary, and the headers that echo the jobs count.
+sed -e '/done:/d' -e '/s wall/d' -e '/jobs/d' "${OUT}/m1.log" > "${OUT}/m1.rows"
+sed -e '/done:/d' -e '/s wall/d' -e '/jobs/d' "${OUT}/m4.log" > "${OUT}/m4.rows"
+cmp -s "${OUT}/m1.rows" "${OUT}/m4.rows" \
+  || { echo "faults_smoke: matrix results differ across --jobs" >&2; exit 1; }
+
+echo "faults_smoke: OK"

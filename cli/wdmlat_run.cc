@@ -35,6 +35,19 @@
 //                              at this thread latency; prints the
 //                              attribution-accuracy report after the run
 //
+// Fault injection (see EXPERIMENTS.md "Fault plans"):
+//   --faults=NAME|FILE         drive a fault plan alongside the workload: a
+//                              built-in plan (virus_scan, irq_storm,
+//                              masked_window) or a JSON plan file
+//   --differential             run the cell twice from the same seed —
+//                              baseline without the plan, perturbed with it —
+//                              and print per-quantile / tail / worst-case
+//                              deltas and the KS statistic (single-cell only)
+//   --diff-out=FILE            write the differential report as JSON
+//                              (top-level keys: plan, baseline, perturbed,
+//                              shifts)
+//   --diff-csv=FILE            write the differential report as CSV
+//
 // Matrix mode (parallel experiment grid; see EXPERIMENTS.md):
 //   --matrix                   run the paper's full {NT,98} x {4 loads} x
 //                              {prio 28,24} grid instead of a single cell;
@@ -51,8 +64,11 @@
 #include <fstream>
 #include <string>
 
+#include "src/fault/fault.h"
+#include "src/fault/plan_json.h"
 #include "src/kernel/profile.h"
 #include "src/lab/csv_export.h"
+#include "src/lab/differential.h"
 #include "src/lab/lab.h"
 #include "src/lab/matrix.h"
 #include "src/obs/chrome_trace.h"
@@ -80,6 +96,8 @@ using namespace wdmlat;
                "                  [--trace-out=FILE] [--metrics-out=FILE] "
                "[--metrics-csv=FILE]\n"
                "                  [--queue-sample-ms=F] [--episode-threshold-us=F]\n"
+               "                  [--faults=NAME|FILE [--differential] [--diff-out=FILE] "
+               "[--diff-csv=FILE]]\n"
                "                  [--matrix [--jobs=N] [--trials=N]]\n");
   std::exit(2);
 }
@@ -145,6 +163,10 @@ int main(int argc, char** argv) {
   std::string metrics_csv;
   double queue_sample_ms = 1.0;
   double episode_threshold_us = 0.0;
+  std::string faults_arg;
+  bool differential = false;
+  std::string diff_out;
+  std::string diff_csv;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -184,6 +206,14 @@ int main(int argc, char** argv) {
       queue_sample_ms = std::atof(value.c_str());
     } else if (MatchValueFlag(argc, argv, &i, "--episode-threshold-us", &value)) {
       episode_threshold_us = std::atof(value.c_str());
+    } else if (MatchValueFlag(argc, argv, &i, "--faults", &value)) {
+      faults_arg = value;
+    } else if (MatchFlag(argv[i], "--differential", &value)) {
+      differential = true;
+    } else if (MatchValueFlag(argc, argv, &i, "--diff-out", &value)) {
+      diff_out = value;
+    } else if (MatchValueFlag(argc, argv, &i, "--diff-csv", &value)) {
+      diff_csv = value;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage();
     } else {
@@ -207,6 +237,33 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --faults resolves to a built-in plan name first, then a JSON plan file.
+  fault::FaultPlan fault_plan;
+  const bool have_faults = !faults_arg.empty();
+  if (have_faults && !fault::FindBuiltinPlan(faults_arg, &fault_plan)) {
+    std::string error;
+    if (!fault::LoadFaultPlanFile(faults_arg, &fault_plan, &error)) {
+      std::string builtins;
+      for (const std::string& name : fault::BuiltinPlanNames()) {
+        builtins += (builtins.empty() ? "" : ", ") + name;
+      }
+      std::fprintf(stderr, "wdmlat_run: --faults=%s: %s (built-ins: %s)\n",
+                   faults_arg.c_str(), error.c_str(), builtins.c_str());
+      return 2;
+    }
+  }
+  if (!diff_out.empty() || !diff_csv.empty()) {
+    differential = true;
+  }
+  if (differential && !have_faults) {
+    std::fprintf(stderr, "wdmlat_run: --differential requires --faults\n");
+    return 2;
+  }
+  if (differential && matrix_mode) {
+    std::fprintf(stderr, "wdmlat_run: --differential is single-cell only (drop --matrix)\n");
+    return 2;
+  }
+
   obs::ChromeTraceWriter trace_writer;
   obs::MetricsRegistry metrics;
   const bool want_metrics = !metrics_out.empty() || !metrics_csv.empty();
@@ -222,6 +279,9 @@ int main(int argc, char** argv) {
     spec.collect_metrics = want_metrics;
     spec.queue_sample_ms = queue_sample_ms;
     spec.episode_threshold_us = episode_threshold_us;
+    if (have_faults) {
+      spec.faults = &fault_plan;
+    }
     if (!trace_out.empty()) {
       spec.trace_sink = &trace_writer;
     }
@@ -261,6 +321,17 @@ int main(int argc, char** argv) {
         "determinism: merged histograms are bit-identical for any --jobs value under "
         "master seed %llu\n",
         static_cast<unsigned long long>(seed));
+
+    if (have_faults) {
+      std::printf("\nFault plan \"%s\" (seed %llu) activations per group:\n",
+                  fault_plan.name.c_str(),
+                  static_cast<unsigned long long>(fault_plan.seed));
+      for (const lab::MergedCell& group : result.merged) {
+        std::printf("  %-16s %-18s prio %-2d  %llu activations\n", group.os_name.c_str(),
+                    group.workload_name.c_str(), group.thread_priority,
+                    static_cast<unsigned long long>(group.fault_activations));
+      }
+    }
 
     if (episode_threshold_us > 0.0) {
       std::printf("\nFlight-recorder episodes (threshold %.0f us):\n", episode_threshold_us);
@@ -333,10 +404,34 @@ int main(int argc, char** argv) {
   config.obs.queue_sample_ms = queue_sample_ms;
   config.obs.episode_threshold_us = episode_threshold_us;
 
+  if (differential) {
+    std::printf("wdmlat_run: %s, %s, priority %d, %.1f virtual minutes, seed %llu\n",
+                config.os.name.c_str(), config.stress.name.c_str(), priority, minutes,
+                static_cast<unsigned long long>(seed));
+    std::printf("differential A/B: baseline vs. fault plan \"%s\" from the same seed\n\n",
+                fault_plan.name.c_str());
+    const lab::DifferentialReport diff = lab::RunDifferential(config, fault_plan);
+    std::fputs(lab::RenderDifferentialTables(diff).c_str(), stdout);
+    if (!diff_out.empty()) {
+      WriteTextFile(diff_out, lab::DifferentialToJson(diff), "differential JSON");
+    }
+    if (!diff_csv.empty()) {
+      WriteTextFile(diff_csv, lab::DifferentialToCsv(diff), "differential CSV");
+    }
+    return 0;
+  }
+  if (have_faults) {
+    config.faults = &fault_plan;
+  }
+
   std::printf("wdmlat_run: %s, %s, priority %d, %.1f virtual minutes, seed %llu\n",
               config.os.name.c_str(), config.stress.name.c_str(), priority, minutes,
               static_cast<unsigned long long>(seed));
   const lab::LabReport report = lab::RunLatencyExperiment(config);
+  if (have_faults) {
+    std::printf("fault plan \"%s\": %llu activation(s)\n", fault_plan.name.c_str(),
+                static_cast<unsigned long long>(report.fault_activations));
+  }
 
   std::printf("\n%llu samples (%.0f per hour)\n",
               static_cast<unsigned long long>(report.samples), report.samples_per_hour);

@@ -10,6 +10,7 @@
 // That separation is the heart of the paper's causal story.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/kernel/profile.h"
 #include "src/lab/lab.h"
@@ -20,20 +21,30 @@ namespace {
 
 using namespace wdmlat;
 
-lab::LabReport Measure(kernel::KernelProfile os, const char* tag) {
+lab::LabReport Measure(kernel::KernelProfile os, const char* tag, double minutes) {
   std::printf("  measuring %s...\n", tag);
   lab::LabConfig config;
   config.os = std::move(os);
   config.stress = workload::GamesStress();
   config.thread_priority = 28;
-  config.stress_minutes = 8.0;
+  config.stress_minutes = minutes;
   config.seed = 1998;
   return lab::RunLatencyExperiment(config);
 }
 
 }  // namespace
 
-int main() {
+// Optional argv[1]: virtual measurement minutes (default 8; CI smoke runs
+// pass a much shorter window).
+int main(int argc, char** argv) {
+  double minutes = 8.0;
+  if (argc > 1) {
+    minutes = std::atof(argv[1]);
+    if (minutes <= 0.0) {
+      std::fprintf(stderr, "usage: what_if_no_win16mutex [virtual_minutes]\n");
+      return 2;
+    }
+  }
   std::printf("What if Windows 98 had no Win16Mutex? (3D games load)\n\n");
 
   kernel::KernelProfile surgical = kernel::MakeWin98Profile();
@@ -41,9 +52,9 @@ int main() {
   surgical.lockout_rate_per_s = 0.0;
   surgical.lockout_stress_scale = 0.0;
 
-  const lab::LabReport stock = Measure(kernel::MakeWin98Profile(), "stock Windows 98");
-  const lab::LabReport modified = Measure(surgical, "Windows 98 without lockouts");
-  const lab::LabReport nt = Measure(kernel::MakeNt4Profile(), "Windows NT 4.0");
+  const lab::LabReport stock = Measure(kernel::MakeWin98Profile(), "stock Windows 98", minutes);
+  const lab::LabReport modified = Measure(surgical, "Windows 98 without lockouts", minutes);
+  const lab::LabReport nt = Measure(kernel::MakeNt4Profile(), "Windows NT 4.0", minutes);
   std::printf("\n");
 
   report::AsciiTable table({"System", "Thread lat p99.99 (ms)", "Thread lat max (ms)",

@@ -27,7 +27,12 @@ double MeanTimeToUnderrunSeconds(const stats::LatencyHistogram& latency, double 
 std::vector<MttfPoint> MttfSweep(const stats::LatencyHistogram& latency, double lo_ms,
                                  double hi_ms, double step_ms, const DatapumpModel& model) {
   std::vector<MttfPoint> points;
-  for (double b = lo_ms; b <= hi_ms * 1.0001; b += step_ms) {
+  // Step by index, not by accumulation: summing step_ms drifts (0.1 * 30 !=
+  // 3.0 in binary) and either skips the last grid point or emits a point past
+  // hi_ms. The epsilon absorbs representation error in (hi - lo) / step.
+  const int steps = static_cast<int>((hi_ms - lo_ms) / step_ms + 1e-9);
+  for (int i = 0; i <= steps; ++i) {
+    const double b = lo_ms + static_cast<double>(i) * step_ms;
     points.push_back(MttfPoint{b, MeanTimeToUnderrunSeconds(latency, b, model)});
   }
   return points;

@@ -1,0 +1,151 @@
+#include "src/fault/plan_json.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace wdmlat::fault {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+// Parse the "duration" object sub-schema (see plan_json.h header comment).
+bool ParseDurationDist(const obs::JsonValue& value, sim::DurationDist* out,
+                       std::string* error) {
+  if (value.is_number()) {
+    *out = sim::DurationDist::Constant(value.as_number());
+    return true;
+  }
+  if (!value.is_object()) {
+    SetError(error, "duration must be a number (µs) or a dist object");
+    return false;
+  }
+  const std::string dist = value.StringOr("dist", "constant");
+  if (dist == "constant") {
+    *out = sim::DurationDist::Constant(value.NumberOr("us", 0.0));
+    return true;
+  }
+  if (dist == "uniform") {
+    *out = sim::DurationDist::Uniform(value.NumberOr("lo_us", 0.0),
+                                      value.NumberOr("hi_us", 0.0));
+    return true;
+  }
+  if (dist == "exponential") {
+    *out = sim::DurationDist::Exponential(value.NumberOr("mean_us", 0.0));
+    return true;
+  }
+  if (dist == "lognormal") {
+    *out = sim::DurationDist::LogNormal(value.NumberOr("median_us", 0.0),
+                                        value.NumberOr("sigma", 1.0));
+    return true;
+  }
+  if (dist == "bounded_pareto") {
+    *out = sim::DurationDist::BoundedPareto(value.NumberOr("alpha", 1.1),
+                                            value.NumberOr("lo_us", 0.0),
+                                            value.NumberOr("hi_us", 0.0));
+    return true;
+  }
+  SetError(error, "unknown duration dist \"" + dist + "\"");
+  return false;
+}
+
+bool ParseSpec(const obs::JsonValue& value, std::size_t index, FaultSpec* out,
+               std::string* error) {
+  std::ostringstream where;
+  where << "fault " << index << ": ";
+  if (!value.is_object()) {
+    SetError(error, where.str() + "expected an object");
+    return false;
+  }
+  const std::string kind = value.StringOr("kind", "");
+  if (!FaultKindFromName(kind, &out->kind)) {
+    SetError(error, where.str() + "unknown kind \"" + kind + "\"");
+    return false;
+  }
+  const std::string trigger = value.StringOr("trigger", "one_shot");
+  if (!TriggerKindFromName(trigger, &out->trigger)) {
+    SetError(error, where.str() + "unknown trigger \"" + trigger + "\"");
+    return false;
+  }
+  out->at_ms = value.NumberOr("at_ms", 0.0);
+  out->period_ms = value.NumberOr("period_ms", 0.0);
+  out->rate_per_s = value.NumberOr("rate_per_s", 0.0);
+  out->max_activations =
+      static_cast<std::uint64_t>(value.NumberOr("max_activations", 0.0));
+  out->burst = static_cast<int>(value.NumberOr("burst", 1.0));
+  out->spacing_us = value.NumberOr("spacing_us", 0.0);
+  out->disk_bytes =
+      static_cast<std::uint32_t>(value.NumberOr("disk_bytes", 64.0 * 1024.0));
+  out->function = value.StringOr("function", "");
+  if (const obs::JsonValue* duration = value.Find("duration")) {
+    std::string duration_error;
+    if (!ParseDurationDist(*duration, &out->duration_us, &duration_error)) {
+      SetError(error, where.str() + duration_error);
+      return false;
+    }
+  } else if (const obs::JsonValue* shorthand = value.Find("duration_us")) {
+    if (!shorthand->is_number()) {
+      SetError(error, where.str() + "duration_us must be a number");
+      return false;
+    }
+    out->duration_us = sim::DurationDist::Constant(shorthand->as_number());
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseFaultPlan(std::string_view text, FaultPlan* plan, std::string* error) {
+  const obs::JsonParseResult parsed = obs::ParseJson(text);
+  if (!parsed.valid) {
+    std::ostringstream message;
+    message << "JSON error at offset " << parsed.error_offset << ": " << parsed.error;
+    SetError(error, message.str());
+    return false;
+  }
+  if (!parsed.value.is_object()) {
+    SetError(error, "plan document must be a JSON object");
+    return false;
+  }
+  FaultPlan result;
+  result.name = parsed.value.StringOr("name", "custom");
+  result.seed = static_cast<std::uint64_t>(parsed.value.NumberOr("seed", 1.0));
+  const obs::JsonValue* faults = parsed.value.Find("faults");
+  if (faults == nullptr || !faults->is_array()) {
+    SetError(error, "plan needs a \"faults\" array");
+    return false;
+  }
+  for (std::size_t i = 0; i < faults->items().size(); ++i) {
+    FaultSpec spec;
+    if (!ParseSpec(faults->items()[i], i, &spec, error)) {
+      return false;
+    }
+    result.specs.push_back(std::move(spec));
+  }
+  const std::string validation = ValidatePlan(result);
+  if (!validation.empty()) {
+    SetError(error, validation);
+    return false;
+  }
+  *plan = std::move(result);
+  return true;
+}
+
+bool LoadFaultPlanFile(const std::string& path, FaultPlan* plan, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open fault plan file: " + path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseFaultPlan(buffer.str(), plan, error);
+}
+
+}  // namespace wdmlat::fault

@@ -125,12 +125,16 @@ bool Dispatcher::InjectSection(Irql irql, sim::Cycles length, Label label) {
 }
 
 void Dispatcher::LockDispatch(sim::Cycles duration) {
-  Gate gate(this);
   // Label the lockout with the innermost executing activity: callers (VMM
   // sound path, stress injectors) take the lockout from inside their labelled
   // section, so the trace attributes the lockout to the code path that
   // actually requested it rather than to the dispatcher.
-  Emit(TraceEventType::kDispatchLockout, CurrentLabel(), -1, duration);
+  LockDispatch(duration, CurrentLabel());
+}
+
+void Dispatcher::LockDispatch(sim::Cycles duration, Label label) {
+  Gate gate(this);
+  Emit(TraceEventType::kDispatchLockout, label, -1, duration);
   const sim::Cycles until = engine_.now() + duration;
   if (until > lock_until_) {
     lock_until_ = until;

@@ -92,8 +92,13 @@ class Dispatcher {
   // CPU is already at or above `irql`.
   bool InjectSection(Irql irql, sim::Cycles length, Label label);
   // Disable thread dispatching for `duration` (Windows 98 Win16Mutex / VMM
-  // critical section model). Overlapping lockouts extend the window.
+  // critical section model). Overlapping lockouts extend the window. The
+  // unlabelled form blames the innermost executing activity; callers that
+  // take the lockout from engine-event context (the fault injector) pass an
+  // explicit label so the trace blames them rather than whatever they
+  // happened to interrupt.
   void LockDispatch(sim::Cycles duration);
+  void LockDispatch(sim::Cycles duration, Label label);
 
   // --- Thread control (called by the Kernel facade) ---------------------------
   // Move a waiting/new thread to the ready state. `signaled_at` is the

@@ -309,6 +309,10 @@ bool Kernel::InjectKernelSection(Irql irql, double us, Label label) {
 
 void Kernel::LockDispatch(double us) { dispatcher_->LockDispatch(sim::UsToCycles(us)); }
 
+void Kernel::LockDispatch(double us, Label label) {
+  dispatcher_->LockDispatch(sim::UsToCycles(us), label);
+}
+
 void Kernel::StartSelfNoise() {
   auto add = [this](double rate, sim::DurationDist len, auto action) {
     if (rate <= 0.0) {

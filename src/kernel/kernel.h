@@ -146,7 +146,10 @@ class Kernel {
   // Run a kernel section at raised IRQL (cli region, VMM path, ...).
   bool InjectKernelSection(Irql irql, double us, Label label);
   // Windows 98 thread-dispatch lockout (Win16Mutex / VMM critical section).
+  // The labelled overload attributes the lockout to `label` in the trace
+  // (for callers outside any labelled activity, e.g. fault::Injector).
   void LockDispatch(double us);
+  void LockDispatch(double us, Label label);
 
   // Start the profile's baseline OS self-noise processes (masked sections,
   // DISPATCH sections, lockouts present even on an unloaded system).

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "src/drivers/cause_tool.h"
+#include "src/fault/injector.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/kernel_metrics.h"
 #include "src/obs/trace_fanout.h"
@@ -72,6 +73,19 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
         }
       };
 
+  // Fault injector (optional). Constructed only for a non-empty plan so that
+  // a no-fault run cannot differ from a pre-subsystem run; seeded from
+  // (plan.seed, cell seed) — not from system.ForkRng(), which would advance
+  // the workload's stream.
+  std::unique_ptr<fault::Injector> injector;
+  if (config.faults != nullptr && !config.faults->empty()) {
+    fault::InjectorTargets targets;
+    targets.kernel = &system.kernel();
+    targets.disk = &system.disk_driver();
+    injector = std::make_unique<fault::Injector>(targets, *config.faults, config.seed);
+    injector->Start();
+  }
+
   // Paper order: start the measurement tools, then launch the load
   // (Section 3.1.1), with a short warmup before counting samples.
   load.Start();
@@ -79,6 +93,10 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   driver.Start();
   system.RunForMinutes(config.stress_minutes);
   driver.Stop();
+  if (injector != nullptr) {
+    injector->Stop();
+    report.fault_activations = injector->activation_count();
+  }
   system.kernel().dispatcher().set_trace_sink(nullptr);
 
   report.dpc_interrupt = driver.dpc_interrupt_latency();

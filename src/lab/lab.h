@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/drivers/latency_driver.h"
+#include "src/fault/fault.h"
 #include "src/kernel/profile.h"
 #include "src/kernel/trace.h"
 #include "src/lab/test_system.h"
@@ -65,6 +66,10 @@ struct LabConfig {
   TestSystemOptions options;
   drivers::LatencyDriver::Config driver;  // thread_priority is overridden
   ObsOptions obs;
+  // Optional fault plan (borrowed) driven alongside the workload by a
+  // fault::Injector. Null or empty means no injector is constructed at all,
+  // so the run is bit-identical to one without the fault subsystem.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 struct LabReport {
@@ -92,6 +97,9 @@ struct LabReport {
   // Long-latency episodes captured by the flight recorder (empty unless
   // ObsOptions::episode_threshold_us was set).
   std::vector<obs::EpisodeSummary> episodes;
+
+  // Fault-injection ground truth (zero unless LabConfig::faults was set).
+  std::uint64_t fault_activations = 0;
 };
 
 LabReport RunLatencyExperiment(const LabConfig& config);

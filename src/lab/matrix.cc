@@ -66,6 +66,7 @@ ExperimentMatrix::ExperimentMatrix(MatrixSpec spec) : spec_(std::move(spec)) {
           cell.config.seed = cell.seed;
           cell.config.options = spec_.options;
           cell.config.driver = spec_.driver;
+          cell.config.faults = spec_.faults;
           cells_.push_back(std::move(cell));
         }
       }
@@ -160,6 +161,7 @@ MatrixResult ExperimentMatrix::Run(
                                           report.samples_per_hour
                                     : cell.config.stress_minutes / 60.0;
     group.counters.Merge(stats::SampleCounters{report.samples, stress_hours});
+    group.fault_activations += report.fault_activations;
     group.episodes += report.episodes.size();
     for (const obs::EpisodeSummary& episode : report.episodes) {
       group.episodes_attributed += episode.attributed ? 1 : 0;

@@ -47,6 +47,10 @@ struct MatrixSpec {
   std::uint64_t master_seed = 1999;
   TestSystemOptions options;
   drivers::LatencyDriver::Config driver;  // thread_priority is overridden
+  // Optional fault plan (borrowed), expanded into every cell's LabConfig;
+  // each cell's injector derives its streams from (plan.seed, cell seed), so
+  // cells stay independent and jobs-invariant.
+  const fault::FaultPlan* faults = nullptr;
 
   // --- Observability (expanded into each cell's ObsOptions) -----------------
   // Collect per-cell MetricsRegistries and merge them — grid order, so the
@@ -113,6 +117,9 @@ struct MergedCell {
   std::uint64_t episodes = 0;
   std::uint64_t episodes_attributed = 0;
   std::uint64_t episode_module_matches = 0;
+
+  // Injected-fault activations pooled across trials (zero without a plan).
+  std::uint64_t fault_activations = 0;
 
   std::uint64_t samples() const { return counters.samples; }
   double samples_per_hour() const { return counters.SamplesPerHour(); }

@@ -43,6 +43,26 @@ AttributionScore ScoreAttribution(const std::vector<EpisodeSummary>& episodes) {
   return score;
 }
 
+InjectedGroundTruthScore ScoreInjectedGroundTruth(const std::vector<EpisodeSummary>& episodes,
+                                                  std::string_view module) {
+  InjectedGroundTruthScore score;
+  score.episodes = episodes.size();
+  for (const EpisodeSummary& episode : episodes) {
+    if (episode.true_module != module) {
+      continue;
+    }
+    ++score.injected_blamed;
+    if (!episode.attributed) {
+      continue;
+    }
+    ++score.attributed;
+    if (episode.cause_module == module) {
+      ++score.tool_agreed;
+    }
+  }
+  return score;
+}
+
 std::string RenderAttributionReport(const std::vector<EpisodeSummary>& episodes) {
   std::ostringstream out;
   const AttributionScore score = ScoreAttribution(episodes);

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/drivers/cause_tool.h"
@@ -58,6 +59,34 @@ struct AttributionScore {
 };
 
 AttributionScore ScoreAttribution(const std::vector<EpisodeSummary>& episodes);
+
+// Attribution scoring against *injected* ground truth: when a fault plan is
+// driven by fault::Injector, every injected activity is labelled with a known
+// module ("FAULTINJ"), so — unlike the emergent ground truth above, which is
+// itself derived from the trace — the experimenter knows a priori which
+// episodes the injector caused. This score asks: of the episodes whose
+// blame-dominant module is the injected one, how often did the cause tool's
+// IP sampling agree?
+struct InjectedGroundTruthScore {
+  std::uint64_t episodes = 0;         // all episodes examined
+  std::uint64_t injected_blamed = 0;  // ground-truth top module == injected module
+  std::uint64_t attributed = 0;       // ... and the cause tool had samples
+  std::uint64_t tool_agreed = 0;      // ... and its top module agreed
+  // Of the injected-and-attributed episodes, the fraction the tool pinned on
+  // the injector (0 when none were attributed).
+  double ToolAccuracy() const {
+    return attributed == 0 ? 0.0
+                           : static_cast<double>(tool_agreed) / static_cast<double>(attributed);
+  }
+  // Fraction of all episodes the injected faults dominate.
+  double InjectedShare() const {
+    return episodes == 0 ? 0.0
+                         : static_cast<double>(injected_blamed) / static_cast<double>(episodes);
+  }
+};
+
+InjectedGroundTruthScore ScoreInjectedGroundTruth(const std::vector<EpisodeSummary>& episodes,
+                                                  std::string_view module = "FAULTINJ");
 
 // Table-style text report of the score plus per-episode verdict lines.
 std::string RenderAttributionReport(const std::vector<EpisodeSummary>& episodes);

@@ -1,6 +1,7 @@
 #include "src/obs/json.h"
 
 #include <cctype>
+#include <cstdlib>
 
 namespace wdmlat::obs {
 
@@ -15,6 +16,24 @@ class Parser {
     SkipWhitespace();
     const bool is_object = !AtEnd() && Peek() == '{';
     if (!ParseValue(is_object ? &result.top_level_keys : nullptr)) {
+      result.error_offset = pos_;
+      result.error = error_;
+      return result;
+    }
+    SkipWhitespace();
+    if (!AtEnd()) {
+      result.error_offset = pos_;
+      result.error = "trailing characters after JSON value";
+      return result;
+    }
+    result.valid = true;
+    return result;
+  }
+
+  JsonParseResult RunDom() {
+    JsonParseResult result;
+    SkipWhitespace();
+    if (!ParseValue(nullptr, &result.value)) {
       result.error_offset = pos_;
       result.error = error_;
       return result;
@@ -61,8 +80,9 @@ class Parser {
     return true;
   }
 
-  // `keys` non-null only for the document's top-level object.
-  bool ParseValue(std::vector<std::string>* keys = nullptr) {
+  // `keys` non-null only for the document's top-level object (lint mode);
+  // `out` non-null to materialise the value (DOM mode).
+  bool ParseValue(std::vector<std::string>* keys = nullptr, JsonValue* out = nullptr) {
     if (++depth_ > kMaxDepth) {
       return Fail("nesting too deep");
     }
@@ -74,35 +94,53 @@ class Parser {
     bool ok = false;
     switch (Peek()) {
       case '{':
-        ok = ParseObject(keys);
+        ok = ParseObject(keys, out);
         break;
       case '[':
-        ok = ParseArray();
+        ok = ParseArray(out);
         break;
-      case '"':
-        ok = ParseString(nullptr);
+      case '"': {
+        std::string text;
+        ok = ParseString(out != nullptr ? &text : nullptr);
+        if (ok && out != nullptr) {
+          *out = JsonValue::String(std::move(text));
+        }
         break;
+      }
       case 't':
         ok = ConsumeLiteral("true");
+        if (ok && out != nullptr) {
+          *out = JsonValue::Bool(true);
+        }
         break;
       case 'f':
         ok = ConsumeLiteral("false");
+        if (ok && out != nullptr) {
+          *out = JsonValue::Bool(false);
+        }
         break;
       case 'n':
         ok = ConsumeLiteral("null");
+        if (ok && out != nullptr) {
+          *out = JsonValue::Null();
+        }
         break;
       default:
-        ok = ParseNumber();
+        ok = ParseNumber(out);
         break;
     }
     --depth_;
     return ok;
   }
 
-  bool ParseObject(std::vector<std::string>* keys) {
+  bool ParseObject(std::vector<std::string>* keys, JsonValue* out) {
+    std::vector<std::pair<std::string, JsonValue>> members;
     Consume('{');
     SkipWhitespace();
     if (Consume('}')) {
+      if (out != nullptr) {
+        *out = JsonValue::Object(std::move(members));
+      }
       return true;
     }
     for (;;) {
@@ -112,41 +150,59 @@ class Parser {
         return Fail("expected string object key");
       }
       if (keys != nullptr) {
-        keys->push_back(std::move(key));
+        keys->push_back(key);
       }
       SkipWhitespace();
       if (!Consume(':')) {
         return Fail("expected ':' after object key");
       }
-      if (!ParseValue()) {
+      JsonValue member;
+      if (!ParseValue(nullptr, out != nullptr ? &member : nullptr)) {
         return false;
+      }
+      if (out != nullptr) {
+        members.emplace_back(std::move(key), std::move(member));
       }
       SkipWhitespace();
       if (Consume(',')) {
         continue;
       }
       if (Consume('}')) {
+        if (out != nullptr) {
+          *out = JsonValue::Object(std::move(members));
+        }
         return true;
       }
       return Fail("expected ',' or '}' in object");
     }
   }
 
-  bool ParseArray() {
+  bool ParseArray(JsonValue* out) {
+    std::vector<JsonValue> items;
     Consume('[');
     SkipWhitespace();
     if (Consume(']')) {
+      if (out != nullptr) {
+        *out = JsonValue::Array(std::move(items));
+      }
       return true;
     }
     for (;;) {
-      if (!ParseValue()) {
+      JsonValue item;
+      if (!ParseValue(nullptr, out != nullptr ? &item : nullptr)) {
         return false;
+      }
+      if (out != nullptr) {
+        items.push_back(std::move(item));
       }
       SkipWhitespace();
       if (Consume(',')) {
         continue;
       }
       if (Consume(']')) {
+        if (out != nullptr) {
+          *out = JsonValue::Array(std::move(items));
+        }
         return true;
       }
       return Fail("expected ',' or ']' in array");
@@ -207,7 +263,7 @@ class Parser {
     }
   }
 
-  bool ParseNumber() {
+  bool ParseNumber(JsonValue* out = nullptr) {
     const std::size_t start = pos_;
     Consume('-');
     if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
@@ -241,7 +297,16 @@ class Parser {
         ++pos_;
       }
     }
-    return pos_ > start;
+    if (pos_ <= start) {
+      return false;
+    }
+    if (out != nullptr) {
+      // The grammar above admits exactly the strtod subset, so this cannot
+      // fail; the null-terminated copy is required by strtod.
+      const std::string text(text_.substr(start, pos_ - start));
+      *out = JsonValue::Number(std::strtod(text.c_str(), nullptr));
+    }
+    return true;
   }
 
   static constexpr int kMaxDepth = 64;
@@ -264,5 +329,67 @@ bool JsonLintResult::HasTopLevelKey(std::string_view key) const {
 }
 
 JsonLintResult LintJson(std::string_view text) { return Parser(text).Run(); }
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      found = &value;
+    }
+  }
+  return found;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_number() ? value->as_number() : fallback;
+}
+
+bool JsonValue::BoolOr(std::string_view key, bool fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_bool() ? value->as_bool() : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key, std::string_view fallback) const {
+  const JsonValue* value = Find(key);
+  return value != nullptr && value->is_string() ? value->as_string() : std::string(fallback);
+}
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+JsonParseResult ParseJson(std::string_view text) { return Parser(text).RunDom(); }
 
 }  // namespace wdmlat::obs

@@ -1,17 +1,24 @@
-// A minimal JSON linter for the observability exporters.
+// A minimal JSON linter and DOM for the observability exporters and the
+// fault-plan loader.
 //
 // The trace and metrics writers emit JSON by hand (no third-party dependency
 // is available in this tree), so the schema-validating tests and the
 // ci/trace_smoke.sh ctest need an independent parser to confirm the output
-// actually parses. This is a strict RFC 8259 recursive-descent validator: it
-// builds no DOM, just checks well-formedness and reports the top-level
-// object's keys so callers can assert required members exist.
+// actually parses. LintJson is a strict RFC 8259 recursive-descent
+// validator: it builds no DOM, just checks well-formedness and reports the
+// top-level object's keys so callers can assert required members exist.
+// ParseJson runs the same grammar but materialises a JsonValue tree — the
+// input side of the house, used by fault::ParseFaultPlan to read declarative
+// fault plans from disk.
 
 #ifndef SRC_OBS_JSON_H_
 #define SRC_OBS_JSON_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace wdmlat::obs {
@@ -31,6 +38,61 @@ struct JsonLintResult {
 // Validate that `text` is exactly one well-formed JSON value (plus optional
 // surrounding whitespace).
 JsonLintResult LintJson(std::string_view text);
+
+// A parsed JSON value. Numbers are stored as double (ample for the plan
+// schema: durations, rates, seeds up to 2^53); object members keep document
+// order and duplicate keys keep the last occurrence on lookup.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double as_number(double fallback = 0.0) const { return is_number() ? number_ : fallback; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  // Object member lookup (last occurrence wins); nullptr when absent or when
+  // this value is not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Convenience typed lookups with fallbacks for optional schema fields.
+  double NumberOr(std::string_view key, double fallback) const;
+  bool BoolOr(std::string_view key, bool fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonParseResult {
+  bool valid = false;
+  JsonValue value;
+  std::size_t error_offset = 0;
+  std::string error;
+};
+
+// Parse `text` into a JsonValue tree (same strict grammar as LintJson).
+JsonParseResult ParseJson(std::string_view text);
 
 }  // namespace wdmlat::obs
 

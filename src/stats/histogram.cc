@@ -249,7 +249,9 @@ std::string LatencyHistogram::ToCsv() const {
   std::ostringstream out;
   out << "bucket_hi_us,count\n";
   if (underflow_ > 0) {
-    out << kMinUs << "," << underflow_ << "\n";
+    // A distinct label: a numeric edge here (kMinUs) would masquerade as a
+    // regular bucket row and be ambiguous with bucket 0's range.
+    out << "underflow," << underflow_ << "\n";
   }
   for (int i = 0; i < kBucketCount; ++i) {
     if (buckets_[i] > 0) {
@@ -257,6 +259,23 @@ std::string LatencyHistogram::ToCsv() const {
     }
   }
   return out.str();
+}
+
+double KsStatistic(const LatencyHistogram& a, const LatencyHistogram& b) {
+  if (a.count_ == 0 || b.count_ == 0) {
+    return 0.0;
+  }
+  const double na = static_cast<double>(a.count_);
+  const double nb = static_cast<double>(b.count_);
+  double ca = static_cast<double>(a.underflow_);
+  double cb = static_cast<double>(b.underflow_);
+  double ks = std::abs(ca / na - cb / nb);
+  for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    ca += static_cast<double>(a.buckets_[i]);
+    cb += static_cast<double>(b.buckets_[i]);
+    ks = std::max(ks, std::abs(ca / na - cb / nb));
+  }
+  return ks;
 }
 
 }  // namespace wdmlat::stats

@@ -81,9 +81,13 @@ class LatencyHistogram {
   void Reset();
 
   // Two-column CSV: bucket_upper_edge_us,count (non-empty buckets only).
+  // Samples below kMinUs are emitted first as a literal `underflow,<count>`
+  // row, keeping them distinguishable from real bucket edges.
   std::string ToCsv() const;
 
  private:
+  friend double KsStatistic(const LatencyHistogram& a, const LatencyHistogram& b);
+
   static double BucketLoUs(int index);
   static double BucketHiUs(int index);
 
@@ -94,6 +98,13 @@ class LatencyHistogram {
   double min_us_ = 0.0;
   double max_us_ = 0.0;
 };
+
+// Two-sample Kolmogorov-Smirnov statistic: sup over bucket edges of
+// |CDF_a - CDF_b|, evaluated on the shared log-spaced grid (exact up to
+// bucket resolution, ~2.2%). 0 when either histogram is empty. Used by the
+// differential runner to quantify whole-distribution shift between a
+// baseline and a fault-perturbed run.
+double KsStatistic(const LatencyHistogram& a, const LatencyHistogram& b);
 
 }  // namespace wdmlat::stats
 
