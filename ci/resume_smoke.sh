@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Smoke test for supervised, resumable matrix runs:
+#
+#   * a run interrupted by --max-cells exits 4 and leaves a resumable
+#     journal (valid JSONL, one header + one line per finished cell)
+#   * --resume restores the finished cells bit-exactly and re-runs the
+#     rest: the merged table is byte-identical to an uninterrupted run,
+#     at --jobs=1 and --jobs=4 alike
+#   * the --audit-fail-cell fixture degrades exactly one cell to a
+#     structured [invariant_violation] failure (exit 3) while every other
+#     cell completes
+#
+# Registered as the `resume_smoke` ctest; also runnable standalone from the
+# repo root:
+#
+#   ci/resume_smoke.sh                # builds nothing, expects build/ to exist
+#   BUILD_DIR=build-foo ci/resume_smoke.sh
+
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+RUN="${BUILD_DIR}/cli/wdmlat_run"
+CHECK="${BUILD_DIR}/cli/wdmlat_json_check"
+
+if [[ ! -x "${RUN}" || ! -x "${CHECK}" ]]; then
+  echo "resume_smoke: missing ${RUN} or ${CHECK}; build the tree first" >&2
+  exit 1
+fi
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/wdmlat_resume_smoke.XXXXXX")"
+trap 'rm -rf "${OUT}"' EXIT
+
+GRID=(--matrix --minutes 0.05 --seed 1999)
+
+# Reference: the uninterrupted 16-cell grid. Its merged table (the lines
+# naming an OS) is the byte-exact target every resumed run must reproduce.
+"${RUN}" "${GRID[@]}" --jobs 1 > "${OUT}/ref.log"
+grep '^  Windows' "${OUT}/ref.log" > "${OUT}/ref.rows"
+[[ "$(wc -l < "${OUT}/ref.rows")" -eq 16 ]] \
+  || { echo "resume_smoke: expected 16 merged rows in reference run" >&2; exit 1; }
+
+# Interrupt after 6 of 16 cells: exit code 4, journal on disk.
+status=0
+"${RUN}" "${GRID[@]}" --jobs 1 --journal "${OUT}/run.jsonl" --max-cells 6 \
+  > "${OUT}/interrupt.log" || status=$?
+[[ "${status}" -eq 4 ]] \
+  || { echo "resume_smoke: interrupted run exited ${status}, want 4" >&2; exit 1; }
+grep -q 'interrupted after 6 cell(s)' "${OUT}/interrupt.log" \
+  || { echo "resume_smoke: missing interruption notice" >&2; exit 1; }
+
+# The journal is JSONL: header + 6 cell lines, each a valid JSON document.
+[[ "$(wc -l < "${OUT}/run.jsonl")" -eq 7 ]] \
+  || { echo "resume_smoke: journal should hold 1 header + 6 cells" >&2; exit 1; }
+n=0
+while IFS= read -r line; do
+  n=$((n + 1))
+  printf '%s\n' "${line}" > "${OUT}/journal_line.json"
+  "${CHECK}" "${OUT}/journal_line.json" \
+    || { echo "resume_smoke: journal line ${n} is not valid JSON" >&2; exit 1; }
+done < "${OUT}/run.jsonl"
+
+# Keep a pristine copy of the interrupted journal so both resumes start
+# from the same checkpoint (resume appends to the journal it reads).
+cp "${OUT}/run.jsonl" "${OUT}/run4.jsonl"
+cp -r "${OUT}/run.jsonl.cells" "${OUT}/run4.jsonl.cells"
+
+for jobs in 1 4; do
+  journal="${OUT}/run.jsonl"
+  [[ "${jobs}" -eq 4 ]] && journal="${OUT}/run4.jsonl"
+  "${RUN}" "${GRID[@]}" --jobs "${jobs}" --resume "${journal}" \
+    > "${OUT}/resume${jobs}.log"
+  grep -q 'resumed: 6 cell(s) restored' "${OUT}/resume${jobs}.log" \
+    || { echo "resume_smoke: --jobs=${jobs} resume did not restore 6 cells" >&2; exit 1; }
+  grep '^  Windows' "${OUT}/resume${jobs}.log" > "${OUT}/resume${jobs}.rows"
+  cmp -s "${OUT}/ref.rows" "${OUT}/resume${jobs}.rows" \
+    || { echo "resume_smoke: --jobs=${jobs} resumed merge differs from fresh run" >&2; exit 1; }
+done
+
+# Crash isolation: a forced invariant violation in cell 2 fails exactly that
+# cell with its taxonomy and a diagnostic bundle; the other 15 complete and
+# the process exits 3.
+status=0
+"${RUN}" "${GRID[@]}" --jobs 2 --audit-fail-cell 2 \
+  > "${OUT}/fixture.log" 2> "${OUT}/fixture.err" || status=$?
+[[ "${status}" -eq 3 ]] \
+  || { echo "resume_smoke: fixture run exited ${status}, want 3" >&2; exit 1; }
+grep -q '\[invariant_violation\]' "${OUT}/fixture.err" \
+  || { echo "resume_smoke: failure lacks invariant_violation taxonomy" >&2; exit 1; }
+grep -q 'cell 2 ' "${OUT}/fixture.err" \
+  || { echo "resume_smoke: failure does not name cell 2" >&2; exit 1; }
+[[ "$(grep -c '^  ok:' "${OUT}/fixture.log")" -eq 15 ]] \
+  || { echo "resume_smoke: expected the other 15 cells to complete" >&2; exit 1; }
+grep -q '1 cell(s) failed out of 16' "${OUT}/fixture.err" \
+  || { echo "resume_smoke: missing failure summary" >&2; exit 1; }
+
+echo "resume_smoke: OK"

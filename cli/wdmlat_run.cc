@@ -57,7 +57,30 @@
 //                              merged results are bit-identical for any N
 //   --trials=<N>               independent seeds per cell, histograms merged
 //                              (default 1)
+//
+// Supervised runs (imply --matrix; see EXPERIMENTS.md "Supervised runs"):
+//   --journal=FILE             checkpoint each finished cell to this JSONL
+//                              journal (artifacts under FILE.cells/)
+//   --resume=FILE              resume an interrupted run from its journal:
+//                              verified completed cells are restored
+//                              bit-exactly, missing/failed cells re-run, and
+//                              the merged result is bit-identical to a fresh
+//                              run (pass the same grid flags and --seed)
+//   --cell-timeout-ms=<F>      host-clock deadline budget per cell attempt
+//   --cell-retries=<N>         attempts for host-transient failures (def. 3)
+//   --audit-every-s=<F>        run the kernel invariant auditor every F
+//                              virtual seconds inside each cell
+//   --max-cells=<N>            stop after N cells this run (exit 4; resume
+//                              later with --resume)
+//   --audit-fail-cell=<N> / --throw-cell=<N>
+//                              CI fixtures: inject an invariant violation /
+//                              an exception into cell N (exit 3, the other
+//                              cells still complete)
+//
+// Exit codes: 0 success, 2 usage/config error, 3 failed cells,
+// 4 interrupted (--max-cells hit; journal is resumable).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +98,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/report/loglog_plot.h"
+#include "src/runtime/supervisor.h"
 #include "src/runtime/thread_pool.h"
 #include "src/stats/usage_model.h"
 #include "src/workload/stress_profile.h"
@@ -98,8 +122,66 @@ using namespace wdmlat;
                "                  [--queue-sample-ms=F] [--episode-threshold-us=F]\n"
                "                  [--faults=NAME|FILE [--differential] [--diff-out=FILE] "
                "[--diff-csv=FILE]]\n"
-               "                  [--matrix [--jobs=N] [--trials=N]]\n");
+               "                  [--matrix [--jobs=N] [--trials=N]]\n"
+               "                  [--journal=FILE | --resume=FILE] [--cell-timeout-ms=F]\n"
+               "                  [--cell-retries=N] [--audit-every-s=F] [--max-cells=N]\n"
+               "                  [--audit-fail-cell=N] [--throw-cell=N]\n");
   std::exit(2);
+}
+
+// One-line diagnostic + usage exit code, per the CLI contract: a bad
+// argument must never start a multi-minute run.
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "wdmlat_run: %s\n", message.c_str());
+  std::exit(2);
+}
+
+// Strict numeric flag parsing: the whole value must parse, so --jobs=4x or a
+// missing value fails loudly instead of silently becoming 0.
+long ParseIntFlag(const char* flag, const std::string& value) {
+  if (value.empty()) {
+    Die(std::string(flag) + " requires a value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    Die(std::string(flag) + "=" + value + " is not an integer");
+  }
+  return parsed;
+}
+
+std::uint64_t ParseU64Flag(const char* flag, const std::string& value) {
+  if (value.empty()) {
+    Die(std::string(flag) + " requires a value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    Die(std::string(flag) + "=" + value + " is not an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double ParseDoubleFlag(const char* flag, const std::string& value) {
+  if (value.empty()) {
+    Die(std::string(flag) + " requires a value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    Die(std::string(flag) + "=" + value + " is not a number");
+  }
+  return parsed;
+}
+
+const std::string& RequireValue(const char* flag, const std::string& value) {
+  if (value.empty()) {
+    Die(std::string(flag) + " requires a value");
+  }
+  return value;
 }
 
 // Write `text` to `path`, reporting (but not failing on) I/O errors.
@@ -167,25 +249,49 @@ int main(int argc, char** argv) {
   bool differential = false;
   std::string diff_out;
   std::string diff_csv;
+  std::string journal_path;
+  std::string resume_path;
+  double cell_timeout_ms = 0.0;
+  int cell_retries = 3;
+  double audit_every_s = 0.0;
+  std::uint64_t max_cells = 0;
+  long audit_fail_cell = -1;
+  long throw_cell = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (MatchFlag(argv[i], "--matrix", &value)) {
       matrix_mode = true;
     } else if (MatchValueFlag(argc, argv, &i, "--jobs", &value)) {
-      jobs = std::atoi(value.c_str());
+      jobs = static_cast<int>(ParseIntFlag("--jobs", value));
     } else if (MatchValueFlag(argc, argv, &i, "--trials", &value)) {
-      trials = std::atoi(value.c_str());
+      trials = static_cast<int>(ParseIntFlag("--trials", value));
     } else if (MatchValueFlag(argc, argv, &i, "--os", &value)) {
-      os_name = value;
+      os_name = RequireValue("--os", value);
     } else if (MatchValueFlag(argc, argv, &i, "--workload", &value)) {
-      workload_name = value;
+      workload_name = RequireValue("--workload", value);
     } else if (MatchValueFlag(argc, argv, &i, "--priority", &value)) {
-      priority = std::atoi(value.c_str());
+      priority = static_cast<int>(ParseIntFlag("--priority", value));
     } else if (MatchValueFlag(argc, argv, &i, "--minutes", &value)) {
-      minutes = std::atof(value.c_str());
+      minutes = ParseDoubleFlag("--minutes", value);
     } else if (MatchValueFlag(argc, argv, &i, "--seed", &value)) {
-      seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      seed = ParseU64Flag("--seed", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--journal", &value)) {
+      journal_path = RequireValue("--journal", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--resume", &value)) {
+      resume_path = RequireValue("--resume", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--cell-timeout-ms", &value)) {
+      cell_timeout_ms = ParseDoubleFlag("--cell-timeout-ms", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--cell-retries", &value)) {
+      cell_retries = static_cast<int>(ParseIntFlag("--cell-retries", value));
+    } else if (MatchValueFlag(argc, argv, &i, "--audit-every-s", &value)) {
+      audit_every_s = ParseDoubleFlag("--audit-every-s", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--max-cells", &value)) {
+      max_cells = ParseU64Flag("--max-cells", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--audit-fail-cell", &value)) {
+      audit_fail_cell = ParseIntFlag("--audit-fail-cell", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--throw-cell", &value)) {
+      throw_cell = ParseIntFlag("--throw-cell", value);
     } else if (MatchFlag(argv[i], "--scanner", &value)) {
       scanner = true;
     } else if (MatchFlag(argv[i], "--sounds", &value)) {
@@ -195,25 +301,25 @@ int main(int argc, char** argv) {
     } else if (MatchFlag(argv[i], "--worst-cases", &value)) {
       worst_cases = true;
     } else if (MatchValueFlag(argc, argv, &i, "--csv-dir", &value)) {
-      csv_dir = value;
+      csv_dir = RequireValue("--csv-dir", value);
     } else if (MatchValueFlag(argc, argv, &i, "--trace-out", &value)) {
-      trace_out = value;
+      trace_out = RequireValue("--trace-out", value);
     } else if (MatchValueFlag(argc, argv, &i, "--metrics-out", &value)) {
-      metrics_out = value;
+      metrics_out = RequireValue("--metrics-out", value);
     } else if (MatchValueFlag(argc, argv, &i, "--metrics-csv", &value)) {
-      metrics_csv = value;
+      metrics_csv = RequireValue("--metrics-csv", value);
     } else if (MatchValueFlag(argc, argv, &i, "--queue-sample-ms", &value)) {
-      queue_sample_ms = std::atof(value.c_str());
+      queue_sample_ms = ParseDoubleFlag("--queue-sample-ms", value);
     } else if (MatchValueFlag(argc, argv, &i, "--episode-threshold-us", &value)) {
-      episode_threshold_us = std::atof(value.c_str());
+      episode_threshold_us = ParseDoubleFlag("--episode-threshold-us", value);
     } else if (MatchValueFlag(argc, argv, &i, "--faults", &value)) {
-      faults_arg = value;
+      faults_arg = RequireValue("--faults", value);
     } else if (MatchFlag(argv[i], "--differential", &value)) {
       differential = true;
     } else if (MatchValueFlag(argc, argv, &i, "--diff-out", &value)) {
-      diff_out = value;
+      diff_out = RequireValue("--diff-out", value);
     } else if (MatchValueFlag(argc, argv, &i, "--diff-csv", &value)) {
-      diff_csv = value;
+      diff_csv = RequireValue("--diff-csv", value);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       Usage();
     } else {
@@ -235,6 +341,38 @@ int main(int argc, char** argv) {
   if (trials < 1) {
     std::fprintf(stderr, "wdmlat_run: --trials must be at least 1\n");
     return 2;
+  }
+  if (cell_retries < 1) {
+    std::fprintf(stderr, "wdmlat_run: --cell-retries must be at least 1\n");
+    return 2;
+  }
+  if (cell_timeout_ms < 0.0 || audit_every_s < 0.0) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --cell-timeout-ms and --audit-every-s must be >= 0\n");
+    return 2;
+  }
+  if (!journal_path.empty() && !resume_path.empty()) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --journal and --resume are mutually exclusive "
+                 "(--resume appends to its own journal)\n");
+    return 2;
+  }
+  // Any supervision knob implies matrix mode — the supervisor exists to keep
+  // a grid running, and the resume fingerprint is defined over a grid spec.
+  const bool supervised = !journal_path.empty() || !resume_path.empty() ||
+                          cell_timeout_ms > 0.0 || audit_every_s > 0.0 ||
+                          max_cells > 0 || audit_fail_cell >= 0 || throw_cell >= 0;
+  if (supervised) {
+    matrix_mode = true;
+  }
+  if (!resume_path.empty()) {
+    // Fail fast on an unreadable journal — before any cell runs.
+    std::ifstream probe(resume_path);
+    if (!probe) {
+      std::fprintf(stderr, "wdmlat_run: --resume=%s: cannot read journal\n",
+                   resume_path.c_str());
+      return 2;
+    }
   }
 
   // --faults resolves to a built-in plan name first, then a JSON plan file.
@@ -294,12 +432,44 @@ int main(int argc, char** argv) {
         spec.priorities.size(), spec.trials, minutes,
         static_cast<unsigned long long>(seed), jobs);
 
-    const lab::MatrixResult result = matrix.Run(jobs, [&](const lab::MatrixCell& cell) {
-      std::printf("  done: %-16s %-18s prio %2d  trial %d  (seed %016llx)\n",
-                  cell.config.os.name.c_str(), cell.config.stress.name.c_str(),
-                  cell.config.thread_priority, cell.trial,
+    lab::MatrixRunOptions run_options;
+    run_options.jobs = jobs;
+    run_options.isolate_failures = supervised;
+    run_options.supervision.cell_timeout_ms = cell_timeout_ms;
+    run_options.supervision.max_attempts = cell_retries;
+    run_options.audit_every_s = audit_every_s;
+    run_options.audit_fail_cell = audit_fail_cell;
+    run_options.throw_cell = throw_cell;
+    run_options.max_cells = static_cast<std::size_t>(max_cells);
+    run_options.journal_path = journal_path;
+    run_options.resume_path = resume_path;
+    run_options.on_cell_done = [](const lab::MatrixCell& cell, lab::CellStatus status) {
+      std::printf("  %s: %-16s %-18s prio %2d  trial %d  (seed %016llx)\n",
+                  lab::CellStatusName(status), cell.config.os.name.c_str(),
+                  cell.config.stress.name.c_str(), cell.config.thread_priority, cell.trial,
                   static_cast<unsigned long long>(cell.seed));
-    });
+    };
+    run_options.on_cell_failed = [](const runtime::CellFailure& failure) {
+      std::fprintf(stderr, "wdmlat_run: %s\n", failure.Render().c_str());
+    };
+
+    const lab::MatrixResult result = matrix.Run(run_options);
+    if (!result.error.empty()) {
+      std::fprintf(stderr, "wdmlat_run: %s\n", result.error.c_str());
+      return 2;
+    }
+    for (const std::string& warning : result.warnings) {
+      std::fprintf(stderr, "wdmlat_run: warning: %s\n", warning.c_str());
+    }
+    if (result.cells_restored > 0) {
+      std::printf("resumed: %zu cell(s) restored from %s, %zu executed\n",
+                  result.cells_restored, resume_path.c_str(), result.cells_executed);
+    }
+    if (result.retries > 0) {
+      std::printf("supervisor: %llu host-transient retr%s\n",
+                  static_cast<unsigned long long>(result.retries),
+                  result.retries == 1 ? "y" : "ies");
+    }
 
     std::printf("\nMerged distributions (per OS x workload x priority group):\n");
     std::printf("  %-16s %-18s %-4s %-7s %-9s %9s %9s %9s\n", "OS", "workload", "prio",
@@ -362,6 +532,24 @@ int main(int argc, char** argv) {
     }
     if (!metrics_csv.empty()) {
       WriteTextFile(metrics_csv, result.metrics.ToCsv(), "metrics CSV");
+    }
+
+    // Exit contract: 3 = cells failed (structured failures printed above),
+    // 4 = interrupted by --max-cells (journal resumable), 0 = complete.
+    for (const std::string& violation : result.merge_violations) {
+      std::fprintf(stderr, "wdmlat_run: merge audit: %s\n", violation.c_str());
+    }
+    if (!result.failures.empty() || !result.merge_violations.empty()) {
+      std::fprintf(stderr, "wdmlat_run: %zu cell(s) failed out of %zu\n",
+                   result.failures.size(), matrix.cells().size());
+      return 3;
+    }
+    if (result.cells_skipped > 0) {
+      const std::string& journal = resume_path.empty() ? journal_path : resume_path;
+      std::printf("interrupted after %zu cell(s) (--max-cells); %zu skipped%s%s\n",
+                  result.cells_executed, result.cells_skipped,
+                  journal.empty() ? "" : "; resume with --resume=", journal.c_str());
+      return 4;
     }
     return 0;
   }

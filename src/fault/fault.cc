@@ -20,6 +20,8 @@ const char* FaultKindName(FaultKind kind) {
       return "priority_invert";
     case FaultKind::kDiskSeekStorm:
       return "disk_seek_storm";
+    case FaultKind::kTimerJitter:
+      return "timer_jitter";
   }
   return "?";
 }
@@ -94,6 +96,18 @@ std::string ValidatePlan(const FaultPlan& plan) {
     if (spec.kind == FaultKind::kDiskSeekStorm && spec.disk_bytes == 0) {
       error << "disk_bytes must be > 0";
       return error.str();
+    }
+    if (spec.kind == FaultKind::kTimerJitter) {
+      // The drift must be bounded: an unbounded per-tick stretch can stall
+      // the clock entirely, which models a broken PIT, not a drifting one.
+      const sim::DurationDist::Kind dk = spec.duration_us.kind();
+      if (dk != sim::DurationDist::Kind::kZero && dk != sim::DurationDist::Kind::kConstant &&
+          dk != sim::DurationDist::Kind::kUniform &&
+          dk != sim::DurationDist::Kind::kBoundedPareto) {
+        error << "timer_jitter needs a bounded drift distribution "
+                 "(constant, uniform or bounded_pareto)";
+        return error.str();
+      }
     }
   }
   return std::string();

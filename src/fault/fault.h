@@ -53,12 +53,19 @@ enum class FaultKind : std::uint8_t {
   // Burst of disk transfers through the IDE/DMA driver: seeks + completion
   // ISR/DPC traffic.
   kDiskSeekStorm,
+  // Timer-coalescing jitter: each activation stretches the next `burst` PIT
+  // tick periods by a drift sampled from `duration_us` (the paper's 1 ms PIT
+  // is assumed exact; real PITs drift and modern kernels coalesce). The
+  // drift delays the clock interrupt itself, so everything clocked off the
+  // tick — quantum accounting, timer expiry, the PIT-hook sampler — slides
+  // with it.
+  kTimerJitter,
 };
 
 inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kIrqStorm,      FaultKind::kDpcStorm,       FaultKind::kIsrOverrun,
     FaultKind::kMaskedWindow,  FaultKind::kLockoutHold,    FaultKind::kPriorityInvert,
-    FaultKind::kDiskSeekStorm,
+    FaultKind::kDiskSeekStorm, FaultKind::kTimerJitter,
 };
 
 // Stable snake_case identifier (the JSON schema's "kind" strings).

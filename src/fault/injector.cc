@@ -71,6 +71,13 @@ void Injector::Stop() {
       handle.Cancel();
     }
     state->burst_events.clear();
+    state->jitter_ticks_left = 0;
+  }
+  if (pit_hook_installed_) {
+    // The hook captures `this` and the injector is destroyed before the
+    // simulated machine; leaving it installed would dangle.
+    targets_.kernel->pit().set_tick_delay_hook(nullptr);
+    pit_hook_installed_ = false;
   }
 }
 
@@ -103,6 +110,28 @@ void Injector::SetUp(SpecState& state) {
     case FaultKind::kPriorityInvert:
       EnsureInversionRig();
       break;
+    case FaultKind::kTimerJitter: {
+      if (pit_hook_installed_) {
+        break;
+      }
+      pit_hook_installed_ = true;
+      // One hook sums the drift owed by every jitter spec. Specs with no
+      // pending activation draw nothing and add nothing, so a hook whose
+      // specs never fire returns 0 on every tick and the PIT schedule stays
+      // bit-identical to an unhooked run.
+      k.pit().set_tick_delay_hook([this]() -> sim::Cycles {
+        sim::Cycles extra = 0;
+        for (auto& jitter : specs_) {
+          if (jitter->spec->kind == FaultKind::kTimerJitter &&
+              jitter->jitter_ticks_left > 0) {
+            --jitter->jitter_ticks_left;
+            extra += jitter->spec->duration_us.Sample(jitter->payload_rng);
+          }
+        }
+        return extra;
+      });
+      break;
+    }
     default:
       break;
   }
@@ -222,6 +251,11 @@ void Injector::Activate(SpecState& state) {
           [this] { targets_.kernel->KeReleaseSemaphore(&rig_->victim_sem); }));
       break;
     }
+    case FaultKind::kTimerJitter:
+      // Owe the next `burst` ticks a drift sample each; the PIT hook draws
+      // them lazily (per tick), so `duration` here stays 0 like irq_storm.
+      state.jitter_ticks_left += static_cast<std::uint64_t>(spec.burst);
+      break;
   }
   log_.push_back(record);
 }

@@ -94,6 +94,9 @@ class Injector {
     int irq_line = -1;                              // irq_storm
     std::vector<std::unique_ptr<kernel::KDpc>> dpc_pool;  // dpc_storm
     std::vector<sim::EventHandle> burst_events;
+    // timer_jitter: PIT ticks still owed a drift sample from this spec's
+    // payload stream (each activation adds `burst`).
+    std::uint64_t jitter_ticks_left = 0;
     // priority_invert plumbing (shared across invert specs).
   };
 
@@ -126,6 +129,9 @@ class Injector {
   std::unique_ptr<InversionRig> rig_;
   std::vector<FaultActivation> log_;
   std::uint64_t skipped_no_disk_ = 0;
+  // One shared PIT hook serves every timer_jitter spec; it must be removed
+  // in Stop() because the injector dies before the simulated machine.
+  bool pit_hook_installed_ = false;
 };
 
 }  // namespace wdmlat::fault

@@ -105,7 +105,9 @@ bool ParseFaultPlan(std::string_view text, FaultPlan* plan, std::string* error) 
   const obs::JsonParseResult parsed = obs::ParseJson(text);
   if (!parsed.valid) {
     std::ostringstream message;
-    message << "JSON error at offset " << parsed.error_offset << ": " << parsed.error;
+    message << "JSON error at line " << parsed.error_line << ", column "
+            << parsed.error_column << " (offset " << parsed.error_offset
+            << "): " << parsed.error;
     SetError(error, message.str());
     return false;
   }

@@ -27,6 +27,11 @@
 // "duration" dist kinds: constant {us}, uniform {lo_us, hi_us},
 // exponential {mean_us}, lognormal {median_us, sigma},
 // bounded_pareto {alpha, lo_us, hi_us}.
+//
+// timer_jitter reinterprets two fields: `burst` is the number of PIT ticks
+// perturbed per activation and `duration` is the per-tick period drift —
+// which must be a bounded dist (constant, uniform or bounded_pareto;
+// ValidatePlan rejects the open-ended ones).
 
 #ifndef SRC_FAULT_PLAN_JSON_H_
 #define SRC_FAULT_PLAN_JSON_H_

@@ -33,7 +33,11 @@ void Pit::Tick() {
   }
   ++ticks_;
   pic_.Assert(line_);
-  next_tick_ = engine_.ScheduleAfter(period_, [this] { Tick(); });
+  sim::Cycles delay = period_;
+  if (tick_delay_hook_) {
+    delay += tick_delay_hook_();
+  }
+  next_tick_ = engine_.ScheduleAfter(delay, [this] { Tick(); });
 }
 
 }  // namespace wdmlat::hw

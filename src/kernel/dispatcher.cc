@@ -103,6 +103,43 @@ bool Dispatcher::idle() const {
   return stack_.empty() && !dpc_frame_ && current_ == nullptr;
 }
 
+void Dispatcher::AuditDiscipline(std::vector<std::string>* violations) const {
+  if (busy_) {
+    violations->push_back("gate is open (busy) outside any dispatcher entry point");
+  }
+  if (in_continuation_) {
+    violations->push_back("thread continuation marked in-progress at a quiescent point");
+  }
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    const Frame& frame = *stack_[i];
+    if (i > 0 && frame.irql <= stack_[i - 1]->irql) {
+      violations->push_back("interrupt stack IRQLs not strictly increasing: frame " +
+                            std::to_string(i) + " at " + IrqlName(frame.irql) + " (" +
+                            std::to_string(ToLevel(frame.irql)) + ") atop frame " +
+                            std::to_string(i - 1) + " at " +
+                            std::to_string(ToLevel(stack_[i - 1]->irql)));
+    }
+    if (frame.irql > Irql::kHigh) {
+      violations->push_back("frame " + std::to_string(i) + " carries IRQL " +
+                            std::to_string(ToLevel(frame.irql)) + " above HIGH");
+    }
+    if (frame.running && i + 1 != stack_.size()) {
+      violations->push_back("paused frame " + std::to_string(i) +
+                            " below the top of the interrupt stack is marked running");
+    }
+  }
+  if (!stack_.empty()) {
+    if (dpc_frame_ && dpc_frame_->running) {
+      violations->push_back("DPC frame marked running beneath an active interrupt stack");
+    }
+    if (thread_running_) {
+      violations->push_back("thread timer running beneath an active interrupt stack");
+    }
+  } else if (dpc_frame_ && dpc_frame_->running && thread_running_) {
+    violations->push_back("thread timer running while a DPC is running");
+  }
+}
+
 bool Dispatcher::InjectSection(Irql irql, sim::Cycles length, Label label) {
   Gate gate(this);
   if (EffectiveIrql() >= irql) {

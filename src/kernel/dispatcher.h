@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/hw/interrupt_controller.h"
@@ -85,6 +86,14 @@ class Dispatcher {
   bool in_thread_continuation() const { return in_continuation_; }
   bool dispatch_locked() const { return lock_until_ > engine_.now(); }
   bool idle() const;
+
+  // IRQL / dispatcher-lock discipline audit for sim::InvariantAuditor, run
+  // from engine-idle context (between simulation slices, never from inside a
+  // Gate). Validates: no gate is open, interrupt-stack IRQLs strictly
+  // increase bottom-to-top and stay above DISPATCH, exactly the innermost
+  // activity (top frame, else DPC, else thread) is marked running, and
+  // paused activities below it are not. Appends one line per violation.
+  void AuditDiscipline(std::vector<std::string>* violations) const;
 
   // --- Legacy / stress injection ---------------------------------------------
   // Run a kernel code section at `irql` for `length` cycles, preempting

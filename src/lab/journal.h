@@ -1,0 +1,95 @@
+// RunJournal: the append-only checkpoint log behind `wdmlat_run --resume`.
+//
+// A supervised matrix run writes one JSONL line per finished cell —
+// completion order, flushed per line, so an interrupted process loses at
+// most the cell it was inside — plus a header line binding the journal to
+// the exact matrix it describes (a fingerprint over the grid, seeds and
+// durations). Each successful cell also gets a lossless artifact file
+// (lab::ReportToJson) under "<journal>.cells/", and the journal records the
+// artifact's FNV-1a checksum so resume can detect torn or stale files.
+//
+// Resume contract: a journal entry is trusted only when (a) the header
+// fingerprint matches the spec being run, (b) the entry's seed matches the
+// cell's derived seed, and (c) the artifact re-hashes to the recorded
+// checksum and parses back bit-exactly. Anything less re-runs the cell —
+// a resume must never be able to merge different bits than a fresh run.
+
+#ifndef SRC_LAB_JOURNAL_H_
+#define SRC_LAB_JOURNAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/lab/matrix.h"
+
+namespace wdmlat::lab {
+
+// Stable hash of everything that determines a matrix's cells and their
+// bits: master seed, grid axes (profile/workload names, priorities),
+// trials, durations, fault plan and episode knobs. Two specs with equal
+// fingerprints produce identical cell seeds and identical per-cell reports.
+std::uint64_t MatrixFingerprint(const MatrixSpec& spec);
+
+// One journal line (after the header).
+struct JournalEntry {
+  std::size_t cell = 0;        // linear grid index
+  std::uint64_t seed = 0;      // the cell's derived seed, for re-verification
+  std::string status;          // "ok" or "failed"
+  // status == "ok":
+  std::uint64_t checksum = 0;  // Fnv1a64 of the artifact file's bytes
+  std::string artifact;        // path to the ReportToJson artifact
+  std::uint64_t samples = 0;
+  // status == "failed":
+  std::string taxonomy;        // runtime::FailureKindName of the final failure
+  std::string message;         // first line of the failure message
+  int attempts = 1;
+};
+
+struct JournalContents {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t master_seed = 0;
+  std::size_t cell_count = 0;
+  std::vector<JournalEntry> entries;  // document order (= completion order)
+};
+
+// Read and validate an existing journal. Returns false (and sets `error`)
+// on I/O failure, a malformed header or line, or — when `spec` is non-null —
+// a fingerprint mismatch against the spec being resumed.
+bool LoadJournal(const std::string& path, const MatrixSpec* spec, JournalContents* out,
+                 std::string* error);
+
+class RunJournal {
+ public:
+  RunJournal() = default;
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  // Start a fresh journal at `path` (truncating any previous file) and write
+  // the header line. Creates the "<path>.cells" artifact directory.
+  bool Create(const std::string& path, const MatrixSpec& spec, std::string* error);
+
+  // Reopen an existing journal for appending; the caller has already
+  // validated its header via LoadJournal.
+  bool OpenAppend(const std::string& path, std::string* error);
+
+  // Append one line and flush, so a kill after this call never loses it.
+  bool Append(const JournalEntry& entry, std::string* error);
+
+  bool is_open() const { return out_.is_open(); }
+  const std::string& path() const { return path_; }
+
+  // Artifact locations, derived from the journal path so a journal and its
+  // artifacts move together.
+  std::string CellsDir() const;
+  std::string ArtifactPath(std::size_t cell) const;
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_JOURNAL_H_

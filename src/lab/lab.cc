@@ -1,5 +1,6 @@
 #include "src/lab/lab.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/drivers/cause_tool.h"
@@ -7,9 +8,61 @@
 #include "src/obs/chrome_trace.h"
 #include "src/obs/kernel_metrics.h"
 #include "src/obs/trace_fanout.h"
+#include "src/sim/invariant_auditor.h"
 #include "src/workload/stress_load.h"
 
 namespace wdmlat::lab {
+
+namespace {
+
+// The supervised measurement phase: the same cycle-space span as a single
+// RunUntil call, cut into slices so the watchdog and auditor get control
+// between events without perturbing them. RunUntil fires exactly the events
+// at or before its deadline and then advances now() to the deadline, so
+// slicing the span is bit-identical to running it in one call.
+void RunSupervisedPhase(TestSystem& system, const RunSupervision& sup, double seconds) {
+  sim::InvariantAuditor auditor(system.engine());
+  kernel::Dispatcher* dispatcher = &system.kernel().dispatcher();
+  auditor.AddCheck("dispatcher",
+                   [dispatcher](std::vector<std::string>* v) { dispatcher->AuditDiscipline(v); });
+  if (sup.force_audit_violation) {
+    bool fired = false;
+    auditor.AddCheck("fixture", [fired](std::vector<std::string>* v) mutable {
+      if (!fired) {
+        fired = true;
+        v->push_back("injected audit violation (fixture)");
+      }
+    });
+  }
+  const bool auditing = sup.audit_every_s > 0.0 || sup.force_audit_violation;
+  const double slice_s =
+      sup.audit_every_s > 0.0 ? sup.audit_every_s : std::max(sup.slice_s, 1e-3);
+
+  sim::Engine& engine = system.engine();
+  const sim::Cycles deadline = engine.now() + sim::SecToCycles(seconds);
+  while (engine.now() < deadline) {
+    const sim::Cycles next =
+        std::min(deadline, engine.now() + sim::SecToCycles(slice_s));
+    engine.RunUntil(next);
+    if (sup.watchdog != nullptr) {
+      sup.watchdog->Check();
+    }
+    if (auditing) {
+      const sim::AuditReport report = auditor.Audit();
+      if (!report.ok()) {
+        throw runtime::InvariantViolation(report.Render());
+      }
+    }
+  }
+  if (sup.audit_at_end) {
+    const sim::AuditReport report = auditor.Audit();
+    if (!report.ok()) {
+      throw runtime::InvariantViolation(report.Render());
+    }
+  }
+}
+
+}  // namespace
 
 LabReport RunLatencyExperiment(const LabConfig& config) {
   TestSystem system(config.os, config.seed, config.options);
@@ -30,6 +83,9 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   const ObsOptions& obs = config.obs;
   obs::TraceFanout fanout;
   fanout.Add(obs.trace_sink);
+  // Supervision black box: a plain ring-buffer sink, so arming it cannot
+  // perturb the run it may later have to explain.
+  fanout.Add(config.supervision.black_box);
   std::unique_ptr<obs::KernelMetricsCollector> collector;
   if (obs.metrics != nullptr) {
     collector = std::make_unique<obs::KernelMetricsCollector>(*obs.metrics);
@@ -91,7 +147,11 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   load.Start();
   system.RunFor(config.warmup_seconds);
   driver.Start();
-  system.RunForMinutes(config.stress_minutes);
+  if (config.supervision.enabled()) {
+    RunSupervisedPhase(system, config.supervision, config.stress_minutes * 60.0);
+  } else {
+    system.RunForMinutes(config.stress_minutes);
+  }
   driver.Stop();
   if (injector != nullptr) {
     injector->Stop();

@@ -28,6 +28,7 @@
 #include "src/lab/test_system.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/runtime/supervisor.h"
 #include "src/stats/histogram.h"
 #include "src/stats/usage_model.h"
 #include "src/workload/stress_profile.h"
@@ -54,6 +55,41 @@ struct ObsOptions {
   std::size_t max_episodes = 64;
 };
 
+// Supervision hooks for one run (all optional; everything off by default).
+// When any hook is armed the measurement phase executes as a sequence of
+// RunUntil slices in cycle space — provably bit-identical to the single-call
+// path, since RunUntil fires exactly the events at or before its deadline
+// and slice boundaries carry no events of their own — with the watchdog
+// polled and the invariant auditor run between slices.
+struct RunSupervision {
+  // Host-clock deadline budget, armed by the matrix supervisor; polled
+  // between slices (throws runtime::DeadlineExceeded past the budget). The
+  // simulation cannot be preempted inside a slice — a wedged callback is
+  // detected at the next boundary, not interrupted.
+  runtime::Watchdog* watchdog = nullptr;
+  // >0: run a sim::InvariantAuditor pass every this many virtual seconds; a
+  // non-empty report throws runtime::InvariantViolation, degrading the cell
+  // to failed instead of letting a sick simulator feed the merge.
+  double audit_every_s = 0.0;
+  // Run one audit pass after the measurement phase (cheap; catches
+  // corruption that accumulated after the last periodic pass).
+  bool audit_at_end = false;
+  // Fixture for tests/CI: the first audit pass reports one injected
+  // violation, proving the auditor fails the cell rather than the process.
+  bool force_audit_violation = false;
+  // Black-box ring (borrowed): attached to the trace fanout for the whole
+  // run so a failure's diagnostic bundle can include the recent-event tail.
+  // Trace sinks are pure observers, so the run stays bit-identical.
+  kernel::TraceSession* black_box = nullptr;
+  // Virtual slice length when no audit cadence dictates one.
+  double slice_s = 1.0;
+
+  bool enabled() const {
+    return watchdog != nullptr || audit_every_s > 0.0 || audit_at_end ||
+           force_audit_violation || black_box != nullptr;
+  }
+};
+
 struct LabConfig {
   kernel::KernelProfile os;
   workload::StressProfile stress;
@@ -70,6 +106,8 @@ struct LabConfig {
   // fault::Injector. Null or empty means no injector is constructed at all,
   // so the run is bit-identical to one without the fault subsystem.
   const fault::FaultPlan* faults = nullptr;
+  // Watchdog/auditor/black-box hooks (see RunSupervision).
+  RunSupervision supervision;
 };
 
 struct LabReport {

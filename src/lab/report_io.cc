@@ -1,0 +1,353 @@
+#include "src/lab/report_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/obs/json.h"
+
+namespace wdmlat::lab {
+
+namespace {
+
+constexpr const char* kFormatName = "wdmlat-cell-report";
+constexpr int kFormatVersion = 1;
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string U64String(std::uint64_t value) { return std::to_string(value); }
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const std::string copy(text);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (errno != 0 || end != copy.c_str() + copy.size()) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+void WriteHistogram(std::ostringstream& out, const char* name,
+                    const stats::LatencyHistogram& hist) {
+  const stats::LatencyHistogram::State state = hist.ExportState();
+  out << "\"" << name << "\": {\"buckets\": [";
+  bool first = true;
+  for (const auto& [index, count] : state.buckets) {
+    out << (first ? "" : ", ") << "[" << index << ", \"" << U64String(count) << "\"]";
+    first = false;
+  }
+  out << "], \"count\": \"" << U64String(state.count) << "\", \"underflow\": \""
+      << U64String(state.underflow) << "\", \"sum_us\": \"" << HexDouble(state.sum_us)
+      << "\", \"min_us\": \"" << HexDouble(state.min_us) << "\", \"max_us\": \""
+      << HexDouble(state.max_us) << "\"}";
+}
+
+bool ReadStringField(const obs::JsonValue& object, const char* key, std::string* out,
+                     std::string* error) {
+  const obs::JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_string()) {
+    if (error != nullptr) {
+      *error = std::string("missing or non-string field \"") + key + "\"";
+    }
+    return false;
+  }
+  *out = value->as_string();
+  return true;
+}
+
+bool ReadU64Field(const obs::JsonValue& object, const char* key, std::uint64_t* out,
+                  std::string* error) {
+  std::string text;
+  if (!ReadStringField(object, key, &text, error)) {
+    return false;
+  }
+  if (!ParseU64(text, out)) {
+    if (error != nullptr) {
+      *error = std::string("field \"") + key + "\" is not a decimal u64: " + text;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ReadHexDoubleField(const obs::JsonValue& object, const char* key, double* out,
+                        std::string* error) {
+  std::string text;
+  if (!ReadStringField(object, key, &text, error)) {
+    return false;
+  }
+  if (!ParseHexDouble(text, out)) {
+    if (error != nullptr) {
+      *error = std::string("field \"") + key + "\" is not a hexfloat: " + text;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ReadHistogram(const obs::JsonValue& histograms, const char* name,
+                   stats::LatencyHistogram* out, std::string* error) {
+  const obs::JsonValue* object = histograms.Find(name);
+  if (object == nullptr || !object->is_object()) {
+    if (error != nullptr) {
+      *error = std::string("missing histogram \"") + name + "\"";
+    }
+    return false;
+  }
+  stats::LatencyHistogram::State state;
+  const obs::JsonValue* buckets = object->Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    if (error != nullptr) {
+      *error = std::string("histogram \"") + name + "\" has no buckets array";
+    }
+    return false;
+  }
+  for (const obs::JsonValue& entry : buckets->items()) {
+    if (!entry.is_array() || entry.items().size() != 2 || !entry.items()[0].is_number() ||
+        !entry.items()[1].is_string()) {
+      if (error != nullptr) {
+        *error = std::string("histogram \"") + name + "\": malformed bucket entry";
+      }
+      return false;
+    }
+    std::uint64_t count = 0;
+    if (!ParseU64(entry.items()[1].as_string(), &count)) {
+      if (error != nullptr) {
+        *error = std::string("histogram \"") + name + "\": bad bucket count";
+      }
+      return false;
+    }
+    state.buckets.emplace_back(static_cast<int>(entry.items()[0].as_number()), count);
+  }
+  if (!ReadU64Field(*object, "count", &state.count, error) ||
+      !ReadU64Field(*object, "underflow", &state.underflow, error) ||
+      !ReadHexDoubleField(*object, "sum_us", &state.sum_us, error) ||
+      !ReadHexDoubleField(*object, "min_us", &state.min_us, error) ||
+      !ReadHexDoubleField(*object, "max_us", &state.max_us, error)) {
+    return false;
+  }
+  if (!out->ImportState(state)) {
+    if (error != nullptr) {
+      *error = std::string("histogram \"") + name +
+               "\": state rejected (bucket/count conservation)";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string HexDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+bool ParseHexDouble(std::string_view text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string ReportToJson(const LabReport& report) {
+  std::ostringstream out;
+  out << "{\"format\": \"" << kFormatName << "\", \"version\": " << kFormatVersion
+      << ",\n";
+  out << "\"os_name\": \"" << EscapeJson(report.os_name) << "\", \"workload_name\": \""
+      << EscapeJson(report.workload_name)
+      << "\", \"thread_priority\": " << report.thread_priority
+      << ", \"has_interrupt_latency\": " << (report.has_interrupt_latency ? "true" : "false")
+      << ",\n";
+  out << "\"samples\": \"" << U64String(report.samples) << "\", \"samples_per_hour\": \""
+      << HexDouble(report.samples_per_hour) << "\", \"fault_activations\": \""
+      << U64String(report.fault_activations) << "\",\n";
+  out << "\"usage\": {\"category\": \"" << EscapeJson(report.usage.category)
+      << "\", \"compression\": \"" << HexDouble(report.usage.compression)
+      << "\", \"day_hours\": \"" << HexDouble(report.usage.day_hours)
+      << "\", \"week_hours\": \"" << HexDouble(report.usage.week_hours) << "\"},\n";
+  out << "\"histograms\": {\n";
+  WriteHistogram(out, "dpc_interrupt", report.dpc_interrupt);
+  out << ",\n";
+  WriteHistogram(out, "thread", report.thread);
+  out << ",\n";
+  WriteHistogram(out, "thread_interrupt", report.thread_interrupt);
+  out << ",\n";
+  WriteHistogram(out, "interrupt", report.interrupt);
+  out << ",\n";
+  WriteHistogram(out, "isr_to_dpc", report.isr_to_dpc);
+  out << ",\n";
+  WriteHistogram(out, "true_pit_interrupt_latency", report.true_pit_interrupt_latency);
+  out << "\n},\n";
+  out << "\"episodes\": [";
+  for (std::size_t i = 0; i < report.episodes.size(); ++i) {
+    const obs::EpisodeSummary& ep = report.episodes[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"latency_ms\": \"" << HexDouble(ep.latency_ms) << "\", \"reported_at_ms\": \""
+        << HexDouble(ep.reported_at_ms) << "\", \"true_module\": \""
+        << EscapeJson(ep.true_module) << "\", \"true_function\": \""
+        << EscapeJson(ep.true_function) << "\", \"true_ms\": \"" << HexDouble(ep.true_ms)
+        << "\", \"cause_module\": \"" << EscapeJson(ep.cause_module)
+        << "\", \"cause_function\": \"" << EscapeJson(ep.cause_function)
+        << "\", \"cause_samples\": \"" << U64String(ep.cause_samples)
+        << "\", \"attributed\": " << (ep.attributed ? "true" : "false")
+        << ", \"module_match\": " << (ep.module_match ? "true" : "false") << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool ReportFromJson(std::string_view text, LabReport* report, std::string* error) {
+  *report = LabReport{};
+  const obs::JsonParseResult parsed = obs::ParseJson(text);
+  if (!parsed.valid) {
+    if (error != nullptr) {
+      std::ostringstream message;
+      message << "JSON error at line " << parsed.error_line << ", column "
+              << parsed.error_column << ": " << parsed.error;
+      *error = message.str();
+    }
+    return false;
+  }
+  const obs::JsonValue& root = parsed.value;
+  if (!root.is_object() || root.StringOr("format", "") != kFormatName) {
+    if (error != nullptr) {
+      *error = "not a wdmlat-cell-report document";
+    }
+    return false;
+  }
+  if (static_cast<int>(root.NumberOr("version", 0.0)) != kFormatVersion) {
+    if (error != nullptr) {
+      *error = "unsupported cell-report version";
+    }
+    return false;
+  }
+  LabReport result;
+  if (!ReadStringField(root, "os_name", &result.os_name, error) ||
+      !ReadStringField(root, "workload_name", &result.workload_name, error)) {
+    return false;
+  }
+  result.thread_priority = static_cast<int>(root.NumberOr("thread_priority", 0.0));
+  result.has_interrupt_latency = root.BoolOr("has_interrupt_latency", false);
+  if (!ReadU64Field(root, "samples", &result.samples, error) ||
+      !ReadHexDoubleField(root, "samples_per_hour", &result.samples_per_hour, error) ||
+      !ReadU64Field(root, "fault_activations", &result.fault_activations, error)) {
+    return false;
+  }
+  const obs::JsonValue* usage = root.Find("usage");
+  if (usage == nullptr || !usage->is_object()) {
+    if (error != nullptr) {
+      *error = "missing usage object";
+    }
+    return false;
+  }
+  if (!ReadStringField(*usage, "category", &result.usage.category, error) ||
+      !ReadHexDoubleField(*usage, "compression", &result.usage.compression, error) ||
+      !ReadHexDoubleField(*usage, "day_hours", &result.usage.day_hours, error) ||
+      !ReadHexDoubleField(*usage, "week_hours", &result.usage.week_hours, error)) {
+    return false;
+  }
+  const obs::JsonValue* histograms = root.Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    if (error != nullptr) {
+      *error = "missing histograms object";
+    }
+    return false;
+  }
+  if (!ReadHistogram(*histograms, "dpc_interrupt", &result.dpc_interrupt, error) ||
+      !ReadHistogram(*histograms, "thread", &result.thread, error) ||
+      !ReadHistogram(*histograms, "thread_interrupt", &result.thread_interrupt, error) ||
+      !ReadHistogram(*histograms, "interrupt", &result.interrupt, error) ||
+      !ReadHistogram(*histograms, "isr_to_dpc", &result.isr_to_dpc, error) ||
+      !ReadHistogram(*histograms, "true_pit_interrupt_latency",
+                     &result.true_pit_interrupt_latency, error)) {
+    return false;
+  }
+  const obs::JsonValue* episodes = root.Find("episodes");
+  if (episodes == nullptr || !episodes->is_array()) {
+    if (error != nullptr) {
+      *error = "missing episodes array";
+    }
+    return false;
+  }
+  for (const obs::JsonValue& entry : episodes->items()) {
+    if (!entry.is_object()) {
+      if (error != nullptr) {
+        *error = "episode entries must be objects";
+      }
+      return false;
+    }
+    obs::EpisodeSummary ep;
+    if (!ReadHexDoubleField(entry, "latency_ms", &ep.latency_ms, error) ||
+        !ReadHexDoubleField(entry, "reported_at_ms", &ep.reported_at_ms, error) ||
+        !ReadStringField(entry, "true_module", &ep.true_module, error) ||
+        !ReadStringField(entry, "true_function", &ep.true_function, error) ||
+        !ReadHexDoubleField(entry, "true_ms", &ep.true_ms, error) ||
+        !ReadStringField(entry, "cause_module", &ep.cause_module, error) ||
+        !ReadStringField(entry, "cause_function", &ep.cause_function, error) ||
+        !ReadU64Field(entry, "cause_samples", &ep.cause_samples, error)) {
+      return false;
+    }
+    ep.attributed = entry.BoolOr("attributed", false);
+    ep.module_match = entry.BoolOr("module_match", false);
+    result.episodes.push_back(std::move(ep));
+  }
+  *report = std::move(result);
+  return true;
+}
+
+}  // namespace wdmlat::lab

@@ -1,0 +1,47 @@
+// Lossless LabReport artifacts for checkpoint/resume.
+//
+// A resumed matrix must merge bit-identically to a fresh run, which rules
+// out decimal round-tripping sloppiness: every double (histogram sums,
+// min/max, sample rates) is serialized as a C99 hexfloat string ("0x1.8p+4",
+// printf %a) and parsed back with strtod, which recovers the exact bits.
+// 64-bit counters travel as decimal strings because JSON numbers are doubles
+// here (exact only to 2^53). The document is plain JSON otherwise, readable
+// by obs::ParseJson — including its hardened duplicate-key and non-finite
+// rejection, so a corrupt artifact fails loudly instead of skewing a merge.
+//
+// The journal stores one artifact file per completed cell plus its FNV-1a
+// checksum; RestoreReport is the read side used by --resume.
+
+#ifndef SRC_LAB_REPORT_IO_H_
+#define SRC_LAB_REPORT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/lab/lab.h"
+
+namespace wdmlat::lab {
+
+// FNV-1a 64-bit over raw bytes: the journal's artifact checksum. Stable,
+// dependency-free, and plenty against torn writes and bit rot (this guards
+// integrity, not adversaries).
+std::uint64_t Fnv1a64(std::string_view bytes);
+
+// Exact double <-> string via C99 hexfloat. ParseHexDouble accepts only a
+// full-string parse of a finite value.
+std::string HexDouble(double value);
+bool ParseHexDouble(std::string_view text, double* out);
+
+// Serialize `report` to a self-describing JSON document (bit-exact; see
+// file comment).
+std::string ReportToJson(const LabReport& report);
+
+// Parse a ReportToJson document back. On failure returns false and sets
+// `error` (when non-null) to a one-line description; `report` is left
+// default-constructed. A true return restores the report bit-exactly.
+bool ReportFromJson(std::string_view text, LabReport* report, std::string* error);
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_REPORT_IO_H_

@@ -1,11 +1,27 @@
 #include "src/obs/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 namespace wdmlat::obs {
 
 namespace {
+
+// 1-based line/column of a byte offset, for human-readable error positions.
+void OffsetToLineColumn(std::string_view text, std::size_t offset, std::size_t* line,
+                        std::size_t* column) {
+  *line = 1;
+  std::size_t line_start = 0;
+  const std::size_t end = offset < text.size() ? offset : text.size();
+  for (std::size_t i = 0; i < end; ++i) {
+    if (text[i] == '\n') {
+      ++*line;
+      line_start = i + 1;
+    }
+  }
+  *column = end - line_start + 1;
+}
 
 class Parser {
  public:
@@ -16,14 +32,15 @@ class Parser {
     SkipWhitespace();
     const bool is_object = !AtEnd() && Peek() == '{';
     if (!ParseValue(is_object ? &result.top_level_keys : nullptr)) {
-      result.error_offset = pos_;
-      result.error = error_;
+      FillError(&result.error_offset, &result.error_line, &result.error_column,
+                &result.error);
       return result;
     }
     SkipWhitespace();
     if (!AtEnd()) {
-      result.error_offset = pos_;
-      result.error = "trailing characters after JSON value";
+      Fail("trailing characters after JSON value");
+      FillError(&result.error_offset, &result.error_line, &result.error_column,
+                &result.error);
       return result;
     }
     result.valid = true;
@@ -34,14 +51,15 @@ class Parser {
     JsonParseResult result;
     SkipWhitespace();
     if (!ParseValue(nullptr, &result.value)) {
-      result.error_offset = pos_;
-      result.error = error_;
+      FillError(&result.error_offset, &result.error_line, &result.error_column,
+                &result.error);
       return result;
     }
     SkipWhitespace();
     if (!AtEnd()) {
-      result.error_offset = pos_;
-      result.error = "trailing characters after JSON value";
+      Fail("trailing characters after JSON value");
+      FillError(&result.error_offset, &result.error_line, &result.error_column,
+                &result.error);
       return result;
     }
     result.valid = true;
@@ -51,11 +69,20 @@ class Parser {
  private:
   bool AtEnd() const { return pos_ >= text_.size(); }
   char Peek() const { return text_[pos_]; }
-  bool Fail(const char* message) {
+  // Record the first failure at the current position; later failures keep
+  // the original (innermost) position and message.
+  bool Fail(std::string message) {
     if (error_.empty()) {
-      error_ = message;
+      error_ = std::move(message);
+      error_pos_ = pos_;
     }
     return false;
+  }
+  void FillError(std::size_t* offset, std::size_t* line, std::size_t* column,
+                 std::string* message) const {
+    *offset = error_pos_;
+    OffsetToLineColumn(text_, error_pos_, line, column);
+    *message = error_;
   }
 
   void SkipWhitespace() {
@@ -145,12 +172,23 @@ class Parser {
     }
     for (;;) {
       SkipWhitespace();
+      const std::size_t key_pos = pos_;
       std::string key;
       if (AtEnd() || Peek() != '"' || !ParseString(&key)) {
         return Fail("expected string object key");
       }
       if (keys != nullptr) {
         keys->push_back(key);
+      }
+      if (out != nullptr) {
+        // DOM mode rejects duplicates: last-wins lookup over hostile input
+        // would let a corrupt (or crafted) journal silently shadow a field.
+        for (const auto& [existing, unused] : members) {
+          if (existing == key) {
+            pos_ = key_pos;
+            return Fail("duplicate object key \"" + key + "\"");
+          }
+        }
       }
       SkipWhitespace();
       if (!Consume(':')) {
@@ -301,10 +339,17 @@ class Parser {
       return false;
     }
     if (out != nullptr) {
-      // The grammar above admits exactly the strtod subset, so this cannot
-      // fail; the null-terminated copy is required by strtod.
+      // The grammar above admits exactly the strtod subset, so conversion
+      // cannot fail; the null-terminated copy is required by strtod. It can
+      // still overflow double (e.g. 1e999) — DOM mode rejects that instead
+      // of materialising an infinity no schema expects.
       const std::string text(text_.substr(start, pos_ - start));
-      *out = JsonValue::Number(std::strtod(text.c_str(), nullptr));
+      const double number = std::strtod(text.c_str(), nullptr);
+      if (!std::isfinite(number)) {
+        pos_ = start;
+        return Fail("number overflows double: " + text);
+      }
+      *out = JsonValue::Number(number);
     }
     return true;
   }
@@ -313,6 +358,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t error_pos_ = 0;
   int depth_ = 0;
   std::string error_;
 };

@@ -25,8 +25,11 @@ namespace wdmlat::obs {
 
 struct JsonLintResult {
   bool valid = false;
-  // Populated when !valid: offset and message of the first error.
+  // Populated when !valid: position (byte offset plus 1-based line:column)
+  // and message of the first error.
   std::size_t error_offset = 0;
+  std::size_t error_line = 0;
+  std::size_t error_column = 0;
   std::string error;
   // When the document is a valid object: its top-level member names, in
   // document order.
@@ -41,7 +44,9 @@ JsonLintResult LintJson(std::string_view text);
 
 // A parsed JSON value. Numbers are stored as double (ample for the plan
 // schema: durations, rates, seeds up to 2^53); object members keep document
-// order and duplicate keys keep the last occurrence on lookup.
+// order. On hand-built objects Find keeps the last occurrence of a repeated
+// key; documents arriving through ParseJson can never contain one (the
+// parser rejects duplicates — see below).
 class JsonValue {
  public:
   enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -87,11 +92,20 @@ class JsonValue {
 struct JsonParseResult {
   bool valid = false;
   JsonValue value;
+  // Populated when !valid: byte offset plus 1-based line:column of the
+  // first error, so corrupt journals and fault plans are diagnosable by eye.
   std::size_t error_offset = 0;
+  std::size_t error_line = 0;
+  std::size_t error_column = 0;
   std::string error;
 };
 
-// Parse `text` into a JsonValue tree (same strict grammar as LintJson).
+// Parse `text` into a JsonValue tree. Same strict grammar as LintJson,
+// hardened further for hostile/corrupt input (journals, fault plans):
+// duplicate object keys and numbers that overflow double (e.g. 1e999) are
+// rejected rather than silently accepted, and nesting past the shared depth
+// limit fails cleanly. LintJson validates this repo's own exporters and
+// intentionally stays lenient about duplicates.
 JsonParseResult ParseJson(std::string_view text);
 
 }  // namespace wdmlat::obs

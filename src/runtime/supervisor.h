@@ -1,0 +1,156 @@
+// runtime::Supervisor — the exception barrier and watchdog around one
+// experiment cell.
+//
+// The matrix runner's headline statistics (expected hourly/daily/weekly
+// worst cases) only exist if multi-hour loaded runs complete reliably, so a
+// single throwing cell must not discard the whole run. The supervisor wraps
+// each cell body in an exception barrier that converts any escaping
+// exception into a structured CellFailure (taxonomy + message + diagnostic
+// bundle filled in by the caller), arms a host-clock watchdog that the cell
+// polls cooperatively between simulation slices, and retries host-transient
+// failures a bounded number of times with exponential backoff — reusing the
+// same seed, so a retry that succeeds is bit-identical to a first-attempt
+// success.
+//
+// The watchdog is host-clock by design: simulated time is deterministic and
+// cannot hang, but the host running the simulation can (a pathological fault
+// plan, a runaway workload parameter). Checks are cooperative — a cell that
+// wedges inside a single event callback cannot be preempted, only detected
+// once the run returns to a slice boundary.
+
+#ifndef SRC_RUNTIME_SUPERVISOR_H_
+#define SRC_RUNTIME_SUPERVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdmlat::runtime {
+
+// Error taxonomy of a supervised cell. Stable snake_case names (journal
+// "taxonomy" strings) via FailureKindName.
+enum class FailureKind : std::uint8_t {
+  kNone,
+  // The cell body threw (std::exception or otherwise): a deterministic
+  // failure, not retried — the same seed would throw again.
+  kException,
+  // The cell exceeded its host-clock deadline budget.
+  kTimeout,
+  // A periodic or end-of-run invariant audit found corrupted simulator
+  // state; the cell's results are untrustworthy and are discarded.
+  kInvariantViolation,
+  // A host-side transient (I/O hiccup, resource exhaustion): retried with
+  // backoff up to SupervisorOptions::max_attempts, preserving the seed.
+  kHostTransient,
+};
+
+const char* FailureKindName(FailureKind kind);
+bool FailureKindFromName(std::string_view name, FailureKind* out);
+
+// Thrown by Watchdog::Check when the budget is exhausted.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown (by cell bodies or infrastructure) to mark a failure as
+// host-transient and therefore retryable.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown by the lab layer when a sim::InvariantAuditor pass fails; carries
+// the rendered violation list.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A host-clock deadline budget. Armed per attempt by the supervisor and
+// polled cooperatively (Check) by the cell between simulation slices.
+class Watchdog {
+ public:
+  // Start (or restart) the budget from now. timeout_ms <= 0 disarms.
+  void Arm(double timeout_ms);
+  void Disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  double timeout_ms() const { return timeout_ms_; }
+  double elapsed_ms() const;
+  bool expired() const;
+
+  // Throws DeadlineExceeded when armed and past the deadline. No-op when
+  // disarmed, so callers can Check() unconditionally.
+  void Check() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point deadline_{};
+  double timeout_ms_ = 0.0;
+  bool armed_ = false;
+};
+
+// One structured cell failure: everything the journal, the CLI report and a
+// post-mortem need to understand what died without re-running it.
+struct CellFailure {
+  std::size_t cell = 0;
+  std::uint64_t seed = 0;
+  FailureKind kind = FailureKind::kException;
+  std::string message;
+  int attempts = 1;
+  double elapsed_ms = 0.0;
+  // Diagnostic bundle: flight-recorder tail, metrics snapshot, audit report.
+  // Filled by the caller's diagnose hook (the supervisor itself is
+  // simulation-agnostic).
+  std::vector<std::string> diagnostics;
+
+  // One-paragraph rendering (taxonomy, message, bundle) for logs.
+  std::string Render() const;
+};
+
+struct SupervisorOptions {
+  // Host-clock budget per attempt; 0 disables the watchdog.
+  double cell_timeout_ms = 0.0;
+  // Total attempts for host-transient failures (>= 1). Deterministic
+  // failures (exception/timeout/invariant) never retry.
+  int max_attempts = 3;
+  // First retry backoff; doubles per subsequent retry.
+  double retry_backoff_ms = 25.0;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+
+  const SupervisorOptions& options() const { return options_; }
+
+  // Run `body(attempt, watchdog)` under the exception barrier. The watchdog
+  // is re-armed for every attempt; attempts are 1-based. Returns nullopt on
+  // success, or the structured failure of the last attempt. `diagnose`, when
+  // set, runs once on the final failure to attach the diagnostic bundle.
+  std::optional<CellFailure> RunCell(
+      std::size_t cell, std::uint64_t seed,
+      const std::function<void(int attempt, Watchdog& watchdog)>& body,
+      const std::function<void(CellFailure&)>& diagnose = nullptr);
+
+  std::uint64_t cells_run() const { return cells_run_.load(std::memory_order_relaxed); }
+  std::uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+
+ private:
+  SupervisorOptions options_;
+  // Atomic: one Supervisor serves every pool worker of a matrix run.
+  std::atomic<std::uint64_t> cells_run_{0};
+  std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace wdmlat::runtime
+
+#endif  // SRC_RUNTIME_SUPERVISOR_H_

@@ -21,6 +21,47 @@ void Engine::RunUntil(Cycles deadline) {
   }
 }
 
+void Engine::AuditCalendar(std::vector<std::string>* violations) const {
+  // Binary-heap ordering: every entry fires no earlier than its parent.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const QueueEntry& parent = heap_[(i - 1) / 2];
+    const QueueEntry& child = heap_[i];
+    if (FiresLater{}(parent, child)) {
+      violations->push_back("engine: heap order violated at entry " + std::to_string(i) +
+                            " (parent when=" + std::to_string(parent.when) +
+                            " seq=" + std::to_string(parent.seq) +
+                            " fires after child when=" + std::to_string(child.when) +
+                            " seq=" + std::to_string(child.seq) + ")");
+      break;
+    }
+  }
+  std::size_t live_entries = 0;
+  for (const QueueEntry& entry : heap_) {
+    if (pool_->generation(entry.slot) != entry.generation) {
+      continue;  // stale entry for a cancelled event: legal until purged
+    }
+    ++live_entries;
+    if (entry.when < now_) {
+      violations->push_back("engine: live event in slot " + std::to_string(entry.slot) +
+                            " scheduled at " + std::to_string(entry.when) +
+                            " which is before now=" + std::to_string(now_));
+    }
+    if (entry.seq >= next_seq_) {
+      violations->push_back("engine: entry seq " + std::to_string(entry.seq) +
+                            " was never issued (next_seq=" + std::to_string(next_seq_) +
+                            ")");
+    }
+  }
+  // Every live pool slot owns exactly one heap entry, so the live-entry
+  // count must match the pool's live count exactly.
+  if (live_entries != pool_->live()) {
+    violations->push_back("engine: calendar holds " + std::to_string(live_entries) +
+                          " live entries but the pool reports " +
+                          std::to_string(pool_->live()) + " live events");
+  }
+  pool_->AuditConsistency(violations);
+}
+
 void Engine::Compact() {
   // DispatcherTest-style workloads cancel constantly; without compaction the
   // dead entries would be dragged through every sift until their (possibly

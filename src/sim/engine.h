@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "src/sim/event_pool.h"
@@ -162,6 +163,14 @@ class Engine {
     return heap_.size() > pool_->live() ? heap_.size() - pool_->live() : 0;
   }
   std::uint64_t compactions() const { return compactions_; }
+
+  // Invariant audit for sim::InvariantAuditor: validates the binary-heap
+  // ordering of the calendar under FiresLater, that no live entry is
+  // scheduled in the past, that every live pool slot owns exactly one heap
+  // entry, that sequence numbers were issued before next_seq_, and the
+  // pool's slab/free-list/generation consistency. Appends one line per
+  // violation; appends nothing when the calendar is healthy.
+  void AuditCalendar(std::vector<std::string>* violations) const;
 
  private:
   // POD calendar entry: no refcounts, no indirection on sift. `generation`

@@ -22,6 +22,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/sim/inplace_callback.h"
@@ -95,6 +96,56 @@ class EventPool {
 
   // Total slots ever created (capacity high-water mark), for tests.
   std::size_t capacity() const { return slabs_.size() * kSlabSize; }
+
+  // Self-check for the invariant auditor. Appends one line per violation:
+  // the odd-generation (scheduled) slot count must equal live_, the free
+  // list must be cycle-free, contain only even-generation slots, and account
+  // for exactly capacity() - live() slots, and the pool must be referenced.
+  void AuditConsistency(std::vector<std::string>* violations) const {
+    std::size_t scheduled = 0;
+    for (const auto& slab : slabs_) {
+      for (std::uint32_t i = 0; i < kSlabSize; ++i) {
+        if ((slab[i].generation & 1) != 0) {
+          ++scheduled;
+        }
+      }
+    }
+    if (scheduled != live_) {
+      violations->push_back("event_pool: " + std::to_string(scheduled) +
+                            " slots carry a scheduled (odd) generation but live()=" +
+                            std::to_string(live_));
+    }
+    const std::size_t cap = capacity();
+    std::size_t free_len = 0;
+    for (std::uint32_t cursor = free_head_; cursor != kInvalidSlot;
+         cursor = slot(cursor).next_free) {
+      if (cursor >= cap) {
+        violations->push_back("event_pool: free list points at slot " +
+                              std::to_string(cursor) + " beyond capacity " +
+                              std::to_string(cap));
+        break;
+      }
+      if ((slot(cursor).generation & 1) != 0) {
+        violations->push_back("event_pool: free list contains scheduled slot " +
+                              std::to_string(cursor));
+        break;
+      }
+      if (++free_len > cap) {
+        violations->push_back("event_pool: free list is cyclic (walked " +
+                              std::to_string(free_len) + " links over capacity " +
+                              std::to_string(cap) + ")");
+        break;
+      }
+    }
+    if (free_len <= cap && free_len + live_ != cap) {
+      violations->push_back("event_pool: free(" + std::to_string(free_len) +
+                            ") + live(" + std::to_string(live_) +
+                            ") != capacity(" + std::to_string(cap) + ")");
+    }
+    if (refs_ == 0) {
+      violations->push_back("event_pool: refcount is zero while in use");
+    }
+  }
 
   // Called by the engine's destructor: cancel every live incarnation so
   // captured state is released and outstanding handles read "not pending".

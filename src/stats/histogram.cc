@@ -245,6 +245,48 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
 
+LatencyHistogram::State LatencyHistogram::ExportState() const {
+  State state;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] > 0) {
+      state.buckets.emplace_back(i, buckets_[i]);
+    }
+  }
+  state.count = count_;
+  state.underflow = underflow_;
+  state.sum_us = sum_us_;
+  state.min_us = min_us_;
+  state.max_us = max_us_;
+  return state;
+}
+
+bool LatencyHistogram::ImportState(const State& state) {
+  Reset();
+  std::uint64_t total = state.underflow;
+  int last_index = -1;
+  for (const auto& [index, bucket_count] : state.buckets) {
+    if (index <= last_index || index >= kBucketCount || bucket_count == 0) {
+      Reset();
+      return false;
+    }
+    last_index = index;
+    buckets_[index] = bucket_count;
+    total += bucket_count;
+  }
+  // Count conservation: the journal's totals must match what the buckets
+  // hold, or the snapshot is corrupt and must not enter a merge.
+  if (total != state.count) {
+    Reset();
+    return false;
+  }
+  count_ = state.count;
+  underflow_ = state.underflow;
+  sum_us_ = state.sum_us;
+  min_us_ = state.min_us;
+  max_us_ = state.max_us;
+  return true;
+}
+
 std::string LatencyHistogram::ToCsv() const {
   std::ostringstream out;
   out << "bucket_hi_us,count\n";

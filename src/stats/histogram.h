@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -79,6 +80,26 @@ class LatencyHistogram {
 
   void Merge(const LatencyHistogram& other);
   void Reset();
+
+  // Lossless state snapshot for checkpoint/resume. The doubles must be
+  // round-tripped bit-exactly by whatever serializes the state (the journal
+  // writes them as C99 hexfloats); an imported histogram is then
+  // indistinguishable from the original, so a resumed matrix merges
+  // bit-identically to a fresh run. Lives here rather than in obs because
+  // obs depends on stats: the snapshot is serialization-format-free.
+  struct State {
+    std::vector<std::pair<int, std::uint64_t>> buckets;  // non-empty only
+    std::uint64_t count = 0;
+    std::uint64_t underflow = 0;
+    double sum_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+  };
+  State ExportState() const;
+  // Replace *this with `state`. Returns false — leaving *this Reset() — on a
+  // malformed snapshot: bucket index out of range, duplicate/unsorted
+  // indices, zero bucket counts, or bucket totals that do not sum to count.
+  bool ImportState(const State& state);
 
   // Two-column CSV: bucket_upper_edge_us,count (non-empty buckets only).
   // Samples below kMinUs are emitted first as a literal `underflow,<count>`

@@ -1,0 +1,151 @@
+// sim::InvariantAuditor and the per-layer audit hooks it aggregates: the
+// engine calendar, the event pool, and the kernel dispatcher's IRQL/lock
+// discipline — plus the tentpole passivity claim that a supervised run with
+// auditing armed is bit-identical to an unsupervised run.
+
+#include "src/sim/invariant_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/lab/test_system.h"
+#include "src/sim/engine.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat {
+namespace {
+
+TEST(InvariantAuditorTest, FreshEngineAuditsClean) {
+  sim::Engine engine;
+  // Some live calendar state: scheduled, fired, and cancelled events.
+  int fired = 0;
+  engine.ScheduleAt(sim::MsToCycles(1.0), [&] { ++fired; });
+  engine.ScheduleAt(sim::MsToCycles(50.0), [&] { ++fired; });
+  sim::EventHandle cancelled = engine.ScheduleAt(sim::MsToCycles(60.0), [&] { ++fired; });
+  cancelled.Cancel();
+  engine.RunUntil(sim::MsToCycles(10.0));
+  EXPECT_EQ(fired, 1);
+
+  sim::InvariantAuditor auditor(engine);
+  const sim::AuditReport report = auditor.Audit();
+  EXPECT_TRUE(report.ok()) << report.Render();
+  EXPECT_EQ(auditor.passes(), 1u);
+  EXPECT_EQ(auditor.violations_seen(), 0u);
+}
+
+TEST(InvariantAuditorTest, BusySystemAuditsCleanMidRun) {
+  lab::TestSystem system(kernel::MakeWin98Profile(), 1999);
+  sim::InvariantAuditor auditor(system.engine());
+  kernel::Dispatcher* dispatcher = &system.kernel().dispatcher();
+  auditor.AddCheck("dispatcher",
+                   [dispatcher](std::vector<std::string>* v) { dispatcher->AuditDiscipline(v); });
+
+  // Audit repeatedly between slices of a live run: the calendar is full of
+  // clock ticks and timers, the pool is churning, and the dispatcher is at
+  // rest between events — every pass must be clean.
+  for (int slice = 0; slice < 5; ++slice) {
+    system.RunFor(0.2);
+    const sim::AuditReport report = auditor.Audit();
+    EXPECT_TRUE(report.ok()) << report.Render();
+  }
+  EXPECT_EQ(auditor.passes(), 5u);
+}
+
+TEST(InvariantAuditorTest, ExternalCheckViolationIsNamedAndCounted) {
+  sim::Engine engine;
+  sim::InvariantAuditor auditor(engine);
+  auditor.AddCheck("fixture", [](std::vector<std::string>* v) {
+    v->push_back("injected violation");
+  });
+  const sim::AuditReport report = auditor.Audit();
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0], "fixture: injected violation");
+  EXPECT_EQ(auditor.violations_seen(), 1u);
+
+  const std::string rendered = report.Render();
+  EXPECT_NE(rendered.find("audit pass 1"), std::string::npos);
+  EXPECT_NE(rendered.find("fixture: injected violation"), std::string::npos);
+}
+
+TEST(InvariantAuditorTest, DispatcherDisciplineCleanAtIdle) {
+  lab::TestSystem system(kernel::MakeNt4Profile(), 7);
+  system.RunFor(0.5);
+  std::vector<std::string> violations;
+  system.kernel().dispatcher().AuditDiscipline(&violations);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(InvariantAuditorTest, EngineAuditCalendarDirectly) {
+  sim::Engine engine;
+  std::vector<sim::EventHandle> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(engine.ScheduleAt(sim::UsToCycles(10.0 * (i + 1)), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    ids[i].Cancel();  // lazy-purge entries stay in the heap as dead
+  }
+  engine.RunUntil(sim::UsToCycles(500.0));
+  std::vector<std::string> violations;
+  engine.AuditCalendar(&violations);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+// The tentpole passivity claim: arming the watchdog, the auditor and the
+// black box slices the measurement phase, but RunUntil fires exactly the
+// events at or before its deadline — so the measured distributions must be
+// bit-identical to the single-call path.
+TEST(InvariantAuditorTest, SupervisedRunIsBitIdenticalToUnsupervised) {
+  lab::LabConfig config;
+  config.os = kernel::MakeWin98Profile();
+  config.stress = workload::GamesStress();
+  config.thread_priority = 28;
+  config.stress_minutes = 0.05;
+  config.warmup_seconds = 1.0;
+  config.seed = 1999;
+
+  const lab::LabReport plain = lab::RunLatencyExperiment(config);
+
+  runtime::Watchdog watchdog;
+  watchdog.Arm(600'000.0);
+  kernel::TraceSession black_box;
+  config.supervision.watchdog = &watchdog;
+  config.supervision.audit_every_s = 0.5;
+  config.supervision.audit_at_end = true;
+  config.supervision.black_box = &black_box;
+  const lab::LabReport supervised = lab::RunLatencyExperiment(config);
+
+  EXPECT_EQ(plain.samples, supervised.samples);
+  EXPECT_EQ(plain.samples_per_hour, supervised.samples_per_hour);
+  EXPECT_EQ(plain.thread.ToCsv(), supervised.thread.ToCsv());
+  EXPECT_EQ(plain.dpc_interrupt.ToCsv(), supervised.dpc_interrupt.ToCsv());
+  EXPECT_EQ(plain.thread_interrupt.ToCsv(), supervised.thread_interrupt.ToCsv());
+  EXPECT_EQ(plain.interrupt.ToCsv(), supervised.interrupt.ToCsv());
+  EXPECT_EQ(plain.isr_to_dpc.ToCsv(), supervised.isr_to_dpc.ToCsv());
+  EXPECT_EQ(plain.true_pit_interrupt_latency.ToCsv(),
+            supervised.true_pit_interrupt_latency.ToCsv());
+  // The black box saw the whole run without touching it.
+  EXPECT_GT(black_box.total_events(), 0u);
+}
+
+// The fixture path the CI smoke test drives: a forced audit violation fails
+// the cell with kInvariantViolation instead of crashing the process.
+TEST(InvariantAuditorTest, ForcedViolationThrowsInvariantViolation) {
+  lab::LabConfig config;
+  config.os = kernel::MakeWin98Profile();
+  config.stress = workload::GamesStress();
+  config.thread_priority = 28;
+  config.stress_minutes = 0.05;
+  config.warmup_seconds = 1.0;
+  config.seed = 1999;
+  config.supervision.force_audit_violation = true;
+
+  EXPECT_THROW(lab::RunLatencyExperiment(config), runtime::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace wdmlat

@@ -1,0 +1,89 @@
+// Hardening of obs::ParseJson for hostile/corrupt input (journals, fault
+// plans, artifacts): duplicate-key rejection, double-overflow rejection,
+// depth limiting, and precise line:column error positions. LintJson stays
+// deliberately lenient — it validates this repo's own exporters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace wdmlat::obs {
+namespace {
+
+TEST(JsonHardeningTest, DuplicateObjectKeysRejectedWithPosition) {
+  const std::string doc = "{\"a\": 1, \"b\": 2, \"a\": 3}";
+  const JsonParseResult parsed = ParseJson(doc);
+  ASSERT_FALSE(parsed.valid);
+  EXPECT_NE(parsed.error.find("duplicate object key \"a\""), std::string::npos);
+  // The position points at the offending (second) key, not the end.
+  EXPECT_EQ(parsed.error_line, 1u);
+  EXPECT_EQ(parsed.error_offset, doc.find("\"a\": 3"));
+
+  // LintJson intentionally still accepts it (own-exporter validation only).
+  EXPECT_TRUE(LintJson(doc).valid);
+}
+
+TEST(JsonHardeningTest, NestedDuplicatesAlsoRejected) {
+  EXPECT_FALSE(ParseJson("{\"outer\": {\"k\": 1, \"k\": 2}}").valid);
+  EXPECT_FALSE(ParseJson("[{\"k\": 1, \"k\": 2}]").valid);
+  // Same key at different depths is fine.
+  EXPECT_TRUE(ParseJson("{\"k\": {\"k\": 1}}").valid);
+}
+
+TEST(JsonHardeningTest, NumberOverflowRejected) {
+  const JsonParseResult overflow = ParseJson("{\"x\": 1e999}");
+  ASSERT_FALSE(overflow.valid);
+  EXPECT_NE(overflow.error.find("overflows double"), std::string::npos);
+  EXPECT_EQ(overflow.error_offset, std::string("{\"x\": ").size());
+
+  EXPECT_FALSE(ParseJson("[-1e999]").valid);
+  EXPECT_TRUE(ParseJson("{\"x\": 1e308}").valid);
+  EXPECT_TRUE(ParseJson("{\"x\": -1.7976931348623157e308}").valid);
+}
+
+TEST(JsonHardeningTest, DepthLimitFailsCleanly) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 80; ++i) deep += ']';
+  const JsonParseResult parsed = ParseJson(deep);
+  ASSERT_FALSE(parsed.valid);
+  EXPECT_NE(parsed.error.find("nesting too deep"), std::string::npos);
+
+  std::string shallow;
+  for (int i = 0; i < 32; ++i) shallow += '[';
+  shallow += "1";
+  for (int i = 0; i < 32; ++i) shallow += ']';
+  EXPECT_TRUE(ParseJson(shallow).valid);
+}
+
+TEST(JsonHardeningTest, ErrorPositionsAreOneBasedLineColumn) {
+  const std::string doc = "{\n  \"a\": 1,\n  \"b\": bogus\n}";
+  const JsonParseResult parsed = ParseJson(doc);
+  ASSERT_FALSE(parsed.valid);
+  EXPECT_EQ(parsed.error_line, 3u);
+  EXPECT_EQ(parsed.error_column, 8u);
+  EXPECT_EQ(parsed.error_offset, doc.find("bogus"));
+}
+
+TEST(JsonHardeningTest, TrailingCharactersReportPosition) {
+  const JsonParseResult parsed = ParseJson("{\"a\": 1} extra");
+  ASSERT_FALSE(parsed.valid);
+  EXPECT_EQ(parsed.error_line, 1u);
+  EXPECT_GT(parsed.error_column, 1u);
+}
+
+TEST(JsonHardeningTest, ValidDocumentsStillParse) {
+  const JsonParseResult parsed =
+      ParseJson("{\"s\": \"\\u00e9\", \"n\": -1.5e-3, \"a\": [true, false, null]}");
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_TRUE(parsed.value.is_object());
+  EXPECT_EQ(parsed.value.NumberOr("n", 0.0), -1.5e-3);
+  ASSERT_NE(parsed.value.Find("a"), nullptr);
+  EXPECT_EQ(parsed.value.Find("a")->items().size(), 3u);
+}
+
+}  // namespace
+}  // namespace wdmlat::obs

@@ -1,0 +1,167 @@
+// Lossless LabReport serialization (src/lab/report_io): hexfloat doubles,
+// decimal-string u64s, and the FNV-1a artifact checksum — the bit-exactness
+// that makes a resumed matrix merge identical to a fresh one.
+
+#include "src/lab/report_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(ReportIoTest, HexDoubleRoundTripsExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           1.5,
+                           -1.0 / 3.0,
+                           3.141592653589793,
+                           1e-300,
+                           4.9406564584124654e-324,  // smallest denormal
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           123456789.123456789};
+  for (const double value : values) {
+    double parsed = 0.0;
+    ASSERT_TRUE(ParseHexDouble(HexDouble(value), &parsed)) << HexDouble(value);
+    EXPECT_TRUE(SameBits(value, parsed)) << HexDouble(value);
+  }
+}
+
+TEST(ReportIoTest, ParseHexDoubleRejectsPartialAndEmpty) {
+  double out = 0.0;
+  EXPECT_FALSE(ParseHexDouble("", &out));
+  EXPECT_FALSE(ParseHexDouble("zzz", &out));
+  EXPECT_FALSE(ParseHexDouble("0x1.8p+1 trailing", &out));
+  EXPECT_TRUE(ParseHexDouble("0x1.8p+1", &out));
+  EXPECT_EQ(out, 3.0);
+}
+
+TEST(ReportIoTest, Fnv1a64KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+  EXPECT_NE(Fnv1a64("journal"), Fnv1a64("journa l"));
+}
+
+LabReport TinyRun() {
+  LabConfig config;
+  config.os = kernel::MakeWin98Profile();
+  config.stress = workload::GamesStress();
+  config.thread_priority = 28;
+  config.stress_minutes = 0.05;
+  config.warmup_seconds = 1.0;
+  config.seed = 1999;
+  config.obs.episode_threshold_us = 200.0;  // exercise the episodes array
+  return RunLatencyExperiment(config);
+}
+
+TEST(ReportIoTest, ReportRoundTripsBitExactly) {
+  const LabReport original = TinyRun();
+  ASSERT_GT(original.samples, 0u);
+
+  const std::string text = ReportToJson(original);
+  LabReport restored;
+  std::string error;
+  ASSERT_TRUE(ReportFromJson(text, &restored, &error)) << error;
+
+  EXPECT_EQ(restored.os_name, original.os_name);
+  EXPECT_EQ(restored.workload_name, original.workload_name);
+  EXPECT_EQ(restored.thread_priority, original.thread_priority);
+  EXPECT_EQ(restored.has_interrupt_latency, original.has_interrupt_latency);
+  EXPECT_EQ(restored.samples, original.samples);
+  EXPECT_TRUE(SameBits(restored.samples_per_hour, original.samples_per_hour));
+  EXPECT_EQ(restored.fault_activations, original.fault_activations);
+  EXPECT_EQ(restored.usage.category, original.usage.category);
+  EXPECT_TRUE(SameBits(restored.usage.compression, original.usage.compression));
+  EXPECT_TRUE(SameBits(restored.usage.week_hours, original.usage.week_hours));
+
+  auto same_hist = [](const char* name, const stats::LatencyHistogram& a,
+                      const stats::LatencyHistogram& b) {
+    EXPECT_EQ(a.count(), b.count()) << name;
+    EXPECT_EQ(a.ToCsv(), b.ToCsv()) << name;
+    EXPECT_TRUE(SameBits(a.mean_ms(), b.mean_ms())) << name;
+    EXPECT_TRUE(SameBits(a.min_ms(), b.min_ms())) << name;
+    EXPECT_TRUE(SameBits(a.max_ms(), b.max_ms())) << name;
+  };
+  same_hist("dpc_interrupt", original.dpc_interrupt, restored.dpc_interrupt);
+  same_hist("thread", original.thread, restored.thread);
+  same_hist("thread_interrupt", original.thread_interrupt, restored.thread_interrupt);
+  same_hist("interrupt", original.interrupt, restored.interrupt);
+  same_hist("isr_to_dpc", original.isr_to_dpc, restored.isr_to_dpc);
+  same_hist("true_pit", original.true_pit_interrupt_latency,
+            restored.true_pit_interrupt_latency);
+
+  ASSERT_EQ(restored.episodes.size(), original.episodes.size());
+  for (std::size_t i = 0; i < original.episodes.size(); ++i) {
+    EXPECT_TRUE(SameBits(restored.episodes[i].latency_ms, original.episodes[i].latency_ms));
+    EXPECT_EQ(restored.episodes[i].cause_module, original.episodes[i].cause_module);
+    EXPECT_EQ(restored.episodes[i].attributed, original.episodes[i].attributed);
+  }
+
+  // Serialization is a pure function of the report: re-serializing the
+  // restored report reproduces the artifact byte-for-byte, so the journal
+  // checksum also survives a round trip.
+  EXPECT_EQ(ReportToJson(restored), text);
+  EXPECT_EQ(Fnv1a64(ReportToJson(restored)), Fnv1a64(text));
+}
+
+TEST(ReportIoTest, RejectsCorruptDocuments) {
+  const LabReport original = TinyRun();
+  const std::string text = ReportToJson(original);
+
+  LabReport restored;
+  std::string error;
+  EXPECT_FALSE(ReportFromJson(text.substr(0, text.size() / 2), &restored, &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(ReportFromJson("{\"format\": \"something-else\"}", &restored, &error));
+  EXPECT_NE(error.find("wdmlat-cell-report"), std::string::npos);
+
+  // A tampered histogram count breaks bucket/count conservation on import.
+  std::string tampered = text;
+  const std::string needle = "\"count\": \"";
+  const std::size_t at = tampered.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  tampered[at + needle.size()] = '9';
+  tampered[at + needle.size() + 1] = '9';
+  EXPECT_FALSE(ReportFromJson(tampered, &restored, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ReportIoTest, HistogramStateImportValidates) {
+  stats::LatencyHistogram hist;
+  hist.Record(sim::UsToCycles(100.0));
+  hist.Record(sim::UsToCycles(250.0));
+  const stats::LatencyHistogram::State good = hist.ExportState();
+
+  stats::LatencyHistogram restored;
+  ASSERT_TRUE(restored.ImportState(good));
+  EXPECT_EQ(restored.ToCsv(), hist.ToCsv());
+
+  stats::LatencyHistogram::State bad = good;
+  bad.count += 1;  // counts no longer conserve
+  stats::LatencyHistogram reject;
+  EXPECT_FALSE(reject.ImportState(bad));
+  EXPECT_EQ(reject.count(), 0u);  // failed import leaves a reset histogram
+
+  stats::LatencyHistogram::State out_of_range = good;
+  out_of_range.buckets.emplace_back(100000, 1);
+  EXPECT_FALSE(reject.ImportState(out_of_range));
+}
+
+}  // namespace
+}  // namespace wdmlat::lab

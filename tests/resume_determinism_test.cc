@@ -1,0 +1,255 @@
+// The checkpoint/resume tentpole guarantee: an interrupted supervised matrix
+// run, resumed from its journal, merges bit-identically to an uninterrupted
+// fresh run — at any job count — and a failing cell degrades to a structured
+// failure while the rest of the grid completes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/kernel/profile.h"
+#include "src/lab/journal.h"
+#include "src/lab/matrix.h"
+#include "src/lab/report_io.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+namespace {
+
+// Same small grid as matrix_determinism_test.cc: 1 OS x 2 workloads x 1
+// priority x 2 trials = 4 cells, short enough for suite time.
+MatrixSpec SmallSpec() {
+  MatrixSpec spec;
+  spec.oses = {kernel::MakeWin98Profile()};
+  spec.workloads = {workload::GamesStress(), workload::WebStress()};
+  spec.priorities = {28};
+  spec.trials = 2;
+  spec.stress_minutes = 0.2;
+  spec.warmup_seconds = 1.0;
+  spec.master_seed = 42;
+  return spec;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+void RemoveJournal(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path + ".cells", ec);
+  std::filesystem::remove(path, ec);
+}
+
+void ExpectMergedIdentical(const MatrixResult& a, const MatrixResult& b) {
+  ASSERT_EQ(a.merged.size(), b.merged.size());
+  for (std::size_t i = 0; i < a.merged.size(); ++i) {
+    const MergedCell& x = a.merged[i];
+    const MergedCell& y = b.merged[i];
+    SCOPED_TRACE(x.workload_name);
+    EXPECT_EQ(x.trials, y.trials);
+    EXPECT_EQ(x.samples(), y.samples());
+    EXPECT_EQ(x.counters.stress_hours, y.counters.stress_hours);
+    EXPECT_EQ(x.thread.ToCsv(), y.thread.ToCsv());
+    EXPECT_EQ(x.dpc_interrupt.ToCsv(), y.dpc_interrupt.ToCsv());
+    EXPECT_EQ(x.thread_interrupt.ToCsv(), y.thread_interrupt.ToCsv());
+    EXPECT_EQ(x.true_pit_interrupt_latency.ToCsv(), y.true_pit_interrupt_latency.ToCsv());
+    EXPECT_EQ(x.thread.mean_ms(), y.thread.mean_ms());
+    EXPECT_EQ(x.thread.max_ms(), y.thread.max_ms());
+  }
+}
+
+TEST(ResumeDeterminismTest, SupervisedJournaledRunMatchesLegacyRun) {
+  const ExperimentMatrix matrix(SmallSpec());
+  const MatrixResult legacy = matrix.Run(1);
+
+  const std::string journal = TempPath("supervised_run.jsonl");
+  RemoveJournal(journal);
+  MatrixRunOptions options;
+  options.jobs = 1;
+  options.isolate_failures = true;
+  options.audit_every_s = 1.0;
+  options.journal_path = journal;
+  const MatrixResult supervised = matrix.Run(options);
+
+  EXPECT_TRUE(supervised.complete());
+  EXPECT_TRUE(supervised.failures.empty());
+  EXPECT_TRUE(supervised.merge_violations.empty());
+  ExpectMergedIdentical(legacy, supervised);
+  RemoveJournal(journal);
+}
+
+TEST(ResumeDeterminismTest, InterruptThenResumeIsBitIdenticalAtAnyJobCount) {
+  const ExperimentMatrix matrix(SmallSpec());
+  const MatrixResult fresh = matrix.Run(1);
+
+  for (int resume_jobs : {1, 4}) {
+    SCOPED_TRACE(resume_jobs);
+    const std::string journal = TempPath("interrupted_run.jsonl");
+    RemoveJournal(journal);
+
+    // Interrupt: only 2 of 4 cells run before the cap stops the run.
+    MatrixRunOptions first;
+    first.jobs = 1;
+    first.isolate_failures = true;
+    first.journal_path = journal;
+    first.max_cells = 2;
+    const MatrixResult interrupted = matrix.Run(first);
+    EXPECT_FALSE(interrupted.complete());
+    EXPECT_EQ(interrupted.cells_executed, 2u);
+    EXPECT_EQ(interrupted.cells_skipped, 2u);
+
+    // Resume: restored cells come back bit-exactly from their artifacts, the
+    // remaining cells run, and the merge happens in grid order as always.
+    MatrixRunOptions second;
+    second.jobs = resume_jobs;
+    second.isolate_failures = true;
+    second.resume_path = journal;
+    const MatrixResult resumed = matrix.Run(second);
+    EXPECT_TRUE(resumed.complete()) << resumed.error;
+    EXPECT_EQ(resumed.cells_restored, 2u);
+    EXPECT_EQ(resumed.cells_executed, 2u);
+    EXPECT_TRUE(resumed.warnings.empty());
+    ExpectMergedIdentical(fresh, resumed);
+
+    // Per-cell reports agree bit-for-bit too, restored or re-run.
+    for (std::size_t i = 0; i < fresh.reports.size(); ++i) {
+      EXPECT_EQ(fresh.reports[i].thread.ToCsv(), resumed.reports[i].thread.ToCsv())
+          << "cell " << i;
+      EXPECT_EQ(fresh.reports[i].samples_per_hour, resumed.reports[i].samples_per_hour)
+          << "cell " << i;
+    }
+    RemoveJournal(journal);
+  }
+}
+
+TEST(ResumeDeterminismTest, CorruptArtifactIsReRunNotTrusted) {
+  const ExperimentMatrix matrix(SmallSpec());
+  const MatrixResult fresh = matrix.Run(1);
+
+  const std::string journal = TempPath("corrupt_artifact.jsonl");
+  RemoveJournal(journal);
+  MatrixRunOptions first;
+  first.jobs = 1;
+  first.isolate_failures = true;
+  first.journal_path = journal;
+  ASSERT_TRUE(matrix.Run(first).complete());
+
+  // Flip bytes in one artifact: its checksum no longer matches the journal.
+  {
+    std::ofstream tamper(journal + ".cells/cell_1.json",
+                         std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(tamper.is_open());
+    tamper.seekp(0);
+    tamper << "XXXX";
+  }
+
+  MatrixRunOptions second;
+  second.jobs = 1;
+  second.isolate_failures = true;
+  second.resume_path = journal;
+  const MatrixResult resumed = matrix.Run(second);
+  EXPECT_TRUE(resumed.complete()) << resumed.error;
+  EXPECT_EQ(resumed.cells_restored, 3u);
+  EXPECT_EQ(resumed.cells_executed, 1u);  // the tampered cell re-ran
+  ASSERT_EQ(resumed.warnings.size(), 1u);
+  EXPECT_NE(resumed.warnings[0].find("cell 1"), std::string::npos);
+  ExpectMergedIdentical(fresh, resumed);
+  RemoveJournal(journal);
+}
+
+TEST(ResumeDeterminismTest, MismatchedSpecRefusesToResume) {
+  const std::string journal = TempPath("fingerprint_mismatch.jsonl");
+  RemoveJournal(journal);
+  {
+    const ExperimentMatrix matrix(SmallSpec());
+    MatrixRunOptions options;
+    options.jobs = 1;
+    options.isolate_failures = true;
+    options.journal_path = journal;
+    options.max_cells = 1;
+    matrix.Run(options);
+  }
+  MatrixSpec other = SmallSpec();
+  other.master_seed = 43;  // different grid identity
+  const ExperimentMatrix matrix(other);
+  MatrixRunOptions options;
+  options.jobs = 1;
+  options.isolate_failures = true;
+  options.resume_path = journal;
+  const MatrixResult result = matrix.Run(options);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("different matrix"), std::string::npos);
+  EXPECT_EQ(result.cells_executed, 0u);
+  RemoveJournal(journal);
+}
+
+TEST(ResumeDeterminismTest, ThrowingCellFailsStructuredWhileOthersComplete) {
+  const ExperimentMatrix matrix(SmallSpec());
+  MatrixRunOptions options;
+  options.jobs = 2;
+  options.isolate_failures = true;
+  options.throw_cell = 1;
+  const MatrixResult result = matrix.Run(options);
+
+  EXPECT_FALSE(result.complete());
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].cell, 1u);
+  EXPECT_EQ(result.failures[0].seed, matrix.cells()[1].seed);
+  EXPECT_EQ(result.failures[0].kind, runtime::FailureKind::kException);
+  EXPECT_NE(result.failures[0].message.find("injected cell failure"), std::string::npos);
+  ASSERT_EQ(result.statuses.size(), 4u);
+  EXPECT_EQ(result.statuses[1], CellStatus::kFailed);
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_EQ(result.statuses[i], CellStatus::kOk) << "cell " << i;
+    EXPECT_GT(result.reports[i].samples, 0u) << "cell " << i;
+  }
+  // The failed trial is excluded from its group's merge, not zero-filled:
+  // games (group 0) pooled one trial, web (group 1) pooled both.
+  ASSERT_EQ(result.merged.size(), 2u);
+  EXPECT_EQ(result.merged[0].trials, 1);
+  EXPECT_EQ(result.merged[1].trials, 2);
+  EXPECT_TRUE(result.merge_violations.empty());
+}
+
+TEST(ResumeDeterminismTest, JournalRoundTripsThroughLoader) {
+  const MatrixSpec spec = SmallSpec();
+  const ExperimentMatrix matrix(spec);
+  const std::string journal = TempPath("loader_roundtrip.jsonl");
+  RemoveJournal(journal);
+  MatrixRunOptions options;
+  options.jobs = 1;
+  options.isolate_failures = true;
+  options.journal_path = journal;
+  options.throw_cell = 3;
+  matrix.Run(options);
+
+  JournalContents contents;
+  std::string error;
+  ASSERT_TRUE(LoadJournal(journal, &spec, &contents, &error)) << error;
+  EXPECT_EQ(contents.fingerprint, MatrixFingerprint(spec));
+  EXPECT_EQ(contents.master_seed, 42u);
+  EXPECT_EQ(contents.cell_count, 4u);
+  ASSERT_EQ(contents.entries.size(), 4u);
+  int ok = 0, failed = 0;
+  for (const JournalEntry& entry : contents.entries) {
+    EXPECT_EQ(entry.seed, matrix.cells()[entry.cell].seed);
+    if (entry.status == "ok") {
+      ++ok;
+      EXPECT_NE(entry.checksum, 0u);
+      EXPECT_GT(entry.samples, 0u);
+    } else {
+      ++failed;
+      EXPECT_EQ(entry.cell, 3u);
+      EXPECT_EQ(entry.taxonomy, "exception");
+    }
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(failed, 1);
+  RemoveJournal(journal);
+}
+
+}  // namespace
+}  // namespace wdmlat::lab

@@ -1,0 +1,167 @@
+// The timer_jitter fault kind: per-tick PIT period drift. Contracts under
+// test: the name round-trips through the plan schema, ValidatePlan insists
+// on a bounded drift distribution, a spec that never fires leaves the PIT
+// schedule bit-identical (the hook is passive), and an aggressive drift
+// visibly stretches the sampled distributions.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fault/fault.h"
+#include "src/fault/plan_json.h"
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::fault {
+namespace {
+
+TEST(TimerJitterTest, KindNameRoundTrips) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kTimerJitter), "timer_jitter");
+  FaultKind parsed{};
+  ASSERT_TRUE(FaultKindFromName("timer_jitter", &parsed));
+  EXPECT_EQ(parsed, FaultKind::kTimerJitter);
+}
+
+FaultPlan JitterPlan(sim::DurationDist drift) {
+  FaultPlan plan;
+  plan.name = "jitter";
+  plan.seed = 7;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTimerJitter;
+  spec.trigger = TriggerKind::kOneShot;
+  spec.at_ms = 1.0;
+  spec.burst = 64;
+  spec.duration_us = drift;
+  plan.specs.push_back(spec);
+  return plan;
+}
+
+TEST(TimerJitterTest, ValidatePlanRequiresBoundedDrift) {
+  // Bounded drift kinds pass (kZero is the disabled default).
+  EXPECT_EQ(ValidatePlan(JitterPlan(sim::DurationDist::Constant(100.0))), "");
+  EXPECT_EQ(ValidatePlan(JitterPlan(sim::DurationDist::Uniform(50.0, 150.0))), "");
+  EXPECT_EQ(ValidatePlan(JitterPlan(sim::DurationDist::BoundedPareto(1.1, 10.0, 500.0))), "");
+  EXPECT_EQ(ValidatePlan(JitterPlan(sim::DurationDist::Zero())), "");
+
+  // Open-ended drift can stall the simulated clock; rejected by name.
+  for (const sim::DurationDist& open_ended :
+       {sim::DurationDist::Exponential(100.0), sim::DurationDist::LogNormal(100.0, 0.5)}) {
+    const std::string error = ValidatePlan(JitterPlan(open_ended));
+    EXPECT_NE(error.find("timer_jitter"), std::string::npos) << error;
+    EXPECT_NE(error.find("bounded drift distribution"), std::string::npos) << error;
+  }
+}
+
+TEST(TimerJitterTest, ParsesFromPlanJson) {
+  const std::string doc = R"({
+    "name": "jitter_plan",
+    "seed": 9,
+    "faults": [
+      {"kind": "timer_jitter", "trigger": "one_shot", "at_ms": 2.0,
+       "burst": 64,
+       "duration": {"dist": "uniform", "lo_us": 50, "hi_us": 150}}
+    ]
+  })";
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(doc, &plan, &error)) << error;
+  ASSERT_EQ(plan.specs.size(), 1u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kTimerJitter);
+  EXPECT_EQ(plan.specs[0].trigger, TriggerKind::kOneShot);
+  EXPECT_EQ(plan.specs[0].at_ms, 2.0);
+  EXPECT_EQ(plan.specs[0].burst, 64);
+  EXPECT_EQ(plan.specs[0].duration_us.kind(), sim::DurationDist::Kind::kUniform);
+}
+
+TEST(TimerJitterTest, ParserRejectsOpenEndedDrift) {
+  const std::string doc = R"({
+    "name": "bad_jitter",
+    "faults": [
+      {"kind": "timer_jitter", "trigger": "one_shot", "at_ms": 2.0,
+       "duration": {"dist": "exponential", "mean_us": 100}}
+    ]
+  })";
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(ParseFaultPlan(doc, &plan, &error));
+  EXPECT_NE(error.find("bounded drift distribution"), std::string::npos) << error;
+}
+
+lab::LabReport RunWithPlan(const FaultPlan* plan) {
+  lab::LabConfig config;
+  config.os = kernel::MakeWin98Profile();
+  config.stress = workload::GamesStress();
+  config.thread_priority = 28;
+  config.stress_minutes = 0.05;
+  config.warmup_seconds = 1.0;
+  config.seed = 1999;
+  config.faults = plan;
+  return lab::RunLatencyExperiment(config);
+}
+
+// A jitter spec whose trigger never fires must be byte-identical to a
+// never-firing spec of any other kind: installing the PIT hook is free when
+// no activation is pending (the hook returns 0 drift on every tick). The
+// comparison is against another never-firing kind — not against a no-plan
+// run — so both runs consume identical trigger-event bookkeeping and the
+// hook itself is the only difference.
+TEST(TimerJitterTest, DormantJitterSpecIsPassive) {
+  FaultPlan jitter;
+  jitter.name = "dormant";
+  jitter.seed = 7;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTimerJitter;
+  spec.trigger = TriggerKind::kOneShot;
+  spec.at_ms = 1e9;  // far past the end of the run
+  spec.duration_us = sim::DurationDist::Constant(900.0);
+  jitter.specs.push_back(spec);
+
+  FaultPlan control = jitter;
+  control.specs[0].kind = FaultKind::kLockoutHold;
+
+  const lab::LabReport with_hook = RunWithPlan(&jitter);
+  const lab::LabReport without_hook = RunWithPlan(&control);
+
+  EXPECT_EQ(with_hook.fault_activations, 0u);
+  EXPECT_EQ(with_hook.samples, without_hook.samples);
+  EXPECT_EQ(with_hook.thread.ToCsv(), without_hook.thread.ToCsv());
+  EXPECT_EQ(with_hook.dpc_interrupt.ToCsv(), without_hook.dpc_interrupt.ToCsv());
+  EXPECT_EQ(with_hook.interrupt.ToCsv(), without_hook.interrupt.ToCsv());
+  EXPECT_EQ(with_hook.true_pit_interrupt_latency.ToCsv(),
+            without_hook.true_pit_interrupt_latency.ToCsv());
+}
+
+// An aggressive drift (nearly a full extra PIT period per tick, for more
+// ticks than the run contains) must visibly change what the driver samples —
+// and do so deterministically.
+TEST(TimerJitterTest, ActiveJitterChangesSampling) {
+  const lab::LabReport baseline = RunWithPlan(nullptr);
+
+  FaultPlan plan;
+  plan.name = "aggressive_jitter";
+  plan.seed = 7;
+  FaultSpec spec;
+  spec.kind = FaultKind::kTimerJitter;
+  spec.trigger = TriggerKind::kOneShot;
+  spec.at_ms = 1.0;
+  spec.burst = 1000000;  // covers every tick in the run
+  spec.duration_us = sim::DurationDist::Constant(900.0);
+  plan.specs.push_back(spec);
+  ASSERT_EQ(ValidatePlan(plan), "");
+
+  const lab::LabReport jittered = RunWithPlan(&plan);
+  EXPECT_EQ(jittered.fault_activations, 1u);
+  // Stretched tick periods change when everything PIT-driven runs, so the
+  // sample count and the measured distributions must both move.
+  EXPECT_NE(jittered.samples, baseline.samples);
+  EXPECT_NE(jittered.thread.ToCsv(), baseline.thread.ToCsv());
+
+  const lab::LabReport again = RunWithPlan(&plan);
+  EXPECT_EQ(jittered.samples, again.samples);
+  EXPECT_EQ(jittered.thread.ToCsv(), again.thread.ToCsv());
+}
+
+}  // namespace
+}  // namespace wdmlat::fault
