@@ -393,6 +393,7 @@ int Compare(const std::string& baseline_path, const std::string& candidate_path,
     return 1;
   }
   int failures = 0;
+  std::vector<std::string> missing;
   for (const BenchEntry& base : *baseline) {
     const BenchEntry* cand = nullptr;
     for (const BenchEntry& c : *candidate) {
@@ -403,7 +404,7 @@ int Compare(const std::string& baseline_path, const std::string& candidate_path,
     }
     if (cand == nullptr) {
       std::cerr << "FAIL " << base.name << ": missing from candidate (re-baseline after renames)\n";
-      ++failures;
+      missing.push_back(base.name);
       continue;
     }
     if (base.cpu_ns <= 0.0) {
@@ -428,9 +429,22 @@ int Compare(const std::string& baseline_path, const std::string& candidate_path,
       std::cout << "new  " << c.name << ": not in baseline (informational)\n";
     }
   }
+  // Missing entries are their own failure class, reported by name: a
+  // baseline benchmark that silently disappears from the run would otherwise
+  // exempt itself from the gate forever.
+  if (!missing.empty()) {
+    std::cerr << "bench_to_json: " << missing.size()
+              << " baseline benchmark(s) missing from candidate:";
+    for (const std::string& name : missing) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n";
+  }
   if (failures > 0) {
     std::cerr << "bench_to_json: " << failures << " benchmark(s) regressed past " << max_ratio
               << "x\n";
+  }
+  if (failures > 0 || !missing.empty()) {
     return 1;
   }
   std::cout << "bench_to_json: all " << baseline->size() << " benchmarks within " << max_ratio

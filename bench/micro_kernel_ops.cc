@@ -65,6 +65,26 @@ void BM_EngineCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCancelHeavy);
 
+// The ladder queue's headline case: a burst of same-instant expirations (a
+// PIT tick's worth of due timers) collapses into one sorted drain batch and
+// fires by cursor increment instead of per-event heap pops. Reported time is
+// per burst; items/s gives the per-event rate.
+void BM_EngineBatchFire(benchmark::State& state) {
+  sim::Engine engine;
+  std::uint64_t counter = 0;
+  constexpr int kBurst = 64;
+  for (auto _ : state) {
+    const sim::Cycles tick = engine.now() + 1000;
+    for (int i = 0; i < kBurst; ++i) {
+      engine.ScheduleAt(tick, [&] { ++counter; });
+    }
+    engine.RunUntil(tick);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBurst);
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EngineBatchFire);
+
 // Per-sample histogram bucketing cost (runs once per measured latency).
 void BM_HistogramRecord(benchmark::State& state) {
   // Log-uniform samples across the resolvable range, precomputed so the

@@ -4,7 +4,9 @@
 # Builds the tree with -fsanitize=thread into a separate build directory and
 # runs the concurrency-sensitive suites: the thread pool, the histogram-merge
 # algebra, and the jobs=1-vs-jobs=4 matrix determinism contract. Any data
-# race in the parallel runner fails the job.
+# race in the parallel runner fails the job. The batched-dispatch reentrancy
+# fuzz rides along so the engine's drain loop gets an instrumented shakeout
+# in the same build.
 #
 #   ci/tsan.sh              # from the repo root
 #   BUILD_DIR=... ci/tsan.sh
@@ -19,7 +21,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test histogram_merge_test matrix_determinism_test
+  --target thread_pool_test histogram_merge_test matrix_determinism_test \
+  batch_dispatch_fuzz_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest'
+  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest'

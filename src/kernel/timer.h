@@ -12,7 +12,9 @@
 // binary heap of POD entries, generation-tagged so Cancel/re-Set invalidate
 // lazily, with bulk compaction once stale entries outnumber active timers.
 // ExpireDue is templated on the fire functor so the per-tick call from the
-// clock ISR constructs no std::function.
+// clock ISR constructs no std::function, and dispatches in collect-then-fire
+// batches so a tick with many due timers does one heap drain, not an
+// interleaved pop-fire-pop walk.
 
 #ifndef SRC_KERNEL_TIMER_H_
 #define SRC_KERNEL_TIMER_H_
@@ -58,31 +60,49 @@ class TimerQueue {
   // Called from the clock ISR: fire every timer due at or before `now`.
   // `fire` receives the timer and its DPC (possibly nullptr — timers without
   // DPCs simply complete). Returns the number of timers expired.
+  //
+  // Dispatch is batched: one collection pass pops every due entry in
+  // (due, seq) order — re-arming periodic timers and popping them again in
+  // the same pass if their next due is still within `now`, exactly as the
+  // per-pop loop did — then the fire functor runs over the whole batch.
+  // The outer loop re-collects afterwards so a timer Set from inside `fire`
+  // with an already-elapsed due still expires on this tick. Not reentrant
+  // (single scratch buffer); only the clock ISR calls it.
   template <typename Fire>
   int ExpireDue(sim::Cycles now, Fire&& fire) {
     int expired = 0;
-    while (!heap_.empty() && heap_.front().due <= now) {
-      const HeapEntry entry = heap_.front();
-      std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
-      heap_.pop_back();
-      KTimer* timer = entry.timer;
-      if (!timer->active_ || entry.generation != timer->generation_) {
-        continue;  // stale: cancelled or superseded by a re-Set
+    for (;;) {
+      scratch_.clear();
+      while (!heap_.empty() && heap_.front().due <= now) {
+        const HeapEntry entry = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+        heap_.pop_back();
+        KTimer* timer = entry.timer;
+        if (!timer->active_ || entry.generation != timer->generation_) {
+          continue;  // stale: cancelled or superseded by a re-Set
+        }
+        if (timer->period_ > 0) {
+          // Periodic: re-arm relative to the due time, not the tick, so the
+          // period does not drift.
+          timer->due_ += timer->period_;
+          ++timer->generation_;
+          Push(HeapEntry{timer->due_, next_seq_++, timer, timer->generation_});
+        } else {
+          timer->active_ = false;
+          --active_count_;
+        }
+        // The DPC is latched at expiry: a re-Set from inside `fire` must not
+        // retarget this batch's dispatch.
+        scratch_.push_back(ExpiredTimer{timer, timer->dpc_});
       }
-      ++expired;
-      if (timer->period_ > 0) {
-        // Periodic: re-arm relative to the due time, not the tick, so the
-        // period does not drift.
-        timer->due_ += timer->period_;
-        ++timer->generation_;
-        Push(HeapEntry{timer->due_, next_seq_++, timer, timer->generation_});
-      } else {
-        timer->active_ = false;
-        --active_count_;
+      if (scratch_.empty()) {
+        return expired;
       }
-      fire(timer, timer->dpc_);
+      expired += static_cast<int>(scratch_.size());
+      for (const ExpiredTimer& due : scratch_) {
+        fire(due.timer, due.dpc);
+      }
     }
-    return expired;
   }
 
   std::size_t pending() const { return active_count_; }
@@ -98,6 +118,10 @@ class TimerQueue {
     std::uint64_t seq;
     KTimer* timer;
     std::uint64_t generation;
+  };
+  struct ExpiredTimer {
+    KTimer* timer;
+    KDpc* dpc;
   };
   struct FiresLater {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
@@ -115,6 +139,7 @@ class TimerQueue {
   void MaybeCompact();
 
   std::vector<HeapEntry> heap_;
+  std::vector<ExpiredTimer> scratch_;  // batched-dispatch buffer, reused per tick
   std::uint64_t next_seq_ = 0;
   std::size_t active_count_ = 0;
 };

@@ -6,17 +6,25 @@
 // is driven from this calendar. There is no wall-clock anywhere; virtual
 // hours of Windows activity run in wall-clock seconds.
 //
+// The calendar is a two-tier ladder queue tuned for the dominant traffic:
+// short-horizon periodic timers (PIT ticks, DPC completions, driver
+// timeouts). A ring of near-future buckets gives O(1) insertion for
+// everything inside a ~112 ms horizon; beyond that a binary-heap overflow
+// tier holds the far future and migrates entries into the ring as the
+// window slides over them. Same-tick (and same-bucket) expirations drain
+// through one sorted batch per bucket epoch instead of per-event heap pops.
 // The hot path is allocation-free in steady state: event records live in a
 // slab/free-list EventPool, callbacks are small-buffer-optimized
-// InplaceCallbacks, and the calendar is a plain binary heap of POD entries.
-// Cancelled events leave stale heap entries behind that are lazily purged on
-// pop and bulk-compacted when they outnumber the live ones (see DESIGN.md
-// §7 for the invariants).
+// InplaceCallbacks, and every tier stores plain POD entries. Cancelled
+// events leave stale entries behind that are lazily purged when their epoch
+// drains and bulk-compacted when they outnumber the live ones (see
+// DESIGN.md §7 for the invariants).
 
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -94,7 +102,22 @@ class Engine {
  public:
   using Callback = InplaceCallback;
 
-  Engine() : pool_(new EventPool) {}
+  // --- Ladder geometry (public so the differential / rollover tests can
+  // target tier boundaries exactly) ----------------------------------------
+  // One bucket spans 2^16 cycles ≈ 218 µs at the simulated 300 MHz: wide
+  // enough that a PIT tick's worth of dispatcher traffic lands in one or two
+  // buckets, narrow enough that a bucket's sort stays small.
+  static constexpr std::uint32_t kBucketBits = 16;
+  static constexpr Cycles kBucketWidth = Cycles{1} << kBucketBits;
+  // 512 buckets ≈ 112 ms of near-future horizon — past every PIT period,
+  // DPC completion, and scheduler quantum either OS profile uses. Longer
+  // delays (workload think times, watchdog periods) take the overflow heap.
+  static constexpr std::uint32_t kRingBits = 9;
+  static constexpr std::uint32_t kBucketCount = 1u << kRingBits;
+  static constexpr std::uint32_t kRingMask = kBucketCount - 1;
+  static constexpr Cycles kHorizonCycles = Cycles{kBucketCount} << kBucketBits;
+
+  Engine() : pool_(new EventPool) { occupied_.fill(0); }
   ~Engine() {
     pool_->Shutdown();
     pool_->Release();
@@ -116,9 +139,7 @@ class Engine {
     }
     const std::uint32_t slot = pool_->Allocate(std::forward<F>(cb));
     const std::uint64_t generation = pool_->generation(slot);
-    heap_.push_back(QueueEntry{when, next_seq_++, generation, slot});
-    std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
-    MaybeCompact();
+    Insert(QueueEntry{when, next_seq_++, generation, slot});
     return EventHandle(pool_, slot, generation);
   }
 
@@ -152,24 +173,28 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
 
   // Number of scheduled-and-not-yet-fired events, excluding cancelled ones
-  // (their heap entries linger in the calendar until lazily purged on pop or
-  // bulk-compacted, but they no longer count). Tests can therefore assert on
-  // calendar size.
+  // (their calendar entries linger until lazily purged when their bucket
+  // drains or bulk-compacted, but they no longer count). Tests can therefore
+  // assert on calendar size.
   std::size_t events_pending() const { return pool_->live(); }
 
   // Observability: stale (cancelled) entries still occupying the calendar,
   // and how many times the calendar has been compacted.
   std::size_t stale_entries() const {
-    return heap_.size() > pool_->live() ? heap_.size() - pool_->live() : 0;
+    const std::size_t stored = StoredEntries();
+    return stored > pool_->live() ? stored - pool_->live() : 0;
   }
   std::uint64_t compactions() const { return compactions_; }
 
-  // Invariant audit for sim::InvariantAuditor: validates the binary-heap
-  // ordering of the calendar under FiresLater, that no live entry is
-  // scheduled in the past, that every live pool slot owns exactly one heap
-  // entry, that sequence numbers were issued before next_seq_, and the
-  // pool's slab/free-list/generation consistency. Appends one line per
-  // violation; appends nothing when the calendar is healthy.
+  // Invariant audit for sim::InvariantAuditor: validates the ladder's
+  // bucket-index/epoch consistency (every ring entry lives in the bucket its
+  // epoch maps to, inside the current window), the occupancy bitmap, the
+  // overflow tier's heap ordering and beyond-horizon placement, the drain
+  // batch's (when, seq) sort, that no live entry is scheduled in the past,
+  // that every live pool slot owns exactly one calendar entry (count
+  // conservation across tiers), that sequence numbers were issued before
+  // next_seq_, and the pool's slab/free-list/generation consistency.
+  // Appends one line per violation; appends nothing when healthy.
   void AuditCalendar(std::vector<std::string>* violations) const;
 
  private:
@@ -182,8 +207,8 @@ class Engine {
     std::uint64_t generation;
     std::uint32_t slot;
   };
-  // std::push_heap/pop_heap comparator: the front of the heap is the entry
-  // that fires first, so "less" means "fires later".
+  // Comparator for the overflow tier's std::push_heap/pop_heap: the front of
+  // the heap is the entry that fires first, so "less" means "fires later".
   struct FiresLater {
     bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.when != b.when) {
@@ -192,30 +217,174 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  // Comparator for the drain batch's sort and mid-drain sorted inserts:
+  // ascending (when, seq), the engine's total fire order.
+  struct FiresEarlier {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.when != b.when) {
+        return a.when < b.when;
+      }
+      return a.seq < b.seq;
+    }
+  };
 
   static constexpr Cycles kNoDeadline = std::numeric_limits<Cycles>::max();
-  // Below this calendar size, compaction is never worth the make_heap; the
-  // lazy purge on pop handles small backlogs for free.
+  // Below this calendar size, compaction is never worth the full-ring sweep;
+  // the lazy purge on drain handles small backlogs for free.
   static constexpr std::size_t kCompactMinEntries = 64;
 
-  // Purge stale entries off the top of the heap, then pop the next live
-  // entry into `out` if its time is <= `deadline`. The single home of the
-  // lazy-purge logic shared by Step and RunUntil.
-  bool PopNextLive(Cycles deadline, QueueEntry* out) {
+  static constexpr std::uint64_t EpochOf(Cycles when) { return when >> kBucketBits; }
+
+  // Route one entry to its tier. Entries below the window (possible after
+  // the drain cursor out-ran now() across dead epochs) ride the current
+  // epoch's bucket/batch: nothing with a smaller (when, seq) exists anywhere,
+  // and the batch sort puts them first, so the total order is preserved.
+  void Insert(const QueueEntry& entry) {
+    const std::uint64_t epoch = EpochOf(entry.when);
+    if (batch_active_ && epoch <= cur_epoch_) {
+      // Mid-drain insert into the epoch being dispatched: everything at or
+      // before batch_pos_ has already fired with a smaller (when, seq), so
+      // the ordered position is always in the unserved tail — and in the
+      // common monotone case, exactly at the end.
+      if (batch_pos_ >= batch_.size() || !FiresEarlier{}(entry, batch_.back())) {
+        batch_.push_back(entry);
+      } else {
+        batch_.insert(std::lower_bound(batch_.begin() + static_cast<std::ptrdiff_t>(batch_pos_),
+                                       batch_.end(), entry, FiresEarlier{}),
+                      entry);
+      }
+      return;
+    }
+    if (epoch < cur_epoch_ + kBucketCount) {
+      const std::uint32_t index =
+          static_cast<std::uint32_t>((epoch <= cur_epoch_ ? cur_epoch_ : epoch)) & kRingMask;
+      buckets_[index].push_back(entry);
+      occupied_[index >> 6] |= std::uint64_t{1} << (index & 63);
+      ++near_count_;
+      MaybeCompact();
+      return;
+    }
+    far_.push_back(entry);
+    std::push_heap(far_.begin(), far_.end(), FiresLater{});
+    // The compaction check rides the ring/overflow inserts only: dead batch
+    // entries are self-limiting (their epoch's drain purges them within one
+    // bucket width of virtual time), whereas dead ring/overflow entries can
+    // linger for a full horizon — and keeping the check off the batch insert
+    // keeps the hottest path to a push_back.
     MaybeCompact();
-    // Lazy purge: dead entries (generation mismatch = cancelled) drop out as
-    // they surface, even when they lie beyond the deadline.
-    while (!heap_.empty() && pool_->generation(heap_.front().slot) != heap_.front().generation) {
-      std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
-      heap_.pop_back();
+  }
+
+  // Purge stale entries, slide the ring window, and pop the next live entry
+  // into `out` if its time is <= `deadline`. The single home of the drain
+  // logic shared by Step and RunUntil. One bucket epoch is loaded (sorted)
+  // per batch; every same-epoch expiration then drains by index increment.
+  bool PopNextLive(Cycles deadline, QueueEntry* out) {
+    for (;;) {
+      // Serve the active batch: dead entries (generation mismatch =
+      // cancelled) drop out as they surface, even beyond the deadline.
+      while (batch_pos_ < batch_.size()) {
+        const QueueEntry& entry = batch_[batch_pos_];
+        if (pool_->generation(entry.slot) != entry.generation) {
+          ++batch_pos_;
+          continue;
+        }
+        if (entry.when > deadline) {
+          return false;
+        }
+        *out = entry;
+        ++batch_pos_;
+        return true;
+      }
+      if (batch_active_) {
+        // The drained epoch's batch is exhausted. Deactivate it but leave
+        // the cursor put: the scan below advances only to epochs that
+        // actually hold entries (or to the deadline), so the cursor never
+        // outruns virtual time just because a batch ran dry.
+        batch_.clear();
+        batch_pos_ = 0;
+        batch_active_ = false;
+      }
+      // Locate the next epoch holding entries: nearest occupied ring bucket,
+      // else the overflow tier's minimum (always beyond every ring epoch).
+      std::uint64_t target;
+      if (near_count_ > 0) {
+        target = cur_epoch_ + NextOccupiedDistance();
+      } else if (!far_.empty()) {
+        target = EpochOf(far_.front().when);
+      } else {
+        return false;
+      }
+      if (target > cur_epoch_ && target > EpochOf(deadline)) {
+        // The next event lies beyond the deadline. Slide the window up to
+        // the deadline's epoch (now() will advance there), keeping the
+        // far-tier migration invariant intact. The current epoch's bucket is
+        // exempt from this epoch-granular check: it may hold below-window
+        // entries that are due, so it always loads and the serve loop's
+        // exact per-entry deadline test decides.
+        if (EpochOf(deadline) > cur_epoch_) {
+          cur_epoch_ = EpochOf(deadline);
+          MigrateFar();
+        }
+        return false;
+      }
+      if (target > cur_epoch_) {
+        cur_epoch_ = target;
+        MigrateFar();
+      }
+      // Load the current epoch's bucket as the new drain batch. The bucket
+      // can be empty when the far-tier minimum was stale or migrated into a
+      // later window epoch; the next iteration advances past it.
+      const std::uint32_t index = static_cast<std::uint32_t>(cur_epoch_) & kRingMask;
+      std::vector<QueueEntry>& bucket = buckets_[index];
+      if (!bucket.empty()) {
+        near_count_ -= bucket.size();
+        occupied_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+        // Copy rather than swap: both vectors keep their grown capacity, so
+        // steady state re-uses the same two buffers instead of circulating
+        // the batch's capacity through all 512 buckets.
+        batch_.assign(bucket.begin(), bucket.end());
+        bucket.clear();
+        std::sort(batch_.begin(), batch_.end(), FiresEarlier{});
+      }
+      batch_pos_ = 0;
+      batch_active_ = true;
     }
-    if (heap_.empty() || heap_.front().when > deadline) {
-      return false;
+  }
+
+  // Pull every overflow entry whose epoch has entered the ring window into
+  // its bucket. Dead entries are dropped here instead of migrating.
+  void MigrateFar() {
+    while (!far_.empty() && EpochOf(far_.front().when) < cur_epoch_ + kBucketCount) {
+      const QueueEntry entry = far_.front();
+      std::pop_heap(far_.begin(), far_.end(), FiresLater{});
+      far_.pop_back();
+      if (pool_->generation(entry.slot) != entry.generation) {
+        continue;
+      }
+      const std::uint32_t index = static_cast<std::uint32_t>(EpochOf(entry.when)) & kRingMask;
+      buckets_[index].push_back(entry);
+      occupied_[index >> 6] |= std::uint64_t{1} << (index & 63);
+      ++near_count_;
     }
-    *out = heap_.front();
-    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
-    heap_.pop_back();
-    return true;
+  }
+
+  // Distance (in epochs) from cur_epoch_ to the nearest occupied bucket,
+  // scanning the bitmap circularly. Precondition: near_count_ > 0.
+  std::uint32_t NextOccupiedDistance() const {
+    const std::uint32_t start = static_cast<std::uint32_t>(cur_epoch_) & kRingMask;
+    std::uint32_t word = start >> 6;
+    std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (start & 63));
+    for (std::uint32_t scanned = 0;; ++scanned) {
+      if (bits != 0) {
+        const std::uint32_t index =
+            (word << 6) + static_cast<std::uint32_t>(__builtin_ctzll(bits));
+        return (index - start) & kRingMask;
+      }
+      word = (word + 1) & ((kBucketCount >> 6) - 1);
+      bits = occupied_[word];
+      // near_count_ > 0 guarantees a set bit within one full wrap.
+      (void)scanned;
+    }
   }
 
   // Fire a popped entry: advance time, free its pool slot, run the callback.
@@ -229,11 +398,18 @@ class Engine {
     cb();
   }
 
-  // Rebuild the heap without dead entries once they outnumber live ones.
-  // Every live event owns exactly one heap entry, so the dead-entry count is
-  // the size excess over the pool's live count.
+  // Entries currently stored across all tiers (live + stale, excluding the
+  // batch's already-served prefix).
+  std::size_t StoredEntries() const {
+    return near_count_ + far_.size() + (batch_.size() - batch_pos_);
+  }
+
+  // Sweep dead entries out of every tier once they outnumber live ones.
+  // Every live event owns exactly one calendar entry, so the dead-entry
+  // count is the stored excess over the pool's live count.
   void MaybeCompact() {
-    if (heap_.size() >= kCompactMinEntries && heap_.size() - pool_->live() > heap_.size() / 2) {
+    const std::size_t stored = StoredEntries();
+    if (stored >= kCompactMinEntries && stored - pool_->live() > stored / 2) {
       Compact();
     }
   }
@@ -245,7 +421,21 @@ class Engine {
   std::uint64_t compactions_ = 0;
   bool stop_requested_ = false;
   EventPool* pool_;
-  std::vector<QueueEntry> heap_;
+
+  // --- Ladder state ---------------------------------------------------------
+  // Epoch currently being drained (or next to drain). The ring window covers
+  // epochs [cur_epoch_, cur_epoch_ + kBucketCount); the overflow tier holds
+  // everything at or beyond the window's end.
+  std::uint64_t cur_epoch_ = 0;
+  std::size_t near_count_ = 0;  // entries across all ring buckets
+  std::array<std::vector<QueueEntry>, kBucketCount> buckets_;
+  std::array<std::uint64_t, kBucketCount / 64> occupied_;  // non-empty-bucket bitmap
+  std::vector<QueueEntry> far_;  // overflow tier: binary heap under FiresLater
+  // Drain batch for cur_epoch_: sorted ascending (when, seq); entries before
+  // batch_pos_ have been dispatched or purged.
+  std::vector<QueueEntry> batch_;
+  std::size_t batch_pos_ = 0;
+  bool batch_active_ = false;
 };
 
 }  // namespace wdmlat::sim

@@ -4,8 +4,10 @@
 // A corrupted calendar or pool does not necessarily crash: it silently skews
 // the latency distributions the whole experiment exists to measure. The
 // auditor makes corruption loud instead. It owns the built-in engine checks
-// (heap ordering, pool generation/refcount/free-list consistency, time
-// monotonicity across audits) and accepts named external checks from the
+// (ladder calendar consistency — bucket-ring occupancy bitmap, far-tier
+// horizon, drain-batch sort and served-prefix discipline — plus pool
+// generation/refcount/free-list consistency and time monotonicity across
+// audits) and accepts named external checks from the
 // layers the sim library cannot see (the kernel dispatcher's IRQL/lock
 // discipline, the lab layer's histogram count conservation). The lab run
 // loop audits between simulation slices and once more after the run; a

@@ -1,7 +1,9 @@
 // Proves the engine hot path is allocation-free in steady state: after a
-// warmup that grows the pool slabs and the heap vector to their high-water
-// marks, ScheduleAfter + Step with dispatcher-sized captures must perform
-// zero heap allocations. Asserted with a counting global operator new —
+// warmup that grows the pool slabs, every ring bucket, the drain batch, and
+// the overflow heap to their high-water marks, ScheduleAfter + Step with
+// dispatcher-sized captures must perform zero heap allocations — including
+// the batched same-tick drain loop and bucket-ring rollover (epoch advance
+// with far-tier migration). Asserted with a counting global operator new —
 // which is why this test lives in its own binary (each tests/*.cc builds to
 // a separate executable; see tests/CMakeLists.txt).
 
@@ -70,14 +72,30 @@ struct FakeFrame {
   std::uint64_t ticks = 0;
 };
 
+// Grow every tier of the ladder calendar to its high-water mark for the
+// workload under test: `bucket_events` entries into each of the 512 ring
+// buckets (the furthest lands in the overflow heap and warms its buffer and
+// the migration path too), and `batch_events` same-epoch entries so the
+// drain batch reaches one full epoch's capacity. Firing it all also grows
+// the pool slabs past anything the measured loops keep live.
+void WarmEngine(Engine& engine, int bucket_events, int batch_events) {
+  for (int i = 0; i < batch_events; ++i) {
+    engine.ScheduleAfter(1, [] {});
+  }
+  for (std::uint32_t epoch = 1; epoch <= Engine::kBucketCount; ++epoch) {
+    for (int i = 0; i < bucket_events; ++i) {
+      engine.ScheduleAfter(epoch * Engine::kBucketWidth, [] {});
+    }
+  }
+  engine.RunUntilIdle();
+}
+
 TEST(EngineAllocTest, SteadyStateScheduleFireIsAllocationFree) {
   Engine engine;
   FakeFrame frame;
-  // Warmup: reach the pool's and heap vector's steady-state capacity.
-  for (int i = 0; i < 1024; ++i) {
-    engine.ScheduleAfter(10, [&frame] { ++frame.ticks; });
-    engine.Step();
-  }
+  // The measured loop packs ~6.5k events into each 2^16-cycle epoch, so the
+  // drain batch must be warmed past that.
+  WarmEngine(engine, 8, 8192);
   AllocationScope scope;
   for (int i = 0; i < 100000; ++i) {
     // The dispatcher's hottest shape: a two-pointer capture.
@@ -89,22 +107,14 @@ TEST(EngineAllocTest, SteadyStateScheduleFireIsAllocationFree) {
   }
   const std::uint64_t allocations = scope.Finish();
   EXPECT_EQ(allocations, 0u);
-  EXPECT_EQ(frame.ticks, 101024u);
+  EXPECT_EQ(frame.ticks, 100000u);
 }
 
 TEST(EngineAllocTest, SteadyStateCancelChurnIsAllocationFree) {
   Engine engine;
   std::uint64_t fired = 0;
   EventHandle completion;
-  // Warmup grows the heap vector past what the measured loop will ever need
-  // (the cancel churn leaves stale entries behind between purges).
-  for (int i = 0; i < 4096; ++i) {
-    completion.Cancel();
-    completion = engine.ScheduleAfter(100, [&fired] { ++fired; });
-    if (i % 3 == 0) {
-      engine.Step();
-    }
-  }
+  WarmEngine(engine, 8, 4096);
   AllocationScope scope;
   for (int i = 0; i < 100000; ++i) {
     completion.Cancel();
@@ -116,6 +126,46 @@ TEST(EngineAllocTest, SteadyStateCancelChurnIsAllocationFree) {
   const std::uint64_t allocations = scope.Finish();
   EXPECT_EQ(allocations, 0u);
   EXPECT_GT(fired, 0u);
+}
+
+TEST(EngineAllocTest, BatchedSameTickDrainIsAllocationFree) {
+  // Bursts of same-instant events exercise the one-sort-per-epoch batched
+  // dispatch: 64 events collapse into a single drain batch and fire by
+  // index increment. The whole burst/drain cycle must not allocate.
+  Engine engine;
+  std::uint64_t fired = 0;
+  WarmEngine(engine, 64, 4096);
+  AllocationScope scope;
+  for (int i = 0; i < 2000; ++i) {
+    const Cycles tick = engine.now() + 1000;
+    for (int j = 0; j < 64; ++j) {
+      engine.ScheduleAt(tick, [&fired] { ++fired; });
+    }
+    engine.RunUntil(tick);
+  }
+  const std::uint64_t allocations = scope.Finish();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_EQ(fired, 2000u * 64u);
+}
+
+TEST(EngineAllocTest, RingRolloverWithFarMigrationIsAllocationFree) {
+  // Every iteration advances the window by one bucket epoch while feeding
+  // the overflow tier an event beyond the ring horizon, so the measured
+  // region covers epoch rollover, the occupancy-bitmap scan, and far→near
+  // migration — all of which must run out of pre-grown buffers.
+  Engine engine;
+  std::uint64_t fired = 0;
+  WarmEngine(engine, 8, 256);
+  AllocationScope scope;
+  for (int i = 0; i < 4000; ++i) {
+    engine.ScheduleAfter(Engine::kHorizonCycles + 5 * Engine::kBucketWidth,
+                         [&fired] { ++fired; });
+    engine.RunUntil(engine.now() + Engine::kBucketWidth);
+  }
+  const std::uint64_t allocations = scope.Finish();
+  EXPECT_EQ(allocations, 0u);
+  // All but the last horizon's worth of far-tier events migrated and fired.
+  EXPECT_GT(fired, 3000u);
 }
 
 TEST(EngineAllocTest, OversizedCaptureDoesAllocate) {

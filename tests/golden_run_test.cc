@@ -15,10 +15,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <string_view>
+#include <system_error>
 
 #include "src/drivers/latency_driver.h"
+#include "src/fault/fault.h"
 #include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/lab/matrix.h"
 #include "src/lab/test_system.h"
 #include "src/workload/stress_load.h"
 #include "src/workload/stress_profile.h"
@@ -62,6 +67,100 @@ TEST(GoldenRunTest, Nt4GamesShortRunCsvChecksumIsStable) {
 
 TEST(GoldenRunTest, Win98GamesShortRunCsvChecksumIsStable) {
   EXPECT_EQ(GamesRunChecksum(kernel::MakeWin98Profile()), 3888655912689493493ull);
+}
+
+// A faulted run: the built-in virus_scan plan drives disk-seek storms through
+// the same engine, so its checksum additionally pins the injector's event
+// ordering (activation timers, per-spec RNG stream draws) across calendar
+// refactors — the quiet cells above cannot see a drift that only manifests
+// when fault activities interleave with the workload.
+std::uint64_t FaultedVirusScanChecksum(kernel::KernelProfile profile) {
+  fault::FaultPlan plan;
+  EXPECT_TRUE(fault::FindBuiltinPlan("virus_scan", &plan));
+  lab::LabConfig config;
+  config.os = std::move(profile);
+  config.stress = workload::GamesStress();
+  config.stress_minutes = 0.05;
+  config.warmup_seconds = 1.0;
+  config.seed = 1999;
+  config.faults = &plan;
+  const lab::LabReport report = lab::RunLatencyExperiment(config);
+  EXPECT_GT(report.fault_activations, 0u);
+
+  std::uint64_t hash = kFnvOffset;
+  hash = Fnv1a(report.dpc_interrupt.ToCsv(), hash);
+  hash = Fnv1a(report.thread.ToCsv(), hash);
+  hash = Fnv1a(report.thread_interrupt.ToCsv(), hash);
+  hash = Fnv1a(report.interrupt.ToCsv(), hash);
+  hash = Fnv1a(report.isr_to_dpc.ToCsv(), hash);
+  hash = Fnv1a(report.true_pit_interrupt_latency.ToCsv(), hash);
+  hash = Fnv1a(std::to_string(report.fault_activations), hash);
+  return hash;
+}
+
+TEST(GoldenRunTest, FaultedVirusScanNt4ChecksumIsStable) {
+  EXPECT_EQ(FaultedVirusScanChecksum(kernel::MakeNt4Profile()), 10498460608915817667ull);
+}
+
+TEST(GoldenRunTest, FaultedVirusScanWin98ChecksumIsStable) {
+  EXPECT_EQ(FaultedVirusScanChecksum(kernel::MakeWin98Profile()), 11425406327170328350ull);
+}
+
+// A supervised, interrupted, resumed --jobs 4 matrix: the journal restore
+// path re-imports per-cell artifacts and merges them in grid order, so this
+// checksum pins byte-exact report serialization *and* merge order through
+// the engine — the full production path of a fleet run, not just one cell.
+std::uint64_t SupervisedResumedMatrixChecksum() {
+  lab::MatrixSpec spec;
+  spec.oses = {kernel::MakeNt4Profile(), kernel::MakeWin98Profile()};
+  spec.workloads = {workload::GamesStress()};
+  spec.priorities = {28};
+  spec.trials = 2;
+  spec.stress_minutes = 0.05;
+  spec.warmup_seconds = 1.0;
+  spec.master_seed = 1999;
+  const lab::ExperimentMatrix matrix(spec);
+
+  const std::string journal =
+      (std::filesystem::path(testing::TempDir()) / "golden_resume.jsonl").string();
+  std::error_code ec;
+  std::filesystem::remove_all(journal + ".cells", ec);
+  std::filesystem::remove(journal, ec);
+
+  // First leg: run 2 of the 4 cells, then "crash".
+  lab::MatrixRunOptions first;
+  first.jobs = 4;
+  first.isolate_failures = true;
+  first.audit_every_s = 1.0;
+  first.journal_path = journal;
+  first.max_cells = 2;
+  (void)matrix.Run(first);
+
+  // Second leg: resume the journal at --jobs 4 and finish the grid.
+  lab::MatrixRunOptions second;
+  second.jobs = 4;
+  second.isolate_failures = true;
+  second.audit_every_s = 1.0;
+  second.resume_path = journal;
+  const lab::MatrixResult resumed = matrix.Run(second);
+  EXPECT_TRUE(resumed.complete()) << resumed.error;
+  EXPECT_EQ(resumed.cells_restored, 2u);
+
+  std::uint64_t hash = kFnvOffset;
+  for (const lab::MergedCell& cell : resumed.merged) {
+    hash = Fnv1a(cell.os_name, hash);
+    hash = Fnv1a(cell.dpc_interrupt.ToCsv(), hash);
+    hash = Fnv1a(cell.thread.ToCsv(), hash);
+    hash = Fnv1a(cell.thread_interrupt.ToCsv(), hash);
+    hash = Fnv1a(cell.true_pit_interrupt_latency.ToCsv(), hash);
+  }
+  std::filesystem::remove_all(journal + ".cells", ec);
+  std::filesystem::remove(journal, ec);
+  return hash;
+}
+
+TEST(GoldenRunTest, SupervisedResumedMatrixChecksumIsStable) {
+  EXPECT_EQ(SupervisedResumedMatrixChecksum(), 12578414506684958345ull);
 }
 
 }  // namespace

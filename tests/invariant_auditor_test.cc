@@ -95,6 +95,57 @@ TEST(InvariantAuditorTest, EngineAuditCalendarDirectly) {
   EXPECT_TRUE(violations.empty()) << violations.front();
 }
 
+// All three ladder tiers under audit at once — ring buckets with lazy-dead
+// entries, a populated far-overflow heap, and (via callbacks) the active
+// drain batch with its cursor parked mid-burst while tail entries die.
+TEST(InvariantAuditorTest, LadderTiersAuditCleanIncludingMidBatch) {
+  sim::Engine engine;
+  sim::InvariantAuditor auditor(engine);
+
+  // Far tier: events beyond the ring horizon.
+  for (int i = 0; i < 16; ++i) {
+    engine.ScheduleAfter(
+        sim::Engine::kHorizonCycles + static_cast<sim::Cycles>(i) * sim::Engine::kBucketWidth,
+        [] {});
+  }
+  // Near ring: one event per epoch across a span of buckets, every fourth
+  // cancelled so the buckets hold lazy-purge corpses.
+  std::vector<sim::EventHandle> ring;
+  for (sim::Cycles i = 1; i <= 64; ++i) {
+    ring.push_back(engine.ScheduleAfter(i * sim::Engine::kBucketWidth, [] {}));
+  }
+  for (std::size_t i = 0; i < ring.size(); i += 4) {
+    ring[i].Cancel();
+  }
+
+  // Same-instant burst: each fire audits from inside the batched drain and
+  // cancels an unserved tail entry, so the audit sees a served prefix, a
+  // live cursor, and fresh corpses behind it.
+  const sim::Cycles tick = engine.now() + 100;
+  int mid_batch_audits = 0;
+  std::vector<sim::EventHandle> burst;
+  for (int i = 0; i < 32; ++i) {
+    burst.push_back(engine.ScheduleAt(tick, [&] {
+      const sim::AuditReport report = auditor.Audit();
+      ASSERT_TRUE(report.ok()) << report.Render();
+      ++mid_batch_audits;
+      if (!burst.empty()) {
+        burst.back().Cancel();
+        burst.pop_back();
+      }
+    }));
+  }
+  engine.RunUntil(tick);
+  EXPECT_GT(mid_batch_audits, 8);
+
+  // Post-drain: the far tier is still populated, the ring partially dead.
+  const sim::AuditReport after = auditor.Audit();
+  EXPECT_TRUE(after.ok()) << after.Render();
+  engine.RunUntilIdle();
+  const sim::AuditReport drained = auditor.Audit();
+  EXPECT_TRUE(drained.ok()) << drained.Render();
+}
+
 // The tentpole passivity claim: arming the watchdog, the auditor and the
 // black box slices the measurement phase, but RunUntil fires exactly the
 // events at or before its deadline — so the measured distributions must be
