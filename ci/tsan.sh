@@ -3,10 +3,11 @@
 #
 # Builds the tree with -fsanitize=thread into a separate build directory and
 # runs the concurrency-sensitive suites: the thread pool, the histogram-merge
-# algebra, and the jobs=1-vs-jobs=4 matrix determinism contract. Any data
-# race in the parallel runner fails the job. The batched-dispatch reentrancy
-# fuzz rides along so the engine's drain loop gets an instrumented shakeout
-# in the same build.
+# algebra, the quantile-sketch merge algebra (per-cell sketches fold on the
+# coordinator thread after parallel cells finish), and the jobs=1-vs-jobs=4
+# matrix determinism contract. Any data race in the parallel runner fails the
+# job. The batched-dispatch reentrancy fuzz rides along so the engine's drain
+# loop gets an instrumented shakeout in the same build.
 #
 #   ci/tsan.sh              # from the repo root
 #   BUILD_DIR=... ci/tsan.sh
@@ -22,7 +23,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test histogram_merge_test matrix_determinism_test \
-  batch_dispatch_fuzz_test
+  batch_dispatch_fuzz_test quantile_sketch_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest'
+  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest|QuantileSketchTest'

@@ -5,7 +5,13 @@
 // parser is the same strict RFC 8259 linter the unit tests use.
 //
 //   wdmlat_json_check trace.json --require-key=traceEvents
+//   wdmlat_json_check trace.json --check-flows
 //   wdmlat_json_check metrics.json --require-key=counters --require-key=histograms
+//
+// --check-flows additionally validates Perfetto flow-event pairing in the
+// file's "traceEvents" array: every flow start ('s') must have exactly one
+// matching finish ('f') with the same id and category, and vice versa — a
+// dangling half renders as a broken arrow in the trace viewer.
 //
 // Exit status: 0 when every file parses and contains every required
 // top-level key, 1 otherwise, 2 on usage errors.
@@ -13,29 +19,104 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/obs/json.h"
 
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: wdmlat_json_check FILE... [--require-key=NAME]... [--check-flows]\n";
+
+// Pair up 's'/'f' phases by flow id within traceEvents. Flow ids are unique
+// per arrow, so each id must appear exactly once per phase with one category.
+bool CheckFlowEvents(const std::string& path, const wdmlat::obs::JsonValue& root) {
+  const wdmlat::obs::JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "wdmlat_json_check: %s: --check-flows needs a traceEvents array\n",
+                 path.c_str());
+    return false;
+  }
+  struct FlowHalves {
+    int starts = 0;
+    int finishes = 0;
+    std::string start_cat;
+    std::string finish_cat;
+  };
+  std::map<double, FlowHalves> flows;
+  bool ok = true;
+  for (const wdmlat::obs::JsonValue& event : events->items()) {
+    const std::string phase = event.StringOr("ph", "");
+    if (phase != "s" && phase != "f") {
+      continue;
+    }
+    const wdmlat::obs::JsonValue* id = event.Find("id");
+    const wdmlat::obs::JsonValue* cat = event.Find("cat");
+    if (id == nullptr || !id->is_number() || cat == nullptr || !cat->is_string()) {
+      std::fprintf(stderr, "wdmlat_json_check: %s: flow '%s' event lacks numeric id / "
+                   "string cat\n", path.c_str(), phase.c_str());
+      ok = false;
+      continue;
+    }
+    FlowHalves& halves = flows[id->as_number()];
+    if (phase == "s") {
+      ++halves.starts;
+      halves.start_cat = cat->as_string();
+    } else {
+      ++halves.finishes;
+      halves.finish_cat = cat->as_string();
+    }
+  }
+  std::size_t arrows = 0;
+  for (const auto& [id, halves] : flows) {
+    if (halves.starts != 1 || halves.finishes != 1) {
+      std::fprintf(stderr,
+                   "wdmlat_json_check: %s: flow id %.0f has %d start(s) and %d "
+                   "finish(es) (want exactly 1 of each)\n",
+                   path.c_str(), id, halves.starts, halves.finishes);
+      ok = false;
+    } else if (halves.start_cat != halves.finish_cat) {
+      std::fprintf(stderr,
+                   "wdmlat_json_check: %s: flow id %.0f category mismatch "
+                   "(\"%s\" vs \"%s\")\n",
+                   path.c_str(), id, halves.start_cat.c_str(), halves.finish_cat.c_str());
+      ok = false;
+    } else {
+      ++arrows;
+    }
+  }
+  if (ok) {
+    std::printf("wdmlat_json_check: %s: flows OK (%zu arrow(s) paired)\n", path.c_str(),
+                arrows);
+  }
+  return ok;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<std::string> required_keys;
+  bool check_flows = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--require-key=", 14) == 0) {
       required_keys.emplace_back(arg + 14);
+    } else if (std::strcmp(arg, "--check-flows") == 0) {
+      check_flows = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0 ||
                std::strncmp(arg, "--", 2) == 0) {
-      std::fprintf(stderr, "usage: wdmlat_json_check FILE... [--require-key=NAME]...\n");
+      std::fputs(kUsage, stderr);
       return 2;
     } else {
       files.emplace_back(arg);
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: wdmlat_json_check FILE... [--require-key=NAME]...\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
 
@@ -70,6 +151,18 @@ int main(int argc, char** argv) {
     if (keys_ok) {
       std::printf("wdmlat_json_check: %s: OK (%zu bytes, %zu top-level keys)\n",
                   path.c_str(), text.size(), result.top_level_keys.size());
+    }
+    if (check_flows) {
+      // Lint passed, so ParseJson can only fail on its stricter rules
+      // (duplicate keys / number overflow) — still a reportable defect.
+      const wdmlat::obs::JsonParseResult parsed = wdmlat::obs::ParseJson(text);
+      if (!parsed.valid) {
+        std::fprintf(stderr, "wdmlat_json_check: %s: %s (offset %zu)\n", path.c_str(),
+                     parsed.error.c_str(), parsed.error_offset);
+        ok = false;
+      } else {
+        ok = CheckFlowEvents(path, parsed.value) && ok;
+      }
     }
   }
   return ok ? 0 : 1;

@@ -34,6 +34,12 @@
 //                              arm the episode flight recorder + cause tool
 //                              at this thread latency; prints the
 //                              attribution-accuracy report after the run
+//   --anatomy-out=<file>       attach the causal LatencyAnatomy sink and write
+//                              exact per-episode stage decompositions as JSON
+//                              (matrix mode: per-group stage totals); requires
+//                              --episode-threshold-us
+//   --sketch                   stream thread latencies through the mergeable
+//                              QuantileSketch; prints exact-tail quantiles
 //
 // Fault injection (see EXPERIMENTS.md "Fault plans"):
 //   --faults=NAME|FILE         drive a fault plan alongside the workload: a
@@ -94,6 +100,7 @@
 #include "src/lab/differential.h"
 #include "src/lab/lab.h"
 #include "src/lab/matrix.h"
+#include "src/obs/anatomy.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
@@ -107,25 +114,80 @@ namespace {
 
 using namespace wdmlat;
 
+// The complete flag table. --help prints this to stdout and exits 0; the
+// CLI contract test greps it for every flag the parser accepts, so a flag
+// added to the parser without a row here fails CI.
+constexpr const char kHelpText[] =
+    "usage: wdmlat_run [flags]\n"
+    "\n"
+    "Experiment cell:\n"
+    "  --os=nt4|win98|w2kbeta     OS personality               (default win98)\n"
+    "  --workload=office|workstation|games|web|idle            (default games)\n"
+    "  --priority=N               measured RT thread priority 16..31 (default 28)\n"
+    "  --minutes=F                virtual measurement minutes  (default 10)\n"
+    "  --seed=N                   RNG seed                     (default 1999)\n"
+    "  --scanner                  enable the Plus!98 virus scanner (98 only)\n"
+    "  --sounds                   enable the default sound scheme  (98 only)\n"
+    "\n"
+    "Output:\n"
+    "  --plot                     render the log-log distribution panel\n"
+    "  --csv-dir=DIR              export distributions as CSV\n"
+    "  --worst-cases              print hourly/daily/weekly expected worst cases\n"
+    "\n"
+    "Observability (EXPERIMENTS.md \"Tracing & metrics\"):\n"
+    "  --trace-out=FILE           write a Chrome trace-event JSON (Perfetto)\n"
+    "  --metrics-out=FILE         write the run's MetricsRegistry as JSON\n"
+    "  --metrics-csv=FILE         same registry as kind,name,field,value CSV\n"
+    "  --queue-sample-ms=F        queue-depth sampling period (default 1.0)\n"
+    "  --episode-threshold-us=F   arm the episode flight recorder + cause tool\n"
+    "                             at this thread latency\n"
+    "  --anatomy-out=FILE         decompose each episode into exact causal stage\n"
+    "                             cycles (requires --episode-threshold-us); prints\n"
+    "                             the anatomy report and writes episode JSON (in\n"
+    "                             matrix mode: per-group stage totals)\n"
+    "  --sketch                   stream thread latencies through the mergeable\n"
+    "                             quantile sketch; prints exact-tail P50/P99/\n"
+    "                             P99.9/P99.99 after the run\n"
+    "\n"
+    "Fault injection (EXPERIMENTS.md \"Fault plans\"):\n"
+    "  --faults=NAME|FILE         built-in plan (virus_scan, irq_storm,\n"
+    "                             masked_window) or a JSON plan file\n"
+    "  --differential             A/B the cell with/without the plan (single cell)\n"
+    "  --diff-out=FILE            write the differential report as JSON\n"
+    "  --diff-csv=FILE            write the differential report as CSV\n"
+    "\n"
+    "Matrix mode (parallel experiment grid):\n"
+    "  --matrix                   run the full {NT,98} x {4 loads} x {prio 28,24}\n"
+    "                             grid; merged results are bit-identical for any\n"
+    "                             --jobs value\n"
+    "  --jobs=N                   worker threads (default: hardware cores)\n"
+    "  --trials=N                 independent seeds per cell (default 1)\n"
+    "\n"
+    "Supervised runs (imply --matrix; EXPERIMENTS.md \"Supervised runs\"):\n"
+    "  --journal=FILE             checkpoint finished cells to a JSONL journal\n"
+    "  --resume=FILE              resume an interrupted run from its journal\n"
+    "  --cell-timeout-ms=F        host-clock deadline budget per cell attempt\n"
+    "  --cell-retries=N           attempts for host-transient failures (default 3)\n"
+    "  --audit-every-s=F          run the invariant auditor every F virtual secs\n"
+    "  --max-cells=N              stop after N cells (exit 4; resumable)\n"
+    "  --audit-fail-cell=N        CI fixture: inject an invariant violation\n"
+    "  --throw-cell=N             CI fixture: inject an exception into cell N\n"
+    "\n"
+    "  --help, -h                 print this flag table and exit 0\n"
+    "\n"
+    "Exit codes: 0 success, 2 usage/config error, 3 failed cells,\n"
+    "4 interrupted (--max-cells hit; journal is resumable).\n";
+
+[[noreturn]] void Help() {
+  std::fputs(kHelpText, stdout);
+  std::exit(0);
+}
+
 [[noreturn]] void Usage(const char* bad = nullptr) {
   if (bad != nullptr) {
     std::fprintf(stderr, "wdmlat_run: unrecognized argument '%s'\n\n", bad);
   }
-  std::fprintf(stderr,
-               "usage: wdmlat_run [--os=nt4|win98|w2kbeta] "
-               "[--workload=office|workstation|games|web|idle]\n"
-               "                  [--priority=N] [--minutes=F] [--seed=N] [--scanner] "
-               "[--sounds]\n"
-               "                  [--plot] [--csv-dir=DIR] [--worst-cases]\n"
-               "                  [--trace-out=FILE] [--metrics-out=FILE] "
-               "[--metrics-csv=FILE]\n"
-               "                  [--queue-sample-ms=F] [--episode-threshold-us=F]\n"
-               "                  [--faults=NAME|FILE [--differential] [--diff-out=FILE] "
-               "[--diff-csv=FILE]]\n"
-               "                  [--matrix [--jobs=N] [--trials=N]]\n"
-               "                  [--journal=FILE | --resume=FILE] [--cell-timeout-ms=F]\n"
-               "                  [--cell-retries=N] [--audit-every-s=F] [--max-cells=N]\n"
-               "                  [--audit-fail-cell=N] [--throw-cell=N]\n");
+  std::fprintf(stderr, "usage: wdmlat_run [flags]  (see wdmlat_run --help)\n");
   std::exit(2);
 }
 
@@ -245,6 +307,8 @@ int main(int argc, char** argv) {
   std::string metrics_csv;
   double queue_sample_ms = 1.0;
   double episode_threshold_us = 0.0;
+  std::string anatomy_out;
+  bool sketch = false;
   std::string faults_arg;
   bool differential = false;
   std::string diff_out;
@@ -320,8 +384,12 @@ int main(int argc, char** argv) {
       diff_out = RequireValue("--diff-out", value);
     } else if (MatchValueFlag(argc, argv, &i, "--diff-csv", &value)) {
       diff_csv = RequireValue("--diff-csv", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--anatomy-out", &value)) {
+      anatomy_out = RequireValue("--anatomy-out", value);
+    } else if (MatchFlag(argv[i], "--sketch", &value)) {
+      sketch = true;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      Usage();
+      Help();
     } else {
       Usage(argv[i]);
     }
@@ -349,6 +417,12 @@ int main(int argc, char** argv) {
   if (cell_timeout_ms < 0.0 || audit_every_s < 0.0) {
     std::fprintf(stderr,
                  "wdmlat_run: --cell-timeout-ms and --audit-every-s must be >= 0\n");
+    return 2;
+  }
+  if (!anatomy_out.empty() && episode_threshold_us <= 0.0) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --anatomy-out requires --episode-threshold-us "
+                 "(anatomy decomposes flight-recorder episodes)\n");
     return 2;
   }
   if (!journal_path.empty() && !resume_path.empty()) {
@@ -417,6 +491,8 @@ int main(int argc, char** argv) {
     spec.collect_metrics = want_metrics;
     spec.queue_sample_ms = queue_sample_ms;
     spec.episode_threshold_us = episode_threshold_us;
+    spec.anatomy = !anatomy_out.empty();
+    spec.sketch = sketch;
     if (have_faults) {
       spec.faults = &fault_plan;
     }
@@ -518,6 +594,56 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(group.episode_module_matches));
       }
     }
+    if (!anatomy_out.empty()) {
+      std::printf("\nCausal anatomy (stage cycles pooled per group):\n");
+      std::string json = "{\n  \"groups\": [";
+      bool first = true;
+      for (const lab::MergedCell& group : result.merged) {
+        if (group.anatomy_episodes == 0) {
+          continue;
+        }
+        sim::Cycles total = 0;
+        for (const sim::Cycles cycles : group.anatomy_stage_cycles) {
+          total += cycles;
+        }
+        std::printf("  %-16s %-18s prio %-2d  %llu episodes\n", group.os_name.c_str(),
+                    group.workload_name.c_str(), group.thread_priority,
+                    static_cast<unsigned long long>(group.anatomy_episodes));
+        json += first ? "\n" : ",\n";
+        first = false;
+        json += "    {\"os\": \"" + group.os_name + "\", \"workload\": \"" +
+                group.workload_name +
+                "\", \"priority\": " + std::to_string(group.thread_priority) +
+                ",\n     \"episodes\": " + std::to_string(group.anatomy_episodes) +
+                ", \"stage_cycles\": {";
+        for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+          const auto stage = static_cast<obs::AnatomyStage>(s);
+          const sim::Cycles cycles = group.anatomy_stage_cycles[s];
+          json += std::string(s == 0 ? "" : ", ") + "\"" + obs::AnatomyStageName(stage) +
+                  "\": " + std::to_string(cycles);
+          if (cycles > 0 && total > 0) {
+            std::printf("    %-14s %12llu cycles  (%5.1f%%)\n", obs::AnatomyStageName(stage),
+                        static_cast<unsigned long long>(cycles),
+                        100.0 * static_cast<double>(cycles) / static_cast<double>(total));
+          }
+        }
+        json += "}}";
+      }
+      json += first ? "]\n}\n" : "\n  ]\n}\n";
+      WriteTextFile(anatomy_out, json, "anatomy stage totals JSON");
+    }
+    if (sketch) {
+      std::printf("\nQuantile sketch (grid-order merged; deep tail exact):\n");
+      std::printf("  %-16s %-18s %-4s %9s %9s %9s %9s\n", "OS", "workload", "prio",
+                  "p50 ms", "p99 ms", "p99.9 ms", "p99.99 ms");
+      for (const lab::MergedCell& group : result.merged) {
+        std::printf("  %-16s %-18s %-4d %9.3f %9.3f %9.3f %9.3f\n", group.os_name.c_str(),
+                    group.workload_name.c_str(), group.thread_priority,
+                    group.thread_sketch.QuantileMs(0.5), group.thread_sketch.QuantileMs(0.99),
+                    group.thread_sketch.QuantileMs(0.999),
+                    group.thread_sketch.QuantileMs(0.9999));
+      }
+    }
     if (!trace_out.empty()) {
       lab::AppendHostTrace(trace_writer, matrix, result);
       if (trace_writer.WriteFile(trace_out)) {
@@ -591,6 +717,8 @@ int main(int argc, char** argv) {
   }
   config.obs.queue_sample_ms = queue_sample_ms;
   config.obs.episode_threshold_us = episode_threshold_us;
+  config.obs.anatomy = !anatomy_out.empty();
+  config.obs.sketch = sketch;
 
   if (differential) {
     std::printf("wdmlat_run: %s, %s, priority %d, %.1f virtual minutes, seed %llu\n",
@@ -674,6 +802,18 @@ int main(int argc, char** argv) {
 
   if (episode_threshold_us > 0.0) {
     std::printf("\n%s", obs::RenderAttributionReport(report.episodes).c_str());
+  }
+  if (!anatomy_out.empty()) {
+    std::printf("\n%s", obs::RenderAnatomyReport(report.anatomy).c_str());
+    WriteTextFile(anatomy_out, obs::AnatomyToJson(report.anatomy), "anatomy JSON");
+  }
+  if (sketch) {
+    const stats::QuantileSketch& qs = report.thread_sketch;
+    std::printf("\nQuantile sketch (thread latency, %llu samples; deep tail exact):\n",
+                static_cast<unsigned long long>(qs.count()));
+    std::printf("  p50 %8.3f  p99 %8.3f  p99.9 %8.3f  p99.99 %8.3f  max %8.3f ms\n",
+                qs.QuantileMs(0.5), qs.QuantileMs(0.99), qs.QuantileMs(0.999),
+                qs.QuantileMs(0.9999), qs.max_ms());
   }
   if (!trace_out.empty()) {
     if (trace_writer.WriteFile(trace_out)) {

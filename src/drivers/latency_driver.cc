@@ -153,9 +153,13 @@ void LatencyDriver::RecordSample() {
     interrupt_.RecordMs(sim::CyclesToMs(irp_.asb[3] - estimated_expiry));
     isr_to_dpc_.RecordMs(sim::CyclesToMs(dpc_tsc - irp_.asb[3]));
   }
+  last_stamps_ = SampleStamps{estimated_expiry, irp_.asb[3], dpc_tsc, thread_tsc};
   irp_.asb[3] = 0;
 
   ++samples_;
+  if (on_sample) {
+    on_sample(thread_ms);
+  }
   for (const LongLatencyWatch& watch : long_watches_) {
     if (watch.callback && watch.threshold_ms > 0.0 && thread_ms >= watch.threshold_ms) {
       watch.callback(thread_ms);

@@ -89,6 +89,22 @@ class LatencyDriver {
   void SetLongLatencyCallback(double threshold_ms, std::function<void(double)> callback);
   void AddLongLatencyCallback(double threshold_ms, std::function<void(double)> callback);
 
+  // Per-sample observer: runs for every recorded (post-warmup) sample with
+  // the thread latency in ms, before the long-latency watches. Feeds the
+  // streaming quantile sketch without touching the measurement chain.
+  std::function<void(double thread_ms)> on_sample;
+
+  // The TSC stamps of the most recently recorded sample, valid while the
+  // long-latency watches run: the exact [dpc_tsc, thread_tsc] window the
+  // anatomy decomposes. isr_tsc is 0 when the legacy hook missed this cycle.
+  struct SampleStamps {
+    sim::Cycles estimated_expiry = 0;  // asb[0] + ARBITRARY_DELAY
+    sim::Cycles isr_tsc = 0;           // asb[3] (98 legacy hook only)
+    sim::Cycles dpc_tsc = 0;           // asb[1]
+    sim::Cycles thread_tsc = 0;        // asb[2]
+  };
+  const SampleStamps& last_stamps() const { return last_stamps_; }
+
  private:
   void LatRead(kernel::Irp* irp);
   void LatDpcRoutine();
@@ -136,6 +152,7 @@ class LatencyDriver {
     std::function<void(double)> callback;
   };
   std::vector<LongLatencyWatch> long_watches_;
+  SampleStamps last_stamps_;
 };
 
 }  // namespace wdmlat::drivers

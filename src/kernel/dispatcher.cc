@@ -268,6 +268,7 @@ void Dispatcher::AcceptInterrupt(int line) {
   frame->on_elapsed = [this, fp] { IsrEntry(fp); };
   stack_.push_back(std::move(frame));
   ++interrupts_accepted_;
+  Emit(TraceEventType::kIsrAccept, kTrapDispatchLabel, line, 0);
 }
 
 void Dispatcher::IsrEntry(Frame* frame) {
@@ -312,6 +313,7 @@ void Dispatcher::StartNextDpc() {
   frame->on_elapsed = [this, fp, dpc, enqueued] { DpcEntry(fp, dpc, enqueued); };
   dpc_frame_ = std::move(frame);
   ++dpcs_dispatched_;
+  Emit(TraceEventType::kDpcFetch, kDispatcherLabel, -1, 0);
 }
 
 void Dispatcher::DpcEntry(Frame* frame, KDpc* dpc, sim::Cycles enqueued) {
@@ -397,6 +399,7 @@ void Dispatcher::PreemptCurrent(bool to_front) {
   current_ = nullptr;
   thread_phase_ = ThreadPhase::kNone;
   thread_irql_ = Irql::kPassive;
+  Emit(TraceEventType::kThreadStop, kDispatcherLabel, thread->priority(), 0);
 }
 
 void Dispatcher::ThreadEntry() {
@@ -406,10 +409,13 @@ void Dispatcher::ThreadEntry() {
     // Resuming a compute segment that was preempted earlier.
     thread_phase_ = ThreadPhase::kSegment;
     thread_irql_ = thread->seg_irql_;
+    Emit(TraceEventType::kThreadRun, thread->seg_label_, thread->priority(), 0);
     return;
   }
   thread_phase_ = ThreadPhase::kSegment;
   thread_irql_ = Irql::kPassive;
+  Emit(TraceEventType::kThreadRun, kDispatcherLabel, thread->priority(),
+       engine_.now() - thread->wait_signaled_at_);
   if (on_thread_dispatch) {
     on_thread_dispatch(*thread, thread->wait_signaled_at_, engine_.now());
   }
@@ -438,6 +444,7 @@ void Dispatcher::AfterContinuation() {
     current_ = nullptr;
     thread_phase_ = ThreadPhase::kNone;
     thread_irql_ = Irql::kPassive;
+    Emit(TraceEventType::kThreadStop, kDispatcherLabel, thread->priority(), 0);
     return;
   }
   if (cont_blocked_) {
@@ -445,6 +452,7 @@ void Dispatcher::AfterContinuation() {
     current_ = nullptr;
     thread_phase_ = ThreadPhase::kNone;
     thread_irql_ = Irql::kPassive;
+    Emit(TraceEventType::kThreadStop, kDispatcherLabel, thread->priority(), 0);
     return;
   }
   if (thread->has_segment_) {
@@ -458,6 +466,7 @@ void Dispatcher::AfterContinuation() {
   current_ = nullptr;
   thread_phase_ = ThreadPhase::kNone;
   thread_irql_ = Irql::kPassive;
+  Emit(TraceEventType::kThreadStop, kDispatcherLabel, thread->priority(), 0);
 }
 
 void Dispatcher::OnThreadElapsed() {

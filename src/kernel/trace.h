@@ -32,6 +32,12 @@ enum class TraceEventType : std::uint8_t {
   kSectionEnd,
   kDispatchLockout,
   kThreadReady,
+  // Causal-anatomy boundary events (PR 7): the fine-grained phase
+  // transitions LatencyAnatomy needs to partition CPU time exactly.
+  kIsrAccept,   // interrupt taken, trap-dispatch overhead begins
+  kDpcFetch,    // DPC dequeued, dispatch overhead begins (before kDpcStart)
+  kThreadRun,   // context-switch overhead done, thread body begins
+  kThreadStop,  // thread left the CPU (blocked, exited, or preempted)
   // Sentinel — keep last. Sizes every per-type array (TraceSession's
   // counters, exporter tables), so adding an event type above cannot
   // silently under-count.
@@ -61,6 +67,14 @@ constexpr const char* TraceEventName(TraceEventType type) {
       return "dispatch-lockout";
     case TraceEventType::kThreadReady:
       return "thread-ready";
+    case TraceEventType::kIsrAccept:
+      return "isr-accept";
+    case TraceEventType::kDpcFetch:
+      return "dpc-fetch";
+    case TraceEventType::kThreadRun:
+      return "thread-run";
+    case TraceEventType::kThreadStop:
+      return "thread-stop";
     case TraceEventType::kTraceEventTypeCount:
       break;
   }
@@ -71,11 +85,12 @@ struct TraceEvent {
   TraceEventType type{};
   sim::Cycles tsc = 0;
   Label label{};
-  // kIsrEnter/kIsrExit: interrupt line; kContextSwitch/kThreadReady: thread
-  // priority; otherwise unused.
+  // kIsrEnter/kIsrExit/kIsrAccept: interrupt line; kContextSwitch/
+  // kThreadReady/kThreadRun/kThreadStop: thread priority; otherwise unused.
   int arg = -1;
   // kIsrExit/kSectionEnd/kDpcEnd: wall duration since the matching start;
-  // kDispatchLockout: requested lockout length.
+  // kDispatchLockout: requested lockout length; kThreadRun: wake-to-run
+  // latency (signal to body start) on a fresh dispatch, 0 on a resume.
   sim::Cycles duration = 0;
 };
 

@@ -93,10 +93,13 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   }
   std::unique_ptr<drivers::CauseTool> cause_tool;
   std::unique_ptr<obs::EpisodeFlightRecorder> recorder;
+  std::unique_ptr<obs::LatencyAnatomy> anatomy;
   if (obs.episode_threshold_us > 0.0) {
     drivers::CauseTool::Config tool_config;
     tool_config.threshold_ms = obs.episode_threshold_us / 1000.0;
     tool_config.max_episodes = obs.max_episodes;
+    tool_config.sampling = obs.sampling;
+    tool_config.nmi_period_ms = obs.nmi_period_ms;
     cause_tool = std::make_unique<drivers::CauseTool>(system.kernel(), driver, tool_config);
     cause_tool->Start();  // registers its long-latency callback first
 
@@ -106,6 +109,34 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
     recorder = std::make_unique<obs::EpisodeFlightRecorder>(system.kernel(), rec_config);
     recorder->Arm(driver, cause_tool.get());
     fanout.Add(recorder->trace_sink());
+
+    if (obs.anatomy) {
+      obs::LatencyAnatomy::Config an_config;
+      an_config.max_episodes = obs.max_episodes;
+      anatomy = std::make_unique<obs::LatencyAnatomy>(an_config);
+      fanout.Add(anatomy.get());
+      // Registered third (after the cause tool and recorder) so anatomy
+      // records pair by index with LabReport::episodes. The driver's sample
+      // stamps are still live when the watches fire, giving the exact
+      // [dpc_tsc, thread_tsc] window this latency was measured over.
+      obs::LatencyAnatomy* sink = anatomy.get();
+      drivers::LatencyDriver* drv = &driver;
+      driver.AddLongLatencyCallback(
+          obs.episode_threshold_us / 1000.0, [sink, drv](double ms) {
+            const drivers::LatencyDriver::SampleStamps& stamps = drv->last_stamps();
+            sink->OnEpisode(ms, stamps.dpc_tsc, stamps.thread_tsc);
+          });
+    }
+  }
+  if (obs.sketch) {
+    stats::QuantileSketch* sketch = &report.thread_sketch;
+    obs::MetricsRegistry* metrics = obs.metrics;
+    driver.on_sample = [sketch, metrics](double thread_ms) {
+      sketch->RecordMs(thread_ms);
+      if (metrics != nullptr) {
+        metrics->ObserveSketch("driver.thread_ms", thread_ms);
+      }
+    };
   }
   if (!fanout.empty()) {
     system.kernel().dispatcher().set_trace_sink(&fanout);
@@ -169,6 +200,9 @@ LabReport RunLatencyExperiment(const LabConfig& config) {
   report.samples_per_hour = driver.samples_per_hour();
   if (recorder != nullptr) {
     report.episodes = recorder->Summaries();
+  }
+  if (anatomy != nullptr) {
+    report.anatomy = anatomy->episodes();
   }
   if (obs.metrics != nullptr) {
     obs::CollectRunCounters(system.kernel(), *obs.metrics);

@@ -21,15 +21,18 @@
 
 #include <vector>
 
+#include "src/drivers/cause_tool.h"
 #include "src/drivers/latency_driver.h"
 #include "src/fault/fault.h"
 #include "src/kernel/profile.h"
 #include "src/kernel/trace.h"
 #include "src/lab/test_system.h"
+#include "src/obs/anatomy.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/supervisor.h"
 #include "src/stats/histogram.h"
+#include "src/stats/quantile_sketch.h"
 #include "src/stats/usage_model.h"
 #include "src/workload/stress_profile.h"
 
@@ -49,10 +52,22 @@ struct ObsOptions {
   // >0: sample DPC/ready/work queue depths every so many virtual ms into
   // `metrics` (and onto the trace's counter track when both are attached).
   double queue_sample_ms = 0.0;
-  // >0: arm an episode flight recorder (plus a PIT-hook cause tool) at this
+  // >0: arm an episode flight recorder (plus a cause tool) at this
   // thread-latency threshold; episode summaries land in LabReport::episodes.
   double episode_threshold_us = 0.0;
   std::size_t max_episodes = 64;
+  // Cause-tool IP-sampling mode + NMI period (paper 2.3 vs 6.1) for the
+  // episode tool armed by episode_threshold_us.
+  drivers::CauseTool::Sampling sampling = drivers::CauseTool::Sampling::kPitHook;
+  double nmi_period_ms = 0.2;
+  // Attach an obs::LatencyAnatomy sink (needs episode_threshold_us > 0):
+  // exact per-episode stage decomposition into LabReport::anatomy. A passive
+  // trace sink — measured distributions stay bit-identical.
+  bool anatomy = false;
+  // Stream every recorded thread-latency sample into
+  // LabReport::thread_sketch (and metrics series "driver.thread_ms" when a
+  // registry is attached).
+  bool sketch = false;
 };
 
 // Supervision hooks for one run (all optional; everything off by default).
@@ -135,6 +150,14 @@ struct LabReport {
   // Long-latency episodes captured by the flight recorder (empty unless
   // ObsOptions::episode_threshold_us was set).
   std::vector<obs::EpisodeSummary> episodes;
+
+  // Exact causal decomposition of the same episodes (empty unless
+  // ObsOptions::anatomy was set). Pairs with `episodes` by index.
+  std::vector<obs::AnatomyEpisode> anatomy;
+
+  // Streaming per-sample thread-latency sketch (zero count unless
+  // ObsOptions::sketch was set). Exact P99.9/P99.99 via its top-K tail.
+  stats::QuantileSketch thread_sketch;
 
   // Fault-injection ground truth (zero unless LabConfig::faults was set).
   std::uint64_t fault_activations = 0;

@@ -258,6 +258,8 @@ MatrixResult ExperimentMatrix::Run(const MatrixRunOptions& options) const {
       }
       config.obs.episode_threshold_us = spec_.episode_threshold_us;
       config.obs.max_episodes = spec_.max_episodes;
+      config.obs.anatomy = spec_.anatomy;
+      config.obs.sketch = spec_.sketch;
       if (i == 0) {
         config.obs.trace_sink = spec_.trace_sink;
       }
@@ -402,6 +404,13 @@ MatrixResult ExperimentMatrix::Run(const MatrixRunOptions& options) const {
     for (const obs::EpisodeSummary& episode : report.episodes) {
       group.episodes_attributed += episode.attributed ? 1 : 0;
       group.episode_module_matches += episode.module_match ? 1 : 0;
+    }
+    group.thread_sketch.Merge(report.thread_sketch);
+    group.anatomy_episodes += report.anatomy.size();
+    for (const obs::AnatomyEpisode& episode : report.anatomy) {
+      for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+        group.anatomy_stage_cycles[s] += episode.stage_cycles[s];
+      }
     }
     ++group.trials;
   }

@@ -20,6 +20,7 @@
 #ifndef SRC_LAB_MATRIX_H_
 #define SRC_LAB_MATRIX_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -63,6 +64,14 @@ struct MatrixSpec {
   // tallies land in the merged groups.
   double episode_threshold_us = 0.0;
   std::size_t max_episodes = 64;
+  // Attach a per-cell obs::LatencyAnatomy (needs episode_threshold_us > 0):
+  // per-episode stage decompositions stay in the per-cell LabReports, and
+  // stage-cycle totals pool into MergedCell::anatomy_stage_cycles.
+  bool anatomy = false;
+  // Stream every cell's thread-latency samples into a per-cell
+  // stats::QuantileSketch; per-trial sketches merge — grid order, so the
+  // merged sketch is jobs-independent — into MergedCell::thread_sketch.
+  bool sketch = false;
   // Receives the dispatcher trace of the FIRST cell only: a sink shared by
   // concurrently-running cells would interleave their tracks meaninglessly,
   // so the sim-side tracks show one representative cell while the host-side
@@ -118,6 +127,15 @@ struct MergedCell {
   std::uint64_t episodes = 0;
   std::uint64_t episodes_attributed = 0;
   std::uint64_t episode_module_matches = 0;
+
+  // Streaming thread-latency sketch pooled across trials in grid order
+  // (zero count unless MatrixSpec::sketch was set).
+  stats::QuantileSketch thread_sketch;
+
+  // Anatomy tallies pooled across trials (zero unless MatrixSpec::anatomy):
+  // exact critical-path cycles by stage, summed over decomposed episodes.
+  std::uint64_t anatomy_episodes = 0;
+  std::array<sim::Cycles, obs::kAnatomyStageCount> anatomy_stage_cycles{};
 
   // Injected-fault activations pooled across trials (zero without a plan).
   std::uint64_t fault_activations = 0;

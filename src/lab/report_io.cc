@@ -173,6 +173,180 @@ bool ReadHistogram(const obs::JsonValue& histograms, const char* name,
   return true;
 }
 
+void WriteSketch(std::ostringstream& out, const char* name,
+                 const stats::QuantileSketch& sketch) {
+  const stats::QuantileSketch::State state = sketch.ExportState();
+  out << "\"" << name << "\": {\"levels\": [";
+  for (std::size_t l = 0; l < state.levels.size(); ++l) {
+    out << (l == 0 ? "" : ", ") << "[";
+    for (std::size_t i = 0; i < state.levels[l].size(); ++i) {
+      out << (i == 0 ? "" : ", ") << "\"" << HexDouble(state.levels[l][i]) << "\"";
+    }
+    out << "]";
+  }
+  out << "], \"parities\": [";
+  for (std::size_t l = 0; l < state.parities.size(); ++l) {
+    out << (l == 0 ? "" : ", ") << static_cast<int>(state.parities[l]);
+  }
+  // Tail heap order is exported verbatim so the import is bit-identical.
+  out << "], \"tail\": [";
+  for (std::size_t i = 0; i < state.tail.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << HexDouble(state.tail[i]) << "\"";
+  }
+  out << "], \"count\": \"" << U64String(state.count) << "\", \"sum_ms\": \""
+      << HexDouble(state.sum_ms) << "\", \"min_ms\": \"" << HexDouble(state.min_ms)
+      << "\", \"max_ms\": \"" << HexDouble(state.max_ms) << "\"}";
+}
+
+bool ReadSketch(const obs::JsonValue& object, const char* name, stats::QuantileSketch* out,
+                std::string* error) {
+  const obs::JsonValue* sketch = object.Find(name);
+  if (sketch == nullptr) {
+    return true;  // pre-sketch artifact: leave the sketch empty
+  }
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = std::string("sketch \"") + name + "\": " + what;
+    }
+    return false;
+  };
+  if (!sketch->is_object()) {
+    return fail("not an object");
+  }
+  stats::QuantileSketch::State state;
+  const obs::JsonValue* levels = sketch->Find("levels");
+  const obs::JsonValue* parities = sketch->Find("parities");
+  const obs::JsonValue* tail = sketch->Find("tail");
+  if (levels == nullptr || !levels->is_array() || parities == nullptr ||
+      !parities->is_array() || tail == nullptr || !tail->is_array()) {
+    return fail("missing levels/parities/tail arrays");
+  }
+  for (const obs::JsonValue& level : levels->items()) {
+    if (!level.is_array()) {
+      return fail("malformed level");
+    }
+    std::vector<double> items;
+    items.reserve(level.items().size());
+    for (const obs::JsonValue& item : level.items()) {
+      double value = 0.0;
+      if (!item.is_string() || !ParseHexDouble(item.as_string(), &value)) {
+        return fail("level item is not a hexfloat");
+      }
+      items.push_back(value);
+    }
+    state.levels.push_back(std::move(items));
+  }
+  for (const obs::JsonValue& parity : parities->items()) {
+    if (!parity.is_number()) {
+      return fail("parity is not a number");
+    }
+    state.parities.push_back(static_cast<std::uint8_t>(parity.as_number()));
+  }
+  for (const obs::JsonValue& item : tail->items()) {
+    double value = 0.0;
+    if (!item.is_string() || !ParseHexDouble(item.as_string(), &value)) {
+      return fail("tail item is not a hexfloat");
+    }
+    state.tail.push_back(value);
+  }
+  if (!ReadU64Field(*sketch, "count", &state.count, error) ||
+      !ReadHexDoubleField(*sketch, "sum_ms", &state.sum_ms, error) ||
+      !ReadHexDoubleField(*sketch, "min_ms", &state.min_ms, error) ||
+      !ReadHexDoubleField(*sketch, "max_ms", &state.max_ms, error)) {
+    return false;
+  }
+  if (!out->ImportState(state)) {
+    return fail("state rejected (weight conservation)");
+  }
+  return true;
+}
+
+void WriteAnatomy(std::ostringstream& out, const std::vector<obs::AnatomyEpisode>& anatomy) {
+  out << "\"anatomy\": [";
+  for (std::size_t i = 0; i < anatomy.size(); ++i) {
+    const obs::AnatomyEpisode& ep = anatomy[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "{\"latency_ms\": \"" << HexDouble(ep.latency_ms) << "\", \"window_begin\": \""
+        << U64String(ep.window_begin) << "\", \"window_end\": \""
+        << U64String(ep.window_end) << "\", \"truncated\": "
+        << (ep.truncated ? "true" : "false") << ", \"stage_cycles\": [";
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      out << (s == 0 ? "" : ", ") << "\"" << U64String(ep.stage_cycles[s]) << "\"";
+    }
+    out << "], \"stage_blame\": [";
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      const obs::AnatomyEpisode::Blame& blame = ep.stage_blame[s];
+      out << (s == 0 ? "" : ", ") << "{\"module\": \"" << EscapeJson(blame.module)
+          << "\", \"function\": \"" << EscapeJson(blame.function) << "\", \"cycles\": \""
+          << U64String(blame.cycles) << "\"}";
+    }
+    out << "], \"culprit\": {\"module\": \"" << EscapeJson(ep.culprit.module)
+        << "\", \"function\": \"" << EscapeJson(ep.culprit.function) << "\", \"cycles\": \""
+        << U64String(ep.culprit.cycles) << "\"}}";
+  }
+  out << "]";
+}
+
+bool ReadBlame(const obs::JsonValue& object, obs::AnatomyEpisode::Blame* blame,
+               std::string* error) {
+  return object.is_object() &&
+         ReadStringField(object, "module", &blame->module, error) &&
+         ReadStringField(object, "function", &blame->function, error) &&
+         ReadU64Field(object, "cycles", &blame->cycles, error);
+}
+
+bool ReadAnatomy(const obs::JsonValue& root, std::vector<obs::AnatomyEpisode>* anatomy,
+                 std::string* error) {
+  const obs::JsonValue* entries = root.Find("anatomy");
+  if (entries == nullptr) {
+    return true;  // pre-anatomy artifact: leave the list empty
+  }
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string("anatomy: ") + what;
+    }
+    return false;
+  };
+  if (!entries->is_array()) {
+    return fail("not an array");
+  }
+  for (const obs::JsonValue& entry : entries->items()) {
+    if (!entry.is_object()) {
+      return fail("episode entries must be objects");
+    }
+    obs::AnatomyEpisode ep;
+    if (!ReadHexDoubleField(entry, "latency_ms", &ep.latency_ms, error) ||
+        !ReadU64Field(entry, "window_begin", &ep.window_begin, error) ||
+        !ReadU64Field(entry, "window_end", &ep.window_end, error)) {
+      return false;
+    }
+    ep.truncated = entry.BoolOr("truncated", false);
+    const obs::JsonValue* cycles = entry.Find("stage_cycles");
+    const obs::JsonValue* blames = entry.Find("stage_blame");
+    const obs::JsonValue* culprit = entry.Find("culprit");
+    if (cycles == nullptr || !cycles->is_array() ||
+        cycles->items().size() != obs::kAnatomyStageCount || blames == nullptr ||
+        !blames->is_array() || blames->items().size() != obs::kAnatomyStageCount ||
+        culprit == nullptr) {
+      return fail("episode needs stage_cycles/stage_blame arrays of 7 and a culprit");
+    }
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      const obs::JsonValue& item = cycles->items()[s];
+      if (!item.is_string() || !ParseU64(item.as_string(), &ep.stage_cycles[s])) {
+        return fail("stage cycle is not a decimal u64");
+      }
+      if (!ReadBlame(blames->items()[s], &ep.stage_blame[s], error)) {
+        return false;
+      }
+    }
+    if (!ReadBlame(*culprit, &ep.culprit, error)) {
+      return false;
+    }
+    anatomy->push_back(std::move(ep));
+  }
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t Fnv1a64(std::string_view bytes) {
@@ -247,7 +421,11 @@ std::string ReportToJson(const LabReport& report) {
         << "\", \"attributed\": " << (ep.attributed ? "true" : "false")
         << ", \"module_match\": " << (ep.module_match ? "true" : "false") << "}";
   }
-  out << "]}\n";
+  out << "],\n";
+  WriteAnatomy(out, report.anatomy);
+  out << ",\n";
+  WriteSketch(out, "thread_sketch", report.thread_sketch);
+  out << "}\n";
   return out.str();
 }
 
@@ -345,6 +523,10 @@ bool ReportFromJson(std::string_view text, LabReport* report, std::string* error
     ep.attributed = entry.BoolOr("attributed", false);
     ep.module_match = entry.BoolOr("module_match", false);
     result.episodes.push_back(std::move(ep));
+  }
+  if (!ReadAnatomy(root, &result.anatomy, error) ||
+      !ReadSketch(root, "thread_sketch", &result.thread_sketch, error)) {
+    return false;
   }
   *report = std::move(result);
   return true;

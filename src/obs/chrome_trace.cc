@@ -92,6 +92,9 @@ void ChromeTraceWriter::OnTraceEvent(const kernel::TraceEvent& event) {
       EndSlice(kSimPid, kInterruptTid, ts);
       break;
     case TraceEventType::kDpcStart:
+      // Flow arrow from the enqueue instant (the start's duration is the
+      // queueing delay) to the moment the DPC body begins.
+      Flow("dpc-queue", ToString(event.label), kInterruptTid, ts - dur, kDpcTid, ts);
       BeginSlice(kSimPid, kDpcTid, ts, ToString(event.label));
       events_.back().number_args.emplace_back("queue_delay_us", dur);
       break;
@@ -111,9 +114,53 @@ void ChromeTraceWriter::OnTraceEvent(const kernel::TraceEvent& event) {
     case TraceEventType::kDispatchLockout:
       CompleteSlice(kSimPid, kLockoutTid, ts, dur, "lockout: " + ToString(event.label));
       break;
+    case TraceEventType::kIsrAccept:
+      Instant(kSimPid, kInterruptTid, ts, "irq accept (line " + std::to_string(event.arg) + ")");
+      break;
+    case TraceEventType::kDpcFetch:
+      Instant(kSimPid, kDpcTid, ts, "dpc fetch");
+      break;
+    case TraceEventType::kThreadRun:
+      // Fresh dispatches carry the wake-to-run latency; draw the flow from
+      // the signalling instant (typically inside the completing DPC) to the
+      // point the thread body starts executing.
+      if (event.duration > 0) {
+        Flow("thread-wake", "wake prio " + std::to_string(event.arg), kDpcTid, ts - dur,
+             kThreadTid, ts);
+      }
+      break;
+    case TraceEventType::kThreadStop:
+      if (thread_slice_open_) {
+        EndSlice(kSimPid, kThreadTid, ts);
+        thread_slice_open_ = false;
+      }
+      break;
     case TraceEventType::kTraceEventTypeCount:
       break;
   }
+}
+
+void ChromeTraceWriter::Flow(const std::string& cat, std::string name, int from_tid,
+                             double from_ts_us, int to_tid, double to_ts_us) {
+  const std::uint64_t id = next_flow_id_++;
+  Event start;
+  start.phase = 's';
+  start.pid = kSimPid;
+  start.tid = from_tid;
+  start.ts_us = from_ts_us;
+  start.flow_id = id;
+  start.cat = cat;
+  start.name = name;
+  Push(std::move(start));
+  Event finish;
+  finish.phase = 'f';
+  finish.pid = kSimPid;
+  finish.tid = to_tid;
+  finish.ts_us = to_ts_us;
+  finish.flow_id = id;
+  finish.cat = cat;
+  finish.name = std::move(name);
+  Push(std::move(finish));
 }
 
 void ChromeTraceWriter::BeginSlice(int pid, int tid, double ts_us, std::string name) {
@@ -205,6 +252,14 @@ void ChromeTraceWriter::WriteJson(std::ostream& out) const {
     }
     if (event.phase == 'i') {
       out << ", \"s\": \"t\"";
+    }
+    if (event.phase == 's' || event.phase == 'f') {
+      out << ", \"id\": " << event.flow_id << ", \"cat\": \"";
+      AppendEscaped(out, event.cat);
+      out << "\"";
+      if (event.phase == 'f') {
+        out << ", \"bp\": \"e\"";  // bind to the enclosing slice
+      }
     }
     if (!event.name.empty()) {
       out << ", \"name\": \"";

@@ -10,6 +10,11 @@
 //   thread            the scheduled thread (context switches close one slice
 //                     and open the next; thread-ready marks are instants)
 //   dispatch-lockout  Win16Mutex/VMM lockout windows as complete events
+// Cause→effect is drawn with Perfetto flow arrows ('s'/'f' event pairs):
+// every DPC start gets a "dpc-queue" flow from its enqueue instant on the
+// interrupt track, and every fresh thread dispatch gets a "thread-wake" flow
+// from the signalling instant on the dpc track — the visual form of the
+// anatomy's dpc_queue_wait and ready_wait stages.
 // The matrix runner adds a second "process" with one track per host worker
 // thread, one complete event per experiment cell (see lab::AppendHostTrace).
 //
@@ -43,11 +48,15 @@ class ChromeTraceWriter : public kernel::TraceSink {
   static constexpr int kLockoutTid = 4;
 
   struct Event {
-    char phase = 'i';  // B, E, X, i, C, M
+    char phase = 'i';  // B, E, X, i, C, M, s (flow start), f (flow finish)
     int pid = kSimPid;
     int tid = 0;
     double ts_us = 0.0;
     double dur_us = 0.0;  // X events only
+    // Flow events (s/f) only: the id binds a start to its finish, the
+    // category namespaces ids so independent flow families cannot collide.
+    std::uint64_t flow_id = 0;
+    std::string cat;
     std::string name;
     // Rendered verbatim as the "args" object value: either a JSON number
     // (second == true) or a string to be escaped (second == false).
@@ -85,6 +94,10 @@ class ChromeTraceWriter : public kernel::TraceSink {
 
  private:
   void Push(Event event);
+  // Emit a matched flow arrow: 's' at (from_tid, from_ts) → 'f' at
+  // (to_tid, to_ts). Both ends share the name, category and a fresh id.
+  void Flow(const std::string& cat, std::string name, int from_tid, double from_ts_us,
+            int to_tid, double to_ts_us);
 
   std::vector<Event> events_;
   // Open B-slice depth per (pid, tid); consulted to synthesize closing E
@@ -92,6 +105,7 @@ class ChromeTraceWriter : public kernel::TraceSink {
   std::map<std::pair<int, int>, int> open_slices_;
   bool thread_slice_open_ = false;
   double last_ts_us_ = 0.0;
+  std::uint64_t next_flow_id_ = 1;
 };
 
 }  // namespace wdmlat::obs

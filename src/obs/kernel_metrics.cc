@@ -41,6 +41,16 @@ void KernelMetricsCollector::OnTraceEvent(const kernel::TraceEvent& event) {
       registry_.Add("kernel.lockout.ms_total", ms);
       registry_.Observe("kernel.lockout.ms", ms);
       break;
+    case TraceEventType::kIsrAccept:
+    case TraceEventType::kDpcFetch:
+    case TraceEventType::kThreadStop:
+      break;  // anatomy boundary markers; durations land on other events
+    case TraceEventType::kThreadRun:
+      if (event.duration > 0) {
+        // Fresh dispatch: duration is the exact signal-to-run latency.
+        registry_.Observe("kernel.thread_wake.ms", ms);
+      }
+      break;
     case TraceEventType::kTraceEventTypeCount:
       break;
   }

@@ -77,6 +77,18 @@ void AppendHistogramFields(const stats::LatencyHistogram& hist,
   field("p999", hist.QuantileMs(0.999));
 }
 
+void AppendSketchFields(const stats::QuantileSketch& sketch,
+                        const std::function<void(const char*, double)>& field) {
+  field("count", static_cast<double>(sketch.count()));
+  field("min", sketch.min_ms());
+  field("max", sketch.max_ms());
+  field("mean", sketch.mean_ms());
+  field("p50", sketch.QuantileMs(0.5));
+  field("p99", sketch.QuantileMs(0.99));
+  field("p999", sketch.QuantileMs(0.999));
+  field("p9999", sketch.QuantileMs(0.9999));
+}
+
 }  // namespace
 
 double MetricsRegistry::counter(const std::string& name) const {
@@ -94,6 +106,11 @@ const stats::LatencyHistogram* MetricsRegistry::histogram(const std::string& nam
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const stats::QuantileSketch* MetricsRegistry::sketch(const std::string& name) const {
+  const auto it = sketches_.find(name);
+  return it == sketches_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (const auto& [name, value] : other.counters_) {
     counters_[name] += value;
@@ -106,6 +123,9 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   }
   for (const auto& [name, hist] : other.histograms_) {
     histograms_[name].Merge(hist);
+  }
+  for (const auto& [name, sketch] : other.sketches_) {
+    sketches_[name].Merge(sketch);
   }
 }
 
@@ -138,7 +158,19 @@ std::string MetricsRegistry::ToJson() const {
     out << "}";
     first_hist = false;
   }
-  out << (first_hist ? "" : "\n  ") << "}\n}\n";
+  out << (first_hist ? "" : "\n  ") << "},\n  \"sketches\": {";
+  bool first_sketch = true;
+  for (const auto& [name, sketch] : sketches_) {
+    out << (first_sketch ? "\n" : ",\n") << "    \"" << EscapeJson(name) << "\": {";
+    bool first_field = true;
+    AppendSketchFields(sketch, [&](const char* field, double value) {
+      out << (first_field ? "" : ", ") << "\"" << field << "\": " << NumberToJson(value);
+      first_field = false;
+    });
+    out << "}";
+    first_sketch = false;
+  }
+  out << (first_sketch ? "" : "\n  ") << "}\n}\n";
   return out.str();
 }
 
@@ -154,6 +186,11 @@ std::string MetricsRegistry::ToCsv() const {
   for (const auto& [name, hist] : histograms_) {
     AppendHistogramFields(hist, [&](const char* field, double value) {
       out << "histogram," << name << "," << field << "," << NumberToJson(value) << "\n";
+    });
+  }
+  for (const auto& [name, sketch] : sketches_) {
+    AppendSketchFields(sketch, [&](const char* field, double value) {
+      out << "sketch," << name << "," << field << "," << NumberToJson(value) << "\n";
     });
   }
   return out.str();

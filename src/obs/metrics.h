@@ -12,6 +12,8 @@
 //   counter    — sums (event totals, accumulated milliseconds)
 //   gauge      — maximum (peaks, utilization snapshots)
 //   histogram  — bucket-for-bucket merge (stats::LatencyHistogram::Merge)
+//   sketch     — stats::QuantileSketch::Merge (deterministic compactor fold
+//                plus exact top-K tail union)
 
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "src/stats/histogram.h"
+#include "src/stats/quantile_sketch.h"
 
 namespace wdmlat::obs {
 
@@ -33,12 +36,20 @@ class MetricsRegistry {
   // histogram's "milliseconds" unit, so exported statistics come back in the
   // same unit the caller passed (a queue depth of 3 exports as 3).
   void Observe(const std::string& name, double value) { histograms_[name].RecordMs(value); }
+  // Streaming quantile sketches: same unit convention as Observe, but with
+  // exact deep-tail quantiles (P99.9/P99.99) and deterministic merging.
+  void ObserveSketch(const std::string& name, double value) {
+    sketches_[name].RecordMs(value);
+  }
 
   double counter(const std::string& name) const;
   double gauge(const std::string& name) const;
   // nullptr when the series does not exist.
   const stats::LatencyHistogram* histogram(const std::string& name) const;
-  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+  const stats::QuantileSketch* sketch(const std::string& name) const;
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() && sketches_.empty();
+  }
 
   // Fold `other` into this registry: counters sum, gauges take the maximum,
   // histograms merge bucket-for-bucket. Counter sums and histogram buckets
@@ -47,9 +58,10 @@ class MetricsRegistry {
   // grid order, as it does for latency histograms).
   void Merge(const MetricsRegistry& other);
 
-  // JSON object with "counters", "gauges" and "histograms" members, keys
-  // sorted (std::map order), histograms summarized as
-  // {count,min,max,mean,p50,p90,p99,p999}.
+  // JSON object with "counters", "gauges", "histograms" and "sketches"
+  // members, keys sorted (std::map order), histograms summarized as
+  // {count,min,max,mean,p50,p90,p99,p999}, sketches as
+  // {count,min,max,mean,p50,p99,p999,p9999}.
   std::string ToJson() const;
 
   // Flat CSV: kind,name,field,value — one row per counter/gauge, one row per
@@ -60,6 +72,7 @@ class MetricsRegistry {
   std::map<std::string, double> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, stats::LatencyHistogram> histograms_;
+  std::map<std::string, stats::QuantileSketch> sketches_;
 };
 
 }  // namespace wdmlat::obs

@@ -190,4 +190,104 @@ void Engine::Compact() {
   ++compactions_;
 }
 
+bool Engine::PopNextLiveSlow(Cycles deadline, QueueEntry* out) {
+  for (;;) {
+    // Serve the (re)loaded batch — same loop as the inline fast path.
+    while (batch_pos_ < batch_.size()) {
+      const QueueEntry& entry = batch_[batch_pos_];
+      if (pool_->generation(entry.slot) != entry.generation) {
+        ++batch_pos_;
+        continue;
+      }
+      if (entry.when > deadline) {
+        return false;
+      }
+      *out = entry;
+      ++batch_pos_;
+      return true;
+    }
+    // All-dead fast path: with zero live events every stored entry is a
+    // cancelled leftover, so the calendar empties wholesale instead of the
+    // scan below discovering each stale entry bucket by bucket (the
+    // schedule/cancel idle pattern of one-shot timeout guards).
+    if (pool_->live() == 0) {
+      return DropAllDead();
+    }
+    if (batch_active_) {
+      // The drained epoch's batch is exhausted. Deactivate it but leave
+      // the cursor put: the scan below advances only to epochs that
+      // actually hold entries (or to the deadline), so the cursor never
+      // outruns virtual time just because a batch ran dry.
+      batch_.clear();
+      batch_pos_ = 0;
+      batch_active_ = false;
+    }
+    // Locate the next epoch holding entries: nearest occupied ring bucket,
+    // else the overflow tier's minimum (always beyond every ring epoch).
+    std::uint64_t target;
+    if (near_count_ > 0) {
+      target = cur_epoch_ + NextOccupiedDistance();
+    } else if (!far_.empty()) {
+      target = EpochOf(far_.front().when);
+    } else {
+      return false;
+    }
+    if (target > cur_epoch_ && target > EpochOf(deadline)) {
+      // The next event lies beyond the deadline. Slide the window up to
+      // the deadline's epoch (now() will advance there), keeping the
+      // far-tier migration invariant intact. The current epoch's bucket is
+      // exempt from this epoch-granular check: it may hold below-window
+      // entries that are due, so it always loads and the serve loop's
+      // exact per-entry deadline test decides.
+      if (EpochOf(deadline) > cur_epoch_) {
+        cur_epoch_ = EpochOf(deadline);
+        MigrateFar();
+      }
+      return false;
+    }
+    if (target > cur_epoch_) {
+      cur_epoch_ = target;
+      MigrateFar();
+    }
+    // Load the current epoch's bucket as the new drain batch. The bucket
+    // can be empty when the far-tier minimum was stale or migrated into a
+    // later window epoch; the next iteration advances past it.
+    const std::uint32_t index = static_cast<std::uint32_t>(cur_epoch_) & kRingMask;
+    std::vector<QueueEntry>& bucket = buckets_[index];
+    if (!bucket.empty()) {
+      near_count_ -= bucket.size();
+      occupied_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+      // Copy rather than swap: both vectors keep their grown capacity, so
+      // steady state re-uses the same two buffers instead of circulating
+      // the batch's capacity through all 512 buckets.
+      batch_.assign(bucket.begin(), bucket.end());
+      bucket.clear();
+      std::sort(batch_.begin(), batch_.end(), FiresEarlier{});
+    }
+    batch_pos_ = 0;
+    batch_active_ = true;
+  }
+}
+
+bool Engine::DropAllDead() {
+  batch_.clear();
+  batch_pos_ = 0;
+  batch_active_ = false;
+  far_.clear();
+  if (near_count_ > 0) {
+    for (std::uint32_t word = 0; word < kBucketCount / 64; ++word) {
+      std::uint64_t bits = occupied_[word];
+      while (bits != 0) {
+        const std::uint32_t index =
+            (word << 6) + static_cast<std::uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        buckets_[index].clear();
+      }
+      occupied_[word] = 0;
+    }
+    near_count_ = 0;
+  }
+  return false;
+}
+
 }  // namespace wdmlat::sim

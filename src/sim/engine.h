@@ -278,78 +278,35 @@ class Engine {
   // into `out` if its time is <= `deadline`. The single home of the drain
   // logic shared by Step and RunUntil. One bucket epoch is loaded (sorted)
   // per batch; every same-epoch expiration then drains by index increment.
+  //
+  // Split for code size: only the serve loop — the branch taken on nearly
+  // every pop in steady state — stays in the header for inlining into
+  // Step/RunUntil. Epoch advance, bucket loading, far-tier migration and the
+  // all-dead wholesale drop live out of line in PopNextLiveSlow, so the hot
+  // path's register allocation never pays for them.
   bool PopNextLive(Cycles deadline, QueueEntry* out) {
-    for (;;) {
-      // Serve the active batch: dead entries (generation mismatch =
-      // cancelled) drop out as they surface, even beyond the deadline.
-      while (batch_pos_ < batch_.size()) {
-        const QueueEntry& entry = batch_[batch_pos_];
-        if (pool_->generation(entry.slot) != entry.generation) {
-          ++batch_pos_;
-          continue;
-        }
-        if (entry.when > deadline) {
-          return false;
-        }
-        *out = entry;
+    // Serve the active batch: dead entries (generation mismatch = cancelled)
+    // drop out as they surface, even beyond the deadline.
+    while (batch_pos_ < batch_.size()) {
+      const QueueEntry& entry = batch_[batch_pos_];
+      if (pool_->generation(entry.slot) != entry.generation) {
         ++batch_pos_;
-        return true;
+        continue;
       }
-      if (batch_active_) {
-        // The drained epoch's batch is exhausted. Deactivate it but leave
-        // the cursor put: the scan below advances only to epochs that
-        // actually hold entries (or to the deadline), so the cursor never
-        // outruns virtual time just because a batch ran dry.
-        batch_.clear();
-        batch_pos_ = 0;
-        batch_active_ = false;
-      }
-      // Locate the next epoch holding entries: nearest occupied ring bucket,
-      // else the overflow tier's minimum (always beyond every ring epoch).
-      std::uint64_t target;
-      if (near_count_ > 0) {
-        target = cur_epoch_ + NextOccupiedDistance();
-      } else if (!far_.empty()) {
-        target = EpochOf(far_.front().when);
-      } else {
+      if (entry.when > deadline) {
         return false;
       }
-      if (target > cur_epoch_ && target > EpochOf(deadline)) {
-        // The next event lies beyond the deadline. Slide the window up to
-        // the deadline's epoch (now() will advance there), keeping the
-        // far-tier migration invariant intact. The current epoch's bucket is
-        // exempt from this epoch-granular check: it may hold below-window
-        // entries that are due, so it always loads and the serve loop's
-        // exact per-entry deadline test decides.
-        if (EpochOf(deadline) > cur_epoch_) {
-          cur_epoch_ = EpochOf(deadline);
-          MigrateFar();
-        }
-        return false;
-      }
-      if (target > cur_epoch_) {
-        cur_epoch_ = target;
-        MigrateFar();
-      }
-      // Load the current epoch's bucket as the new drain batch. The bucket
-      // can be empty when the far-tier minimum was stale or migrated into a
-      // later window epoch; the next iteration advances past it.
-      const std::uint32_t index = static_cast<std::uint32_t>(cur_epoch_) & kRingMask;
-      std::vector<QueueEntry>& bucket = buckets_[index];
-      if (!bucket.empty()) {
-        near_count_ -= bucket.size();
-        occupied_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
-        // Copy rather than swap: both vectors keep their grown capacity, so
-        // steady state re-uses the same two buffers instead of circulating
-        // the batch's capacity through all 512 buckets.
-        batch_.assign(bucket.begin(), bucket.end());
-        bucket.clear();
-        std::sort(batch_.begin(), batch_.end(), FiresEarlier{});
-      }
-      batch_pos_ = 0;
-      batch_active_ = true;
+      *out = entry;
+      ++batch_pos_;
+      return true;
     }
+    return PopNextLiveSlow(deadline, out);
   }
+
+  // The batch ran dry: advance to the next occupied epoch (or drop a fully
+  // dead calendar wholesale), load its bucket, and serve from it. Defined in
+  // engine.cc — see PopNextLive.
+  bool PopNextLiveSlow(Cycles deadline, QueueEntry* out);
 
   // Pull every overflow entry whose epoch has entered the ring window into
   // its bucket. Dead entries are dropped here instead of migrating.
@@ -414,6 +371,12 @@ class Engine {
     }
   }
   void Compact();
+
+  // Empty every tier. Precondition: pool_->live() == 0, so each stored entry
+  // is provably dead and no ordering or window state needs preserving.
+  // Out-of-line and cold; returns false so the caller can tail-call it from
+  // the pop path without keeping any state live across the call.
+  __attribute__((cold, noinline)) bool DropAllDead();
 
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;

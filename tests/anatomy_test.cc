@@ -1,0 +1,124 @@
+// LatencyAnatomy: exact integer-cycle conservation of the stage partition,
+// index pairing with the flight recorder's episodes, and the sampling-vs-
+// anatomy grading used by the Table-4 sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/obs/anatomy.h"
+#include "src/obs/flight_recorder.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat {
+namespace {
+
+lab::LabReport RunWithAnatomy(kernel::KernelProfile profile, double threshold_us) {
+  lab::LabConfig config;
+  config.os = std::move(profile);
+  config.stress = workload::GamesStress();
+  config.stress_minutes = 0.2;
+  config.warmup_seconds = 1.0;
+  config.seed = 1999;
+  config.obs.episode_threshold_us = threshold_us;
+  config.obs.anatomy = true;
+  return lab::RunLatencyExperiment(config);
+}
+
+// The tentpole invariant: stage cycles sum *exactly* — integer cycles, no
+// epsilon — to the episode's measurement window. The spans partition the
+// timeline by construction and the window edges coincide with span
+// boundaries, so any off-by-one here means the mirror lost a transition.
+void ExpectExactConservation(const lab::LabReport& report) {
+  ASSERT_FALSE(report.anatomy.empty());
+  for (const obs::AnatomyEpisode& episode : report.anatomy) {
+    ASSERT_FALSE(episode.truncated);
+    ASSERT_GE(episode.window_end, episode.window_begin);
+    sim::Cycles total = 0;
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      total += episode.stage_cycles[s];
+      // Per-stage blame can never exceed the stage it blames.
+      EXPECT_LE(episode.stage_blame[s].cycles, episode.stage_cycles[s]);
+      // An empty stage must not carry a blame label.
+      if (episode.stage_cycles[s] == 0) {
+        EXPECT_TRUE(episode.stage_blame[s].module.empty());
+      }
+    }
+    EXPECT_EQ(total, episode.window_end - episode.window_begin)
+        << "stage partition leaked cycles for the episode at latency "
+        << episode.latency_ms << " ms";
+    EXPECT_GT(episode.latency_ms, 0.0);
+  }
+}
+
+TEST(AnatomyTest, Win98StagesConserveEveryCycle) {
+  ExpectExactConservation(RunWithAnatomy(kernel::MakeWin98Profile(), 500.0));
+}
+
+TEST(AnatomyTest, Nt4StagesConserveEveryCycle) {
+  ExpectExactConservation(RunWithAnatomy(kernel::MakeNt4Profile(), 200.0));
+}
+
+TEST(AnatomyTest, AnatomyPairsWithFlightRecorderEpisodesByIndex) {
+  const lab::LabReport report = RunWithAnatomy(kernel::MakeWin98Profile(), 500.0);
+  // Both record in driver-callback order from the same threshold; up to the
+  // two caps they must agree one-to-one, and each pair must describe the
+  // same latency.
+  ASSERT_FALSE(report.episodes.empty());
+  const std::size_t pairs = std::min(report.episodes.size(), report.anatomy.size());
+  ASSERT_GT(pairs, 0u);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    EXPECT_DOUBLE_EQ(report.episodes[i].latency_ms, report.anatomy[i].latency_ms)
+        << "episode " << i;
+  }
+}
+
+TEST(AnatomyTest, CulpritComesFromCulpableStages) {
+  const lab::LabReport report = RunWithAnatomy(kernel::MakeWin98Profile(), 500.0);
+  ASSERT_FALSE(report.anatomy.empty());
+  for (const obs::AnatomyEpisode& episode : report.anatomy) {
+    if (episode.culprit.module.empty()) {
+      continue;  // legal when the window is pure ready_wait/thread_run
+    }
+    // The culprit's cycle count can never exceed the culpable stages' total
+    // (everything except ready_wait and thread_run).
+    sim::Cycles culpable = 0;
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      const auto stage = static_cast<obs::AnatomyStage>(s);
+      if (stage != obs::AnatomyStage::kReadyWait && stage != obs::AnatomyStage::kThreadRun) {
+        culpable += episode.stage_cycles[s];
+      }
+    }
+    EXPECT_LE(episode.culprit.cycles, culpable);
+    EXPECT_GT(episode.culprit.cycles, 0u);
+  }
+}
+
+TEST(AnatomyTest, ScoreSamplingVsAnatomyCountsMatches) {
+  const lab::LabReport report = RunWithAnatomy(kernel::MakeWin98Profile(), 500.0);
+  const obs::AnatomyAgreement agreement =
+      obs::ScoreSamplingVsAnatomy(report.episodes, report.anatomy);
+  EXPECT_EQ(agreement.episodes, std::min(report.episodes.size(), report.anatomy.size()));
+  EXPECT_LE(agreement.attributed, agreement.episodes);
+  EXPECT_LE(agreement.culprit_matches, agreement.attributed);
+  EXPECT_GE(agreement.Accuracy(), 0.0);
+  EXPECT_LE(agreement.Accuracy(), 1.0);
+}
+
+TEST(AnatomyTest, MaxEpisodesCapIsRespected) {
+  obs::LatencyAnatomy::Config config;
+  config.max_episodes = 2;
+  obs::LatencyAnatomy anatomy(config);
+  // No trace events at all: the decomposition degenerates to one ready_wait
+  // span per episode, which still conserves exactly.
+  anatomy.OnEpisode(1.0, 1000, 2000);
+  anatomy.OnEpisode(2.0, 3000, 5000);
+  anatomy.OnEpisode(3.0, 6000, 7000);  // beyond the cap: dropped
+  ASSERT_EQ(anatomy.episodes().size(), 2u);
+  EXPECT_DOUBLE_EQ(anatomy.episodes()[1].latency_ms, 2.0);
+}
+
+}  // namespace
+}  // namespace wdmlat

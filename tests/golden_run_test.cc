@@ -25,6 +25,7 @@
 #include "src/lab/lab.h"
 #include "src/lab/matrix.h"
 #include "src/lab/test_system.h"
+#include "src/obs/anatomy.h"
 #include "src/workload/stress_load.h"
 #include "src/workload/stress_profile.h"
 
@@ -43,14 +44,31 @@ std::uint64_t Fnv1a(std::string_view text, std::uint64_t hash) {
 }
 
 // 3 virtual seconds of the games workload against the measurement driver,
-// master seed 1999 — the same construction figure4 uses for one cell.
-std::uint64_t GamesRunChecksum(kernel::KernelProfile profile) {
+// master seed 1999 — the same construction figure4 uses for one cell. When
+// `with_anatomy` is set the causal anatomy sink is attached to the
+// dispatcher and actively decomposing episodes the whole run: the checksum
+// must not move, proving the observer is passive (consumes no RNG, never
+// calls back into the kernel) even while exercised.
+std::uint64_t GamesRunChecksum(kernel::KernelProfile profile, bool with_anatomy = false) {
   lab::TestSystem system(std::move(profile), 1999);
   workload::StressLoad load(system.deps(), workload::GamesStress(), system.ForkRng());
   drivers::LatencyDriver driver(system.kernel(), drivers::LatencyDriver::Config{});
+  obs::LatencyAnatomy anatomy;
+  if (with_anatomy) {
+    system.kernel().dispatcher().set_trace_sink(&anatomy);
+    driver.AddLongLatencyCallback(0.05, [&anatomy, &driver](double ms) {
+      const drivers::LatencyDriver::SampleStamps& stamps = driver.last_stamps();
+      anatomy.OnEpisode(ms, stamps.dpc_tsc, stamps.thread_tsc);
+    });
+  }
   load.Start();
   driver.Start();
   system.RunForMinutes(0.05);
+  if (with_anatomy) {
+    system.kernel().dispatcher().set_trace_sink(nullptr);
+    // The sink must have worked for the passivity claim to mean anything.
+    EXPECT_FALSE(anatomy.episodes().empty());
+  }
 
   std::uint64_t hash = kFnvOffset;
   hash = Fnv1a(driver.dpc_interrupt_latency().ToCsv(), hash);
@@ -67,6 +85,17 @@ TEST(GoldenRunTest, Nt4GamesShortRunCsvChecksumIsStable) {
 
 TEST(GoldenRunTest, Win98GamesShortRunCsvChecksumIsStable) {
   EXPECT_EQ(GamesRunChecksum(kernel::MakeWin98Profile()), 3888655912689493493ull);
+}
+
+// Anatomy attached + export disabled: the seed checksums above, unchanged.
+TEST(GoldenRunTest, Nt4GamesChecksumUnchangedWithAnatomyAttached) {
+  EXPECT_EQ(GamesRunChecksum(kernel::MakeNt4Profile(), /*with_anatomy=*/true),
+            12791926721688464228ull);
+}
+
+TEST(GoldenRunTest, Win98GamesChecksumUnchangedWithAnatomyAttached) {
+  EXPECT_EQ(GamesRunChecksum(kernel::MakeWin98Profile(), /*with_anatomy=*/true),
+            3888655912689493493ull);
 }
 
 // A faulted run: the built-in virus_scan plan drives disk-seek storms through
