@@ -14,13 +14,18 @@
 //                       "iterations": 100 } ] }
 //
 // Compare mode checks cpu_ns (less host-noise than wall time) of every
-// baseline benchmark against the candidate and exits nonzero if any ratio
-// exceeds --max-ratio or a baseline benchmark disappeared (renames require
-// re-baselining; see EXPERIMENTS.md). The generous default ratio of 3.0
-// tolerates shared-CI noise while still catching order-of-magnitude
-// regressions like an accidental allocation on the schedule path.
+// baseline benchmark against the candidate, printing the per-benchmark delta
+// percentage, and exits nonzero if any ratio exceeds its limit or a baseline
+// benchmark disappeared (renames require re-baselining; see EXPERIMENTS.md).
+// The limit is --max-ratio unless the baseline row carries its own
+// "max_ratio" field, which overrides it for that benchmark only — a noisy
+// benchmark can widen its own gate without loosening the file. The generous
+// default ratio of 3.0 tolerates shared-CI noise while still catching
+// order-of-magnitude regressions like an accidental allocation on the
+// schedule path.
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -246,6 +251,10 @@ struct BenchEntry {
   double real_ns = 0.0;
   double cpu_ns = 0.0;
   double iterations = 0.0;
+  // Per-benchmark regression tolerance from the baseline row ("max_ratio"
+  // key); 0 means "use the --max-ratio default". Lets a noisy benchmark
+  // carry a wider gate without loosening the whole file.
+  double max_ratio = 0.0;
 };
 
 std::optional<std::string> ReadFile(const std::string& path) {
@@ -336,8 +345,10 @@ std::optional<std::vector<BenchEntry>> ExtractFromRepoSchema(const std::string& 
       std::cerr << "bench_to_json: " << path << " row missing name/real_ns/cpu_ns\n";
       return std::nullopt;
     }
+    const JsonValue* row_ratio = row.Find("max_ratio");
     entries.push_back(BenchEntry{name->string, real_ns->number, cpu_ns->number,
-                                 iterations != nullptr ? iterations->number : 0.0});
+                                 iterations != nullptr ? iterations->number : 0.0,
+                                 row_ratio != nullptr ? row_ratio->number : 0.0});
   }
   return entries;
 }
@@ -412,10 +423,17 @@ int Compare(const std::string& baseline_path, const std::string& candidate_path,
       ++failures;
       continue;
     }
+    // A baseline row can carry its own "max_ratio" gate; --max-ratio is the
+    // default for rows without one.
+    const double limit = base.max_ratio > 0.0 ? base.max_ratio : max_ratio;
     const double ratio = cand->cpu_ns / base.cpu_ns;
-    const bool ok = ratio <= max_ratio;
+    const double delta_pct = (ratio - 1.0) * 100.0;
+    const bool ok = ratio <= limit;
+    char delta[64];
+    std::snprintf(delta, sizeof(delta), "%+.1f%%", delta_pct);
     std::cout << (ok ? "ok   " : "FAIL ") << base.name << ": cpu " << base.cpu_ns << " -> "
-              << cand->cpu_ns << " ns (" << ratio << "x, limit " << max_ratio << "x)\n";
+              << cand->cpu_ns << " ns (" << delta << ", " << ratio << "x, limit " << limit
+              << "x" << (base.max_ratio > 0.0 ? ", per-benchmark" : "") << ")\n";
     if (!ok) {
       ++failures;
     }

@@ -1,0 +1,228 @@
+// Fleet cells/sec throughput: the amortized warm-runner path (one reused
+// TestSystem per worker, compact per-cell records) against the PR 5
+// journaled matrix path (a fresh TestSystem plus a full ReportToJson
+// artifact per cell) on the same population at the same job count.
+//
+// Population cells are short — a large spec trades per-cell depth for
+// member count, so per-cell setup (engine + pool + kernel + drivers
+// construction, artifact serialization) is the term that matters. The
+// acceptance bar for the fleet tentpole is >= 2x cells/sec at equal
+// --jobs; the bench prints the ratio and fails loudly below the bar so CI
+// or a hand run can gate on it.
+//
+//   WDMLAT_CELLS=1024 WDMLAT_CELL_MINUTES=0.0002 WDMLAT_JOBS=1 fleet_throughput
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/lab/fleet.h"
+#include "src/lab/lab.h"
+#include "src/lab/report_io.h"
+#include "src/runtime/thread_pool.h"
+
+namespace {
+
+using namespace wdmlat;
+using Clock = std::chrono::steady_clock;
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double value = std::atof(env);
+    if (value > 0.0) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+lab::FleetSpec Population(std::uint64_t cells, double cell_minutes, double pit_hz) {
+  lab::FleetSpec spec;
+  spec.name = "throughput";
+  spec.master_seed = bench::BenchSeed();
+  lab::FleetCohort nt;
+  nt.name = "nt-mixed";
+  nt.os = "nt4";
+  nt.workloads = {"office", "web"};
+  nt.count = (cells + 1) / 2;
+  nt.stress_minutes = cell_minutes;
+  nt.warmup_seconds = 0.005;
+  nt.pit_hz = pit_hz;
+  nt.speed_mhz_lo = 150.0;
+  nt.speed_mhz_hi = 450.0;
+  lab::FleetCohort w98 = nt;
+  w98.name = "98-games";
+  w98.os = "win98";
+  w98.workloads = {"games"};
+  w98.count = cells / 2;
+  spec.cohorts = {nt, w98};
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  // 1024 cells keeps each trial's wall time long enough that scheduler
+  // hiccups don't dominate, and lets the matrix path pay what it really
+  // pays at population scale (the Nth create in a growing artifact
+  // directory is not the 1st).
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(EnvDouble("WDMLAT_CELLS", 1024.0));
+  // Screening-population regime: an 8 kHz PIT over 0.0002 virtual minutes
+  // of stress keeps ~10 post-warmup samples per cell (the driver discards
+  // its first 16 — PIT reprogramming). A 100k+ member population buys
+  // breadth, not per-cell depth: the cohort merge pools samples across
+  // cells, so per-cell fixed costs (system construction, artifact +
+  // journal file traffic) are what throughput is made of.
+  const double cell_minutes = EnvDouble("WDMLAT_CELL_MINUTES", 0.0002);
+  const double pit_hz = EnvDouble("WDMLAT_PIT_HZ", 8000.0);
+  const int jobs = bench::BenchJobs();
+  const lab::Fleet fleet(Population(cells, cell_minutes, pit_hz));
+  if (!fleet.error().empty()) {
+    std::fprintf(stderr, "fleet_throughput: %s\n", fleet.error().c_str());
+    return 1;
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "wdmlat_fleet_throughput";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::printf(
+      "fleet_throughput: %llu cells x %.4f virtual minutes, %d job(s)\n"
+      "(WDMLAT_CELLS / WDMLAT_CELL_MINUTES / WDMLAT_JOBS to change)\n\n",
+      static_cast<unsigned long long>(fleet.cell_count()), cell_minutes, jobs);
+
+  // --- Matrix-era path: fresh TestSystem + the PR 5 journaled checkpoint
+  // per cell, exactly as src/lab/matrix.cc commits it — full lossless
+  // artifact file (write + flush), Fnv1a64 checksum of the artifact bytes,
+  // then a journal JSONL line appended and flushed under the lock.
+  std::uint64_t matrix_bytes = 0;
+  std::uint64_t matrix_samples = 0;
+  const auto run_matrix_trial = [&](int trial) {
+    // A fresh directory per trial: the real journaled path creates every
+    // artifact file; overwriting last trial's files would be cheaper than
+    // what PR 5 actually pays.
+    const std::filesystem::path trial_dir =
+        dir / ("matrix_trial_" + std::to_string(trial));
+    std::filesystem::create_directories(trial_dir);
+    const Clock::time_point start = Clock::now();
+    std::vector<std::uint64_t> bytes_per_job(static_cast<std::size_t>(jobs), 0);
+    std::vector<std::uint64_t> samples_per_job(static_cast<std::size_t>(jobs), 0);
+    std::ofstream journal((trial_dir / "journal.jsonl").string(),
+                          std::ios::trunc | std::ios::binary);
+    std::mutex journal_mutex;
+    runtime::ParallelFor(jobs, fleet.cell_count(), [&](std::size_t i) {
+      const lab::FleetCell cell = fleet.CellAt(i);
+      const lab::LabConfig config = fleet.CellConfig(cell);
+      const lab::LabReport report = lab::RunLatencyExperiment(config);
+      const std::string artifact = lab::ReportToJson(report);
+      const std::string path =
+          (trial_dir / ("cell_" + std::to_string(i) + ".json")).string();
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out << artifact;
+      out.flush();
+      const std::uint64_t checksum = lab::Fnv1a64(artifact);
+      std::ostringstream line;
+      line << "{\"cell\": " << i << ", \"seed\": \"" << cell.seed
+           << "\", \"status\": \"ok\", \"checksum\": \"" << checksum
+           << "\", \"artifact\": \"" << path << "\", \"samples\": "
+           << report.samples << ", \"attempts\": 1}\n";
+      {
+        std::lock_guard<std::mutex> lock(journal_mutex);
+        journal << line.str();
+        journal.flush();
+      }
+      bytes_per_job[i % jobs] += artifact.size();
+      samples_per_job[i % jobs] += report.samples;
+    });
+    matrix_bytes = 0;
+    matrix_samples = 0;
+    for (const std::uint64_t b : bytes_per_job) {
+      matrix_bytes += b;
+    }
+    for (const std::uint64_t s : samples_per_job) {
+      matrix_samples += s;
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  // --- Fleet path: warm runners + compact shard records over the same
+  // population at the same job count.
+  std::uint64_t fleet_bytes = 0;
+  bool fleet_failed = false;
+  const auto run_fleet_trial = [&]() {
+    lab::FleetShardOptions options;
+    options.jobs = jobs;
+    options.out_path = lab::FleetShardPath(dir.string(), 0, 1);
+    std::filesystem::remove(options.out_path);  // fresh run, not a resume
+    const Clock::time_point start = Clock::now();
+    const lab::FleetShardResult result = RunFleetShard(fleet, options);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (!result.ok()) {
+      std::fprintf(stderr, "fleet_throughput: shard run failed: %s\n",
+                   result.error.c_str());
+      fleet_failed = true;
+      return seconds;
+    }
+    fleet_bytes = std::filesystem::file_size(options.out_path);
+    return seconds;
+  };
+
+  // Three alternating trials per path, scored by median wall time: a single
+  // trial on a shared host confuses scheduling noise (which hits whichever
+  // path runs during the hiccup) with the amortization being measured.
+  std::vector<double> matrix_walls;
+  std::vector<double> fleet_walls;
+  for (int trial = 0; trial < 3; ++trial) {
+    matrix_walls.push_back(run_matrix_trial(trial));
+    fleet_walls.push_back(run_fleet_trial());
+    if (fleet_failed) {
+      return 1;
+    }
+  }
+  const auto median3 = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double matrix_seconds = median3(matrix_walls);
+  const double fleet_seconds = median3(fleet_walls);
+
+  const double matrix_rate = static_cast<double>(fleet.cell_count()) / matrix_seconds;
+  const double fleet_rate = static_cast<double>(fleet.cell_count()) / fleet_seconds;
+  const double speedup = fleet_rate / matrix_rate;
+  std::printf("  %-28s %12s %12s %14s\n", "path", "median s/3", "cells/sec",
+              "artifact KiB");
+  std::printf("  %-28s %12.3f %12.1f %14.1f\n", "matrix (fresh + artifact)",
+              matrix_seconds, matrix_rate, matrix_bytes / 1024.0);
+  std::printf("  %-28s %12.3f %12.1f %14.1f\n", "fleet (warm + record)",
+              fleet_seconds, fleet_rate, fleet_bytes / 1024.0);
+  std::printf("\n  fleet/matrix cells-per-second: %.2fx (bar: >= 2x)\n", speedup);
+  std::printf("  kept samples/cell: %.1f\n",
+              static_cast<double>(matrix_samples) /
+                  static_cast<double>(fleet.cell_count()));
+
+  std::filesystem::remove_all(dir);
+  if (matrix_samples == 0) {
+    // A regime so short the driver's 16-sample PIT-reprogram discard eats
+    // everything measures nothing — cells must keep real samples for the
+    // comparison to be honest.
+    std::fprintf(stderr, "fleet_throughput: FAIL — cells kept zero samples\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "fleet_throughput: FAIL — below the 2x amortization bar\n");
+    return 1;
+  }
+  std::printf("  PASS\n");
+  return 0;
+}

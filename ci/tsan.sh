@@ -7,7 +7,9 @@
 # coordinator thread after parallel cells finish), and the jobs=1-vs-jobs=4
 # matrix determinism contract. Any data race in the parallel runner fails the
 # job. The batched-dispatch reentrancy fuzz rides along so the engine's drain
-# loop gets an instrumented shakeout in the same build.
+# loop gets an instrumented shakeout in the same build, and the fleet
+# determinism suite covers the shard runner's parallel cells funneling into
+# the ordered record writer.
 #
 #   ci/tsan.sh              # from the repo root
 #   BUILD_DIR=... ci/tsan.sh
@@ -23,7 +25,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test histogram_merge_test matrix_determinism_test \
-  batch_dispatch_fuzz_test quantile_sketch_test
+  batch_dispatch_fuzz_test quantile_sketch_test fleet_determinism_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest|QuantileSketchTest'
+  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest|QuantileSketchTest|FleetDeterminism'

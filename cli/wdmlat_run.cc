@@ -86,6 +86,8 @@
 // Exit codes: 0 success, 2 usage/config error, 3 failed cells,
 // 4 interrupted (--max-cells hit; journal is resumable).
 
+#include <sys/stat.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +100,7 @@
 #include "src/kernel/profile.h"
 #include "src/lab/csv_export.h"
 #include "src/lab/differential.h"
+#include "src/lab/fleet.h"
 #include "src/lab/lab.h"
 #include "src/lab/matrix.h"
 #include "src/obs/anatomy.h"
@@ -105,6 +108,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/report/loglog_plot.h"
+#include "src/runtime/shard_runner.h"
 #include "src/runtime/supervisor.h"
 #include "src/runtime/thread_pool.h"
 #include "src/stats/usage_model.h"
@@ -172,6 +176,19 @@ constexpr const char kHelpText[] =
     "  --max-cells=N              stop after N cells (exit 4; resumable)\n"
     "  --audit-fail-cell=N        CI fixture: inject an invariant violation\n"
     "  --throw-cell=N             CI fixture: inject an exception into cell N\n"
+    "\n"
+    "Fleet mode (population scale; EXPERIMENTS.md \"Fleet recipe\"):\n"
+    "  --fleet=FILE               run a population spec (JSON): shard across\n"
+    "                             worker processes, stream-merge, write\n"
+    "                             <dir>/fleet.json; re-running resumes from the\n"
+    "                             shard record files for free\n"
+    "  --shards=N                 worker processes to split the population over\n"
+    "                             (default 1); merged report is bit-identical\n"
+    "                             for any value\n"
+    "  --shard=K/N                worker mode: run only shard K of N into the\n"
+    "                             shard record file (spawned by the orchestrator;\n"
+    "                             --jobs threads within the shard)\n"
+    "  --fleet-out=DIR            fleet artifact directory (default fleet_out)\n"
     "\n"
     "  --help, -h                 print this flag table and exit 0\n"
     "\n"
@@ -321,6 +338,10 @@ int main(int argc, char** argv) {
   std::uint64_t max_cells = 0;
   long audit_fail_cell = -1;
   long throw_cell = -1;
+  std::string fleet_spec_path;
+  std::string shard_arg;
+  std::uint64_t shards = 1;
+  std::string fleet_out = "fleet_out";
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -328,6 +349,14 @@ int main(int argc, char** argv) {
       matrix_mode = true;
     } else if (MatchValueFlag(argc, argv, &i, "--jobs", &value)) {
       jobs = static_cast<int>(ParseIntFlag("--jobs", value));
+    } else if (MatchValueFlag(argc, argv, &i, "--fleet", &value)) {
+      fleet_spec_path = RequireValue("--fleet", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--shards", &value)) {
+      shards = ParseU64Flag("--shards", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--shard", &value)) {
+      shard_arg = RequireValue("--shard", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--fleet-out", &value)) {
+      fleet_out = RequireValue("--fleet-out", value);
     } else if (MatchValueFlag(argc, argv, &i, "--trials", &value)) {
       trials = static_cast<int>(ParseIntFlag("--trials", value));
     } else if (MatchValueFlag(argc, argv, &i, "--os", &value)) {
@@ -433,11 +462,22 @@ int main(int argc, char** argv) {
   }
   // Any supervision knob implies matrix mode — the supervisor exists to keep
   // a grid running, and the resume fingerprint is defined over a grid spec.
+  // Fleet mode reuses --cell-timeout-ms/--cell-retries for its own workers
+  // and resumes from its shard record files, so it opts out.
   const bool supervised = !journal_path.empty() || !resume_path.empty() ||
                           cell_timeout_ms > 0.0 || audit_every_s > 0.0 ||
                           max_cells > 0 || audit_fail_cell >= 0 || throw_cell >= 0;
-  if (supervised) {
+  if (supervised && fleet_spec_path.empty()) {
     matrix_mode = true;
+  }
+  if (!fleet_spec_path.empty() &&
+      (!journal_path.empty() || !resume_path.empty() || audit_every_s > 0.0 ||
+       max_cells > 0 || audit_fail_cell >= 0 || throw_cell >= 0)) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --fleet resumes from its shard record files; "
+                 "--journal/--resume/--audit-every-s/--max-cells and the CI "
+                 "fixtures are matrix-mode flags\n");
+    return 2;
   }
   if (!resume_path.empty()) {
     // Fail fast on an unreadable journal — before any cell runs.
@@ -474,6 +514,166 @@ int main(int argc, char** argv) {
   if (differential && matrix_mode) {
     std::fprintf(stderr, "wdmlat_run: --differential is single-cell only (drop --matrix)\n");
     return 2;
+  }
+
+  // --- Fleet mode ------------------------------------------------------------
+  if (!shard_arg.empty() && fleet_spec_path.empty()) {
+    std::fprintf(stderr, "wdmlat_run: --shard is a worker flag and requires --fleet\n");
+    return 2;
+  }
+  if (!fleet_spec_path.empty()) {
+    if (matrix_mode || differential || have_faults) {
+      std::fprintf(stderr,
+                   "wdmlat_run: --fleet is a self-contained mode (drop --matrix/"
+                   "--differential/--faults; the spec carries its own priors)\n");
+      return 2;
+    }
+    lab::FleetSpec spec;
+    std::string error;
+    if (!lab::LoadFleetSpec(fleet_spec_path, &spec, &error)) {
+      std::fprintf(stderr, "wdmlat_run: --fleet=%s: %s\n", fleet_spec_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const lab::Fleet fleet(std::move(spec));
+    if (!fleet.error().empty()) {
+      std::fprintf(stderr, "wdmlat_run: --fleet=%s: %s\n", fleet_spec_path.c_str(),
+                   fleet.error().c_str());
+      return 2;
+    }
+
+    if (!shard_arg.empty()) {
+      // Worker: run shard K of N into the shard record file and exit.
+      const std::size_t slash = shard_arg.find('/');
+      if (slash == std::string::npos) {
+        Die("--shard wants K/N, e.g. --shard=0/4");
+      }
+      const std::uint64_t worker_shard =
+          ParseU64Flag("--shard", shard_arg.substr(0, slash));
+      const std::uint64_t worker_shards = ParseU64Flag("--shard", shard_arg.substr(slash + 1));
+      if (worker_shards == 0 || worker_shard >= worker_shards) {
+        Die("--shard=" + shard_arg + " wants 0 <= K < N");
+      }
+      lab::FleetShardOptions options;
+      options.shard = static_cast<std::size_t>(worker_shard);
+      options.shards = static_cast<std::size_t>(worker_shards);
+      options.jobs = jobs;
+      options.out_path = lab::FleetShardPath(fleet_out, options.shard, options.shards);
+      options.supervision.cell_timeout_ms = cell_timeout_ms;
+      options.supervision.max_attempts = cell_retries;
+      const lab::FleetShardResult result = lab::RunFleetShard(fleet, options);
+      for (const std::string& warning : result.warnings) {
+        std::fprintf(stderr, "wdmlat_run: shard %llu: warning: %s\n",
+                     static_cast<unsigned long long>(worker_shard), warning.c_str());
+      }
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "wdmlat_run: shard %llu: %s\n",
+                     static_cast<unsigned long long>(worker_shard), result.error.c_str());
+        return 2;
+      }
+      for (const runtime::CellFailure& failure : result.failures) {
+        std::fprintf(stderr, "wdmlat_run: shard %llu: %s\n",
+                     static_cast<unsigned long long>(worker_shard),
+                     failure.Render().c_str());
+      }
+      std::printf("shard %llu/%llu: %llu cells (%llu restored, %llu executed) in %.2f s\n",
+                  static_cast<unsigned long long>(worker_shard),
+                  static_cast<unsigned long long>(worker_shards),
+                  static_cast<unsigned long long>(result.cells_total),
+                  static_cast<unsigned long long>(result.cells_restored),
+                  static_cast<unsigned long long>(result.cells_executed),
+                  result.wall_seconds);
+      return result.failures.empty() ? 0 : 3;
+    }
+
+    // Orchestrator: spawn one worker process per shard (crash isolation —
+    // a dead worker costs one shard's tail, and a re-run resumes it), then
+    // stream-merge the shard record files.
+    if (shards == 0) {
+      Die("--shards must be at least 1");
+    }
+    if (shards > fleet.cell_count()) {
+      shards = fleet.cell_count();
+    }
+    ::mkdir(fleet_out.c_str(), 0777);  // EEXIST is fine; open errors surface below
+    std::string self = runtime::SelfExecutable();
+    if (self.empty()) {
+      self = argv[0];
+    }
+    std::printf(
+        "wdmlat_run --fleet: \"%s\", %llu cells in %zu cohort(s), fingerprint %016llx,\n"
+        "%llu shard process(es) (max %d concurrent) -> %s\n\n",
+        fleet.spec().name.c_str(), static_cast<unsigned long long>(fleet.cell_count()),
+        fleet.spec().cohorts.size(), static_cast<unsigned long long>(fleet.fingerprint()),
+        static_cast<unsigned long long>(shards), jobs, fleet_out.c_str());
+
+    std::vector<runtime::ShardProcess> workers(static_cast<std::size_t>(shards));
+    for (std::uint64_t k = 0; k < shards; ++k) {
+      workers[k].argv = {self,
+                         "--fleet=" + fleet_spec_path,
+                         "--shard=" + std::to_string(k) + "/" + std::to_string(shards),
+                         "--fleet-out=" + fleet_out,
+                         "--jobs=1"};
+      if (cell_timeout_ms > 0.0) {
+        workers[k].argv.push_back("--cell-timeout-ms=" + std::to_string(cell_timeout_ms));
+      }
+      if (cell_retries != 3) {
+        workers[k].argv.push_back("--cell-retries=" + std::to_string(cell_retries));
+      }
+    }
+    // --jobs bounds concurrent worker *processes* here; each worker runs its
+    // shard single-threaded (the shard file contract is per-process anyway).
+    const std::vector<runtime::ShardProcessResult> outcomes =
+        runtime::RunProcesses(workers, jobs);
+    bool workers_ok = true;
+    for (std::size_t k = 0; k < outcomes.size(); ++k) {
+      const runtime::ShardProcessResult& outcome = outcomes[k];
+      if (outcome.ok()) {
+        continue;
+      }
+      workers_ok = false;
+      if (!outcome.error.empty()) {
+        std::fprintf(stderr, "wdmlat_run: shard %zu worker: %s\n", k, outcome.error.c_str());
+      } else if (outcome.signaled) {
+        std::fprintf(stderr, "wdmlat_run: shard %zu worker killed by signal %d\n", k,
+                     outcome.exit_code);
+      } else {
+        std::fprintf(stderr, "wdmlat_run: shard %zu worker exited %d\n", k,
+                     outcome.exit_code);
+      }
+    }
+    if (!workers_ok) {
+      std::fprintf(stderr,
+                   "wdmlat_run: fleet workers failed; completed shard records are kept — "
+                   "re-run the same command to resume\n");
+      return 3;
+    }
+
+    std::vector<std::string> shard_paths;
+    for (std::uint64_t k = 0; k < shards; ++k) {
+      shard_paths.push_back(lab::FleetShardPath(fleet_out, static_cast<std::size_t>(k),
+                                                static_cast<std::size_t>(shards)));
+    }
+    lab::FleetReport report;
+    if (!lab::MergeFleetShards(fleet, shard_paths, &report, &error)) {
+      std::fprintf(stderr, "wdmlat_run: fleet merge: %s\n", error.c_str());
+      return 3;
+    }
+    const std::string report_path = fleet_out + "/fleet.json";
+    WriteTextFile(report_path, lab::FleetReportToJson(report), "fleet report JSON");
+
+    std::printf("\nMerged cohorts (grid-order fold; bit-identical for any --shards/--jobs):\n");
+    std::printf("  %-16s %-8s %-4s %9s %11s %9s %9s %9s %9s\n", "cohort", "os", "prio",
+                "cells", "samples", "p50 ms", "p99 ms", "p99.9 ms", "max ms");
+    for (const lab::FleetCohortReport& cohort : report.cohorts) {
+      std::printf("  %-16s %-8s %-4d %9llu %11llu %9.3f %9.3f %9.3f %9.3f\n",
+                  cohort.name.c_str(), cohort.os.c_str(), cohort.priority,
+                  static_cast<unsigned long long>(cohort.cells),
+                  static_cast<unsigned long long>(cohort.counters.samples),
+                  cohort.thread.QuantileMs(0.5), cohort.thread.QuantileMs(0.99),
+                  cohort.thread.QuantileMs(0.999), cohort.thread.max_ms());
+    }
+    return 0;
   }
 
   obs::ChromeTraceWriter trace_writer;

@@ -1,0 +1,1189 @@
+#include "src/lab/fleet.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "src/kernel/profile.h"
+#include "src/lab/report_io.h"
+#include "src/obs/json.h"
+#include "src/runtime/thread_pool.h"
+#include "src/sim/rng.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::lab {
+
+namespace {
+
+using report_json::Escape;
+using report_json::ParseU64;
+using report_json::ReadHexDoubleField;
+using report_json::ReadHistogram;
+using report_json::ReadSketch;
+using report_json::ReadStringField;
+using report_json::ReadU64Field;
+using report_json::WriteHistogram;
+using report_json::WriteSketch;
+
+constexpr const char* kRecordFormat = "wdmlat-fleet-cell";
+constexpr const char* kReportFormat = "wdmlat-fleet-report";
+constexpr int kFormatVersion = 1;
+
+// Domain-separation tags for the hash chains: the cell seed feeds the
+// simulation, the draw seed feeds the per-member priors. Distinct tags keep
+// the two streams independent even though both derive from the coordinates.
+constexpr std::uint64_t kCellSeedTag = 0x666c656574636c6cull;   // "fleetcll"
+constexpr std::uint64_t kDrawSeedTag = 0x666c656574647277ull;   // "fleetdrw"
+
+std::string U64String(std::uint64_t value) { return std::to_string(value); }
+
+bool OsProfileByName(std::string_view name, kernel::KernelProfile* out) {
+  if (name == "nt4") {
+    *out = kernel::MakeNt4Profile();
+  } else if (name == "win98") {
+    *out = kernel::MakeWin98Profile();
+  } else if (name == "w2kbeta") {
+    *out = kernel::MakeWin2000BetaProfile();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool WorkloadByName(std::string_view name, workload::StressProfile* out) {
+  if (name == "office") {
+    *out = workload::OfficeStress();
+  } else if (name == "workstation") {
+    *out = workload::WorkstationStress();
+  } else if (name == "games") {
+    *out = workload::GamesStress();
+  } else if (name == "web") {
+    *out = workload::WebStress();
+  } else if (name == "idle") {
+    *out = workload::IdleStress();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Hardware-speed model: the simulated cycle rate is a compile-time constant
+// (sim::kCpuHz = 300 MHz), so a member's sampled clock scales the kernel
+// profile's *cost* distributions instead — a 150 MHz machine pays 2x the
+// microseconds for every dispatch, switch, masked section and file op. Event
+// *rates* (clock Hz, self-noise rates, quantum) stay wall-anchored.
+void ScaleProfileForSpeed(kernel::KernelProfile* os, double speed_mhz) {
+  const double factor = 300.0 / speed_mhz;
+  os->isr_dispatch_overhead = os->isr_dispatch_overhead.Scaled(factor);
+  os->context_switch_cost = os->context_switch_cost.Scaled(factor);
+  os->dpc_dispatch_cost = os->dpc_dispatch_cost.Scaled(factor);
+  os->clock_isr_body = os->clock_isr_body.Scaled(factor);
+  os->file_op_kernel_us = os->file_op_kernel_us.Scaled(factor);
+  os->masked_section_len = os->masked_section_len.Scaled(factor);
+  os->dispatch_section_len = os->dispatch_section_len.Scaled(factor);
+  os->lockout_len = os->lockout_len.Scaled(factor);
+  os->clock_isr_per_timer_us *= factor;
+}
+
+std::string ValidateCohort(const FleetCohort& cohort, std::size_t index) {
+  const std::string where = "cohort " + std::to_string(index) +
+                            (cohort.name.empty() ? "" : " (" + cohort.name + ")") + ": ";
+  kernel::KernelProfile os;
+  if (!OsProfileByName(cohort.os, &os)) {
+    return where + "unknown os \"" + cohort.os + "\" (nt4|win98|w2kbeta)";
+  }
+  if (cohort.workloads.empty()) {
+    return where + "needs at least one workload";
+  }
+  workload::StressProfile wl;
+  for (const std::string& name : cohort.workloads) {
+    if (!WorkloadByName(name, &wl)) {
+      return where + "unknown workload \"" + name +
+             "\" (office|workstation|games|web|idle)";
+    }
+  }
+  if (!cohort.workload_weights.empty()) {
+    if (cohort.workload_weights.size() != cohort.workloads.size()) {
+      return where + "workload_weights length != workloads length";
+    }
+    for (const double w : cohort.workload_weights) {
+      if (!(w > 0.0) || !std::isfinite(w)) {
+        return where + "workload weights must be finite and > 0";
+      }
+    }
+  }
+  if (cohort.count == 0) {
+    return where + "count must be >= 1";
+  }
+  if (!(cohort.speed_mhz_lo > 0.0) || !(cohort.speed_mhz_hi >= cohort.speed_mhz_lo)) {
+    return where + "speed_mhz range must satisfy 0 < lo <= hi";
+  }
+  if (!(cohort.stress_minutes > 0.0) || cohort.warmup_seconds < 0.0) {
+    return where + "durations must be positive";
+  }
+  if (!(cohort.pit_hz > 0.0) || !std::isfinite(cohort.pit_hz)) {
+    return where + "pit_hz must be finite and > 0";
+  }
+  if (cohort.fault_prob < 0.0 || cohort.fault_prob > 1.0) {
+    return where + "fault_prob must be in [0, 1]";
+  }
+  if (!cohort.fault_plan.empty()) {
+    fault::FaultPlan plan;
+    if (!fault::FindBuiltinPlan(cohort.fault_plan, &plan)) {
+      return where + "unknown built-in fault plan \"" + cohort.fault_plan + "\"";
+    }
+  } else if (cohort.fault_prob > 0.0) {
+    return where + "fault_prob > 0 needs a fault_plan";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::uint64_t FleetCellSeed(std::uint64_t master_seed, std::size_t cohort,
+                            std::uint64_t member) {
+  std::uint64_t hash = master_seed;
+  const std::uint64_t coords[] = {kCellSeedTag, static_cast<std::uint64_t>(cohort), member};
+  for (std::uint64_t coord : coords) {
+    std::uint64_t state = hash ^ coord;
+    hash = sim::SplitMix64(state);
+  }
+  return hash;
+}
+
+std::uint64_t FleetFingerprint(const FleetSpec& spec) {
+  std::ostringstream out;
+  out << "fleet-v" << kFormatVersion << "|" << spec.name << "|" << spec.master_seed;
+  for (const FleetCohort& cohort : spec.cohorts) {
+    out << "|name=" << cohort.name << ";os=" << cohort.os << ";prio=" << cohort.priority
+        << ";count=" << cohort.count << ";minutes=" << HexDouble(cohort.stress_minutes)
+        << ";warmup=" << HexDouble(cohort.warmup_seconds)
+        << ";pit=" << HexDouble(cohort.pit_hz)
+        << ";speed=" << HexDouble(cohort.speed_mhz_lo) << ","
+        << HexDouble(cohort.speed_mhz_hi) << ";fault=" << cohort.fault_plan << ","
+        << HexDouble(cohort.fault_prob) << ";sketch=" << (cohort.sketch ? 1 : 0)
+        << ";episode_us=" << HexDouble(cohort.episode_threshold_us)
+        << ";scanner=" << (cohort.options.virus_scanner ? 1 : 0) << ";wl=";
+    for (std::size_t i = 0; i < cohort.workloads.size(); ++i) {
+      out << (i == 0 ? "" : ",") << cohort.workloads[i];
+      if (i < cohort.workload_weights.size()) {
+        out << "*" << HexDouble(cohort.workload_weights[i]);
+      }
+    }
+  }
+  return Fnv1a64(out.str());
+}
+
+Fleet::Fleet(FleetSpec spec) : spec_(std::move(spec)) {
+  if (spec_.cohorts.empty()) {
+    error_ = "fleet spec has no cohorts";
+    return;
+  }
+  cohort_begin_.reserve(spec_.cohorts.size() + 1);
+  cohort_begin_.push_back(0);
+  plans_.resize(spec_.cohorts.size());
+  for (std::size_t c = 0; c < spec_.cohorts.size(); ++c) {
+    const FleetCohort& cohort = spec_.cohorts[c];
+    const std::string problem = ValidateCohort(cohort, c);
+    if (!problem.empty()) {
+      error_ = problem;
+      return;
+    }
+    if (!cohort.fault_plan.empty()) {
+      fault::FindBuiltinPlan(cohort.fault_plan, &plans_[c]);
+    }
+    cohort_begin_.push_back(cohort_begin_.back() + cohort.count);
+  }
+  cell_count_ = cohort_begin_.back();
+  fingerprint_ = FleetFingerprint(spec_);
+}
+
+FleetCell Fleet::CellAt(std::uint64_t index) const {
+  FleetCell cell;
+  cell.index = index;
+  // Cohorts are few; a linear scan beats a binary search's branch misses.
+  std::size_t c = 0;
+  while (c + 1 < cohort_begin_.size() && index >= cohort_begin_[c + 1]) {
+    ++c;
+  }
+  cell.cohort = c;
+  cell.member = index - cohort_begin_[c];
+  cell.seed = FleetCellSeed(spec_.master_seed, c, cell.member);
+
+  // Per-member draws ride a separate tagged stream so they can never skew
+  // the simulation's RNG, and the draw *count* stays fixed (three draws per
+  // member) so adding a prior later shifts nothing that exists today.
+  const FleetCohort& cohort = spec_.cohorts[c];
+  std::uint64_t state = cell.seed ^ kDrawSeedTag;
+  sim::Rng draws(sim::SplitMix64(state));
+  const double u_speed = draws.NextDouble();
+  const double u_workload = draws.NextDouble();
+  const double u_fault = draws.NextDouble();
+
+  if (cohort.speed_mhz_hi > cohort.speed_mhz_lo) {
+    const double log_lo = std::log(cohort.speed_mhz_lo);
+    const double log_hi = std::log(cohort.speed_mhz_hi);
+    cell.speed_mhz = std::exp(log_lo + u_speed * (log_hi - log_lo));
+  } else {
+    cell.speed_mhz = cohort.speed_mhz_lo;
+  }
+
+  if (cohort.workloads.size() > 1) {
+    if (cohort.workload_weights.empty()) {
+      cell.workload_index = std::min(
+          cohort.workloads.size() - 1,
+          static_cast<std::size_t>(u_workload *
+                                   static_cast<double>(cohort.workloads.size())));
+    } else {
+      double total = 0.0;
+      for (const double w : cohort.workload_weights) {
+        total += w;
+      }
+      double target = u_workload * total;
+      std::size_t pick = 0;
+      while (pick + 1 < cohort.workload_weights.size()) {
+        target -= cohort.workload_weights[pick];
+        if (target < 0.0) {
+          break;
+        }
+        ++pick;
+      }
+      cell.workload_index = pick;
+    }
+  }
+
+  cell.fault_active = cohort.fault_prob > 0.0 && u_fault < cohort.fault_prob;
+  return cell;
+}
+
+LabConfig Fleet::CellConfig(const FleetCell& cell) const {
+  const FleetCohort& cohort = spec_.cohorts[cell.cohort];
+  LabConfig config;
+  OsProfileByName(cohort.os, &config.os);
+  ScaleProfileForSpeed(&config.os, cell.speed_mhz);
+  WorkloadByName(cohort.workloads[cell.workload_index], &config.stress);
+  config.thread_priority = cohort.priority;
+  config.stress_minutes = cohort.stress_minutes;
+  config.warmup_seconds = cohort.warmup_seconds;
+  // Sampling rate: reprogram the PIT to the cohort's rate and keep
+  // ARBITRARY_DELAY at exactly one tick (1 ms at the paper's 1 kHz).
+  config.driver.pit_hz = cohort.pit_hz;
+  config.driver.timer_delay_ms = 1000.0 / cohort.pit_hz;
+  config.seed = cell.seed;
+  config.options = cohort.options;
+  config.obs.sketch = cohort.sketch;
+  if (cohort.episode_threshold_us > 0.0) {
+    config.obs.episode_threshold_us = cohort.episode_threshold_us;
+    config.obs.anatomy = true;
+  }
+  if (cell.fault_active) {
+    config.faults = &plans_[cell.cohort];
+  }
+  return config;
+}
+
+// --- Spec JSON ---------------------------------------------------------------
+
+bool FleetSpecFromJson(std::string_view text, FleetSpec* spec, std::string* error) {
+  *spec = FleetSpec{};
+  const obs::JsonParseResult parsed = obs::ParseJson(text);
+  if (!parsed.valid) {
+    if (error != nullptr) {
+      std::ostringstream message;
+      message << "fleet spec JSON error at line " << parsed.error_line << ", column "
+              << parsed.error_column << ": " << parsed.error;
+      *error = message.str();
+    }
+    return false;
+  }
+  const obs::JsonValue& root = parsed.value;
+  if (!root.is_object()) {
+    if (error != nullptr) {
+      *error = "fleet spec must be a JSON object";
+    }
+    return false;
+  }
+  FleetSpec result;
+  result.name = root.StringOr("name", "fleet");
+  result.master_seed = static_cast<std::uint64_t>(root.NumberOr("master_seed", 1999.0));
+  const obs::JsonValue* cohorts = root.Find("cohorts");
+  if (cohorts == nullptr || !cohorts->is_array() || cohorts->items().empty()) {
+    if (error != nullptr) {
+      *error = "fleet spec needs a non-empty cohorts array";
+    }
+    return false;
+  }
+  for (const obs::JsonValue& entry : cohorts->items()) {
+    if (!entry.is_object()) {
+      if (error != nullptr) {
+        *error = "cohort entries must be objects";
+      }
+      return false;
+    }
+    FleetCohort cohort;
+    cohort.name = entry.StringOr("name", "cohort" + std::to_string(result.cohorts.size()));
+    cohort.os = entry.StringOr("os", cohort.os);
+    const obs::JsonValue* workloads = entry.Find("workloads");
+    if (workloads != nullptr) {
+      if (!workloads->is_array()) {
+        if (error != nullptr) {
+          *error = cohort.name + ": workloads must be an array of names";
+        }
+        return false;
+      }
+      cohort.workloads.clear();
+      for (const obs::JsonValue& w : workloads->items()) {
+        if (!w.is_string()) {
+          if (error != nullptr) {
+            *error = cohort.name + ": workloads must be strings";
+          }
+          return false;
+        }
+        cohort.workloads.push_back(w.as_string());
+      }
+    }
+    const obs::JsonValue* weights = entry.Find("workload_weights");
+    if (weights != nullptr) {
+      if (!weights->is_array()) {
+        if (error != nullptr) {
+          *error = cohort.name + ": workload_weights must be an array of numbers";
+        }
+        return false;
+      }
+      for (const obs::JsonValue& w : weights->items()) {
+        if (!w.is_number()) {
+          if (error != nullptr) {
+            *error = cohort.name + ": workload_weights must be numbers";
+          }
+          return false;
+        }
+        cohort.workload_weights.push_back(w.as_number());
+      }
+    }
+    cohort.priority = static_cast<int>(entry.NumberOr("priority", 28.0));
+    cohort.count = static_cast<std::uint64_t>(entry.NumberOr("count", 1.0));
+    cohort.stress_minutes = entry.NumberOr("stress_minutes", cohort.stress_minutes);
+    cohort.warmup_seconds = entry.NumberOr("warmup_seconds", cohort.warmup_seconds);
+    cohort.pit_hz = entry.NumberOr("pit_hz", cohort.pit_hz);
+    const obs::JsonValue* speed = entry.Find("speed_mhz");
+    if (speed != nullptr) {
+      if (speed->is_number()) {
+        cohort.speed_mhz_lo = cohort.speed_mhz_hi = speed->as_number();
+      } else if (speed->is_array() && speed->items().size() == 2 &&
+                 speed->items()[0].is_number() && speed->items()[1].is_number()) {
+        cohort.speed_mhz_lo = speed->items()[0].as_number();
+        cohort.speed_mhz_hi = speed->items()[1].as_number();
+      } else {
+        if (error != nullptr) {
+          *error = cohort.name + ": speed_mhz must be a number or [lo, hi]";
+        }
+        return false;
+      }
+    }
+    cohort.fault_plan = entry.StringOr("fault_plan", "");
+    cohort.fault_prob = entry.NumberOr("fault_prob", 0.0);
+    cohort.sketch = entry.BoolOr("sketch", false);
+    cohort.episode_threshold_us = entry.NumberOr("episode_threshold_us", 0.0);
+    cohort.options.virus_scanner = entry.BoolOr("virus_scanner", false);
+    const std::string problem = ValidateCohort(cohort, result.cohorts.size());
+    if (!problem.empty()) {
+      if (error != nullptr) {
+        *error = problem;
+      }
+      return false;
+    }
+    result.cohorts.push_back(std::move(cohort));
+  }
+  *spec = std::move(result);
+  return true;
+}
+
+bool LoadFleetSpec(const std::string& path, FleetSpec* spec, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot read fleet spec: " + path;
+    }
+    return false;
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return FleetSpecFromJson(bytes.str(), spec, error);
+}
+
+// --- Record serialization ----------------------------------------------------
+
+namespace {
+
+// Append-based builders: records are serialized once per cell, so at
+// population scale the ostringstream/temporary-string idiom of report_io
+// shows up in cells/sec. These produce byte-identical text with plain
+// appends into one reserved buffer.
+void AppendU64(std::string& out, std::uint64_t value) {
+  char buf[20];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+void AppendInt(std::string& out, int value) {
+  char buf[16];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+void AppendHexDouble(std::string& out, double value) {
+  char buf[48];
+  out.append(buf, static_cast<std::size_t>(
+                      std::snprintf(buf, sizeof(buf), "%a", value)));
+}
+
+void AppendHistogram(std::string& out, const char* name,
+                     const stats::LatencyHistogram& hist) {
+  const stats::LatencyHistogram::State state = hist.ExportState();
+  out += '"';
+  out += name;
+  out += "\": {\"buckets\": [";
+  bool first = true;
+  for (const auto& [index, count] : state.buckets) {
+    if (!first) out += ", ";
+    first = false;
+    out += '[';
+    AppendInt(out, index);
+    out += ", \"";
+    AppendU64(out, count);
+    out += "\"]";
+  }
+  out += "], \"count\": \"";
+  AppendU64(out, state.count);
+  out += "\", \"underflow\": \"";
+  AppendU64(out, state.underflow);
+  out += "\", \"sum_us\": \"";
+  AppendHexDouble(out, state.sum_us);
+  out += "\", \"min_us\": \"";
+  AppendHexDouble(out, state.min_us);
+  out += "\", \"max_us\": \"";
+  AppendHexDouble(out, state.max_us);
+  out += "\"}";
+}
+
+void AppendSketch(std::string& out, const char* name,
+                  const stats::QuantileSketch& sketch) {
+  const stats::QuantileSketch::State state = sketch.ExportState();
+  out += '"';
+  out += name;
+  out += "\": {\"levels\": [";
+  for (std::size_t l = 0; l < state.levels.size(); ++l) {
+    if (l != 0) out += ", ";
+    out += '[';
+    for (std::size_t i = 0; i < state.levels[l].size(); ++i) {
+      if (i != 0) out += ", ";
+      out += '"';
+      AppendHexDouble(out, state.levels[l][i]);
+      out += '"';
+    }
+    out += ']';
+  }
+  out += "], \"parities\": [";
+  for (std::size_t l = 0; l < state.parities.size(); ++l) {
+    if (l != 0) out += ", ";
+    AppendInt(out, static_cast<int>(state.parities[l]));
+  }
+  out += "], \"tail\": [";
+  for (std::size_t i = 0; i < state.tail.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    AppendHexDouble(out, state.tail[i]);
+    out += '"';
+  }
+  out += "], \"count\": \"";
+  AppendU64(out, state.count);
+  out += "\", \"sum_ms\": \"";
+  AppendHexDouble(out, state.sum_ms);
+  out += "\", \"min_ms\": \"";
+  AppendHexDouble(out, state.min_ms);
+  out += "\", \"max_ms\": \"";
+  AppendHexDouble(out, state.max_ms);
+  out += "\"}";
+}
+
+std::string RecordPayload(const FleetCellRecord& record) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"format\": \"";
+  out += kRecordFormat;
+  out += "\", \"version\": ";
+  AppendInt(out, kFormatVersion);
+  out += ", \"cohort\": ";
+  AppendU64(out, record.cohort);
+  out += ", \"samples\": \"";
+  AppendU64(out, record.samples);
+  out += "\", \"stress_hours\": \"";
+  AppendHexDouble(out, record.stress_hours);
+  out += "\", \"speed_mhz\": \"";
+  AppendHexDouble(out, record.speed_mhz);
+  out += "\", \"fault_activations\": \"";
+  AppendU64(out, record.fault_activations);
+  out += "\", \"anatomy_episodes\": \"";
+  AppendU64(out, record.anatomy_episodes);
+  out += "\", \"anatomy_stage_cycles\": [";
+  for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+    if (s != 0) out += ", ";
+    out += '"';
+    AppendU64(out, record.anatomy_stage_cycles[s]);
+    out += '"';
+  }
+  out += "], \"histograms\": {";
+  AppendHistogram(out, "thread", record.thread);
+  out += ", ";
+  AppendHistogram(out, "dpc_interrupt", record.dpc_interrupt);
+  out += "}, ";
+  AppendSketch(out, "thread_sketch", record.thread_sketch);
+  out += '}';
+  return out;
+}
+
+// Escape() of report_io, minus the intermediate string: payloads contain
+// quotes on every key, so the escaped copy is the expensive one.
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FleetRecordToLine(const FleetCellRecord& record) {
+  const std::string payload = RecordPayload(record);
+  std::string out;
+  out.reserve(payload.size() + payload.size() / 4 + 96);
+  out += "{\"cell\": \"";
+  AppendU64(out, record.index);
+  out += "\", \"seed\": \"";
+  AppendU64(out, record.seed);
+  out += "\", \"checksum\": \"";
+  AppendU64(out, Fnv1a64(payload));
+  out += "\", \"payload\": \"";
+  AppendEscaped(out, payload);
+  out += "\"}";
+  return out;
+}
+
+bool FleetRecordFromLine(std::string_view line, FleetCellRecord* record,
+                         std::string* error) {
+  *record = FleetCellRecord{};
+  const obs::JsonParseResult parsed = obs::ParseJson(line);
+  if (!parsed.valid) {
+    if (error != nullptr) {
+      *error = "record line is not valid JSON: " + parsed.error;
+    }
+    return false;
+  }
+  const obs::JsonValue& root = parsed.value;
+  if (!root.is_object()) {
+    if (error != nullptr) {
+      *error = "record line is not an object";
+    }
+    return false;
+  }
+  FleetCellRecord result;
+  std::uint64_t checksum = 0;
+  std::string payload;
+  if (!ReadU64Field(root, "cell", &result.index, error) ||
+      !ReadU64Field(root, "seed", &result.seed, error) ||
+      !ReadU64Field(root, "checksum", &checksum, error) ||
+      !ReadStringField(root, "payload", &payload, error)) {
+    return false;
+  }
+  if (Fnv1a64(payload) != checksum) {
+    if (error != nullptr) {
+      *error = "record payload checksum mismatch (torn or corrupt line)";
+    }
+    return false;
+  }
+  const obs::JsonParseResult body = obs::ParseJson(payload);
+  if (!body.valid || !body.value.is_object()) {
+    if (error != nullptr) {
+      *error = "record payload is not a JSON object: " + body.error;
+    }
+    return false;
+  }
+  const obs::JsonValue& doc = body.value;
+  if (doc.StringOr("format", "") != kRecordFormat ||
+      static_cast<int>(doc.NumberOr("version", 0.0)) != kFormatVersion) {
+    if (error != nullptr) {
+      *error = "record payload is not a " + std::string(kRecordFormat) + " v" +
+               std::to_string(kFormatVersion) + " document";
+    }
+    return false;
+  }
+  result.cohort = static_cast<std::size_t>(doc.NumberOr("cohort", 0.0));
+  if (!ReadU64Field(doc, "samples", &result.samples, error) ||
+      !ReadHexDoubleField(doc, "stress_hours", &result.stress_hours, error) ||
+      !ReadHexDoubleField(doc, "speed_mhz", &result.speed_mhz, error) ||
+      !ReadU64Field(doc, "fault_activations", &result.fault_activations, error) ||
+      !ReadU64Field(doc, "anatomy_episodes", &result.anatomy_episodes, error)) {
+    return false;
+  }
+  const obs::JsonValue* stages = doc.Find("anatomy_stage_cycles");
+  if (stages == nullptr || !stages->is_array() ||
+      stages->items().size() != obs::kAnatomyStageCount) {
+    if (error != nullptr) {
+      *error = "record needs an anatomy_stage_cycles array of " +
+               std::to_string(obs::kAnatomyStageCount);
+    }
+    return false;
+  }
+  for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+    const obs::JsonValue& item = stages->items()[s];
+    if (!item.is_string() || !ParseU64(item.as_string(), &result.anatomy_stage_cycles[s])) {
+      if (error != nullptr) {
+        *error = "anatomy stage cycles must be decimal u64 strings";
+      }
+      return false;
+    }
+  }
+  const obs::JsonValue* histograms = doc.Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    if (error != nullptr) {
+      *error = "record has no histograms object";
+    }
+    return false;
+  }
+  if (!ReadHistogram(*histograms, "thread", &result.thread, error) ||
+      !ReadHistogram(*histograms, "dpc_interrupt", &result.dpc_interrupt, error) ||
+      !ReadSketch(doc, "thread_sketch", &result.thread_sketch, error)) {
+    return false;
+  }
+  *record = std::move(result);
+  return true;
+}
+
+// --- Warm cell runner --------------------------------------------------------
+
+WarmCellRunner::WarmCellRunner() = default;
+WarmCellRunner::~WarmCellRunner() = default;
+
+LabReport WarmCellRunner::Run(const LabConfig& config) {
+  if (system_ == nullptr) {
+    system_ = std::make_unique<TestSystem>(config.os, config.seed, config.options);
+    ++constructions_;
+  } else {
+    system_->Reset(config.os, config.seed, config.options);
+    ++resets_;
+  }
+  return RunLatencyExperimentOn(*system_, config);
+}
+
+// --- Shard runner ------------------------------------------------------------
+
+std::string FleetShardPath(const std::string& dir, std::size_t shard, std::size_t shards) {
+  return dir + "/shard_" + std::to_string(shard) + "_of_" + std::to_string(shards) +
+         ".jsonl";
+}
+
+namespace {
+
+FleetCellRecord MakeRecord(const FleetCell& cell, const LabConfig& config,
+                           const LabReport& report) {
+  FleetCellRecord record;
+  record.index = cell.index;
+  record.cohort = cell.cohort;
+  record.seed = cell.seed;
+  record.samples = report.samples;
+  // Same recovery the matrix merge uses: total samples over the measured
+  // rate gives the driver's true stress-hours, falling back to the nominal
+  // duration for sample-free cells.
+  record.stress_hours = report.samples_per_hour > 0.0
+                            ? static_cast<double>(report.samples) / report.samples_per_hour
+                            : config.stress_minutes / 60.0;
+  record.speed_mhz = cell.speed_mhz;
+  record.fault_activations = report.fault_activations;
+  record.anatomy_episodes = report.anatomy.size();
+  for (const obs::AnatomyEpisode& episode : report.anatomy) {
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      record.anatomy_stage_cycles[s] += episode.stage_cycles[s];
+    }
+  }
+  record.thread = report.thread;
+  record.dpc_interrupt = report.dpc_interrupt;
+  record.thread_sketch = report.thread_sketch;
+  return record;
+}
+
+// In-order record writer: cells complete in any order (jobs > 1), lines
+// leave in global-index order. Pending lines are bounded by the job count,
+// so the reorder buffer never grows with the shard.
+class OrderedShardWriter {
+ public:
+  OrderedShardWriter(std::ostream& out, std::vector<std::uint64_t> indices)
+      : out_(out), indices_(std::move(indices)) {}
+
+  // `restored` is sorted; those indices are satisfied from `restored_lines`
+  // (the resume stream) instead of the pending map.
+  void SetRestored(const std::vector<std::uint64_t>* restored,
+                   std::function<bool(std::string*)> next_restored_line) {
+    restored_ = restored;
+    next_restored_line_ = std::move(next_restored_line);
+  }
+
+  bool Complete(std::uint64_t index, std::string line, std::string* error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace(index, std::move(line));
+    return Drain(error);
+  }
+
+  // Flush restored-only prefixes/suffixes (call once after all cells ran).
+  bool Finish(std::string* error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Drain(error);
+  }
+
+  std::size_t written() const { return next_; }
+
+ private:
+  bool IsRestored(std::uint64_t index) const {
+    return restored_ != nullptr &&
+           std::binary_search(restored_->begin(), restored_->end(), index);
+  }
+
+  bool Drain(std::string* error) {
+    while (next_ < indices_.size()) {
+      const std::uint64_t index = indices_[next_];
+      if (IsRestored(index)) {
+        std::string line;
+        if (!next_restored_line_(&line)) {
+          *error = "resume stream ended before restored cell " + std::to_string(index);
+          return false;
+        }
+        out_ << line << "\n";
+      } else {
+        auto it = pending_.find(index);
+        if (it == pending_.end()) {
+          break;  // waiting for an in-flight cell
+        }
+        out_ << it->second << "\n";
+        pending_.erase(it);
+      }
+      ++next_;
+      // Flush in batches, not per line: a flush is a write() syscall, and at
+      // population scale one-per-cell costs as much as the cell itself. A
+      // kill loses at most the last unflushed batch — those cells simply
+      // re-run on resume, which the torn-line recovery already covers.
+      if (next_ % kFlushBatch == 0) {
+        out_.flush();
+      }
+    }
+    if (next_ == indices_.size()) {
+      out_.flush();
+    }
+    if (!out_) {
+      *error = "shard record write failed";
+      return false;
+    }
+    return true;
+  }
+
+  static constexpr std::size_t kFlushBatch = 32;
+
+  std::ostream& out_;
+  std::vector<std::uint64_t> indices_;  // this shard's cells, ascending
+  const std::vector<std::uint64_t>* restored_ = nullptr;
+  std::function<bool(std::string*)> next_restored_line_;
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::string> pending_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  FleetShardResult result;
+  if (!fleet.error().empty()) {
+    result.error = fleet.error();
+    return result;
+  }
+  if (options.shards == 0 || options.shard >= options.shards) {
+    result.error = "shard index must satisfy 0 <= shard < shards";
+    return result;
+  }
+  if (options.out_path.empty()) {
+    result.error = "fleet shard needs an output path";
+    return result;
+  }
+
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = options.shard; i < fleet.cell_count(); i += options.shards) {
+    indices.push_back(i);
+  }
+  result.cells_total = indices.size();
+
+  // --- Resume pass: trust nothing — a kept record must parse, checksum, and
+  // carry the seed this spec derives for its cell. The file is index-sorted
+  // by the write contract; anything after an out-of-order line is suspect
+  // and re-runs.
+  std::vector<std::uint64_t> restored;
+  {
+    std::ifstream in(options.out_path, std::ios::binary);
+    if (in) {
+      std::string line;
+      std::uint64_t last_index = 0;
+      bool first = true;
+      while (std::getline(in, line)) {
+        if (line.empty()) {
+          continue;
+        }
+        FleetCellRecord record;
+        std::string parse_error;
+        if (!FleetRecordFromLine(line, &record, &parse_error)) {
+          result.warnings.push_back("shard record rejected (" + parse_error +
+                                    "); re-running that cell");
+          continue;
+        }
+        if (!first && record.index <= last_index) {
+          result.warnings.push_back("shard records out of order at cell " +
+                                    std::to_string(record.index) +
+                                    "; ignoring the remainder");
+          break;
+        }
+        first = false;
+        last_index = record.index;
+        if (record.index % options.shards != options.shard ||
+            record.index >= fleet.cell_count()) {
+          result.warnings.push_back("record for cell " + std::to_string(record.index) +
+                                    " does not belong to this shard; dropped");
+          continue;
+        }
+        const FleetCell cell = fleet.CellAt(record.index);
+        if (record.seed != cell.seed) {
+          result.warnings.push_back("cell " + std::to_string(record.index) +
+                                    ": record seed mismatch; re-running");
+          continue;
+        }
+        restored.push_back(record.index);
+      }
+    }
+  }
+  result.cells_restored = restored.size();
+
+  std::vector<std::uint64_t> missing;
+  for (const std::uint64_t index : indices) {
+    if (!std::binary_search(restored.begin(), restored.end(), index)) {
+      missing.push_back(index);
+    }
+  }
+  if (missing.empty()) {
+    // Complete shard: leave the file's bytes exactly as they are.
+    return result;
+  }
+
+  // Output: fresh shards append straight to the final path (batched flush —
+  // a killed worker keeps its prefix up to the last flushed batch); partial
+  // resumes stream-rewrite old +
+  // new records to a temp file and rename, so a second kill still finds the
+  // original prefix intact.
+  const bool rewrite = !restored.empty();
+  const std::string write_path = rewrite ? options.out_path + ".tmp" : options.out_path;
+  std::ofstream out(write_path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    result.error = "cannot write shard records: " + write_path;
+    return result;
+  }
+  std::ifstream resume_stream;
+  OrderedShardWriter writer(out, indices);
+  if (rewrite) {
+    resume_stream.open(options.out_path, std::ios::binary);
+    // Re-verify nothing on the second pass: emit the byte-identical lines of
+    // the records the first pass already verified, skipping rejected ones.
+    auto* stream = &resume_stream;
+    auto* fleet_ptr = &fleet;
+    auto* opts = &options;
+    writer.SetRestored(&restored, [stream, fleet_ptr, opts](std::string* line) {
+      std::string candidate;
+      while (std::getline(*stream, candidate)) {
+        if (candidate.empty()) {
+          continue;
+        }
+        FleetCellRecord record;
+        std::string parse_error;
+        if (!FleetRecordFromLine(candidate, &record, &parse_error)) {
+          continue;
+        }
+        if (record.index >= fleet_ptr->cell_count() ||
+            record.index % opts->shards != opts->shard ||
+            record.seed != fleet_ptr->CellAt(record.index).seed) {
+          continue;
+        }
+        *line = std::move(candidate);
+        return true;
+      }
+      return false;
+    });
+  }
+
+  runtime::Supervisor supervisor(options.supervision);
+  std::mutex result_mutex;
+  std::string write_error;
+  const Clock::time_point run_start = Clock::now();
+  runtime::ParallelFor(options.jobs, missing.size(), [&](std::size_t w) {
+    {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      if (!write_error.empty()) {
+        return;  // the shard file is already broken; don't waste the cells
+      }
+    }
+    const std::uint64_t index = missing[w];
+    const FleetCell cell = fleet.CellAt(index);
+    // One warmed machine per pool worker, reused across every cell the
+    // worker runs this call — the amortized-setup half of the tentpole.
+    thread_local WarmCellRunner runner;
+    std::string line;
+    const auto body = [&](int attempt, runtime::Watchdog& watchdog) {
+      (void)attempt;  // the seed is attempt-invariant by design
+      LabConfig config = fleet.CellConfig(cell);
+      if (watchdog.armed()) {
+        config.supervision.watchdog = &watchdog;
+      }
+      const LabReport report = runner.Run(config);
+      line = FleetRecordToLine(MakeRecord(cell, config, report));
+    };
+    const std::optional<runtime::CellFailure> failure =
+        supervisor.RunCell(static_cast<std::size_t>(index), cell.seed, body);
+    std::lock_guard<std::mutex> lock(result_mutex);
+    ++result.cells_executed;
+    if (failure) {
+      result.failures.push_back(*failure);
+    } else {
+      std::string error;
+      if (!writer.Complete(index, std::move(line), &error)) {
+        if (write_error.empty()) {
+          write_error = error;
+        }
+      }
+    }
+    if (options.on_cell_done) {
+      options.on_cell_done(cell, !failure);
+    }
+  });
+  {
+    std::string error;
+    if (write_error.empty() && !writer.Finish(&error)) {
+      write_error = error;
+    }
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+  if (!write_error.empty()) {
+    result.error = write_error;
+    return result;
+  }
+  out.flush();
+  out.close();
+  if (rewrite) {
+    resume_stream.close();
+    if (!result.failures.empty()) {
+      // Keep the original file: the rewrite is incomplete and the original
+      // still holds every verified record for the next resume.
+      std::remove(write_path.c_str());
+    } else if (std::rename(write_path.c_str(), options.out_path.c_str()) != 0) {
+      result.error = "cannot rename " + write_path + " over " + options.out_path;
+    }
+  }
+  return result;
+}
+
+// --- Streaming merge ---------------------------------------------------------
+
+bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_paths,
+                      FleetReport* report, std::string* error) {
+  *report = FleetReport{};
+  if (!fleet.error().empty()) {
+    if (error != nullptr) {
+      *error = fleet.error();
+    }
+    return false;
+  }
+  if (shard_paths.empty()) {
+    if (error != nullptr) {
+      *error = "merge needs at least one shard path";
+    }
+    return false;
+  }
+  const std::size_t shards = shard_paths.size();
+  std::vector<std::ifstream> streams(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    streams[k].open(shard_paths[k], std::ios::binary);
+    if (!streams[k]) {
+      if (error != nullptr) {
+        *error = "cannot read shard file: " + shard_paths[k];
+      }
+      return false;
+    }
+  }
+
+  FleetReport result;
+  result.name = fleet.spec().name;
+  result.fingerprint = fleet.fingerprint();
+  result.cells = fleet.cell_count();
+  result.cohorts.resize(fleet.spec().cohorts.size());
+  for (std::size_t c = 0; c < fleet.spec().cohorts.size(); ++c) {
+    result.cohorts[c].name = fleet.spec().cohorts[c].name;
+    result.cohorts[c].os = fleet.spec().cohorts[c].os;
+    result.cohorts[c].priority = fleet.spec().cohorts[c].priority;
+  }
+
+  // Global grid order: cell i lives at the front of stream i % shards, so
+  // the k-way merge is a round-robin walk. Folding in this one fixed order —
+  // whatever shard/job split produced the files — is what makes the merged
+  // floating-point sums and sketch states bit-identical.
+  std::string line;
+  for (std::uint64_t index = 0; index < fleet.cell_count(); ++index) {
+    std::ifstream& in = streams[index % shards];
+    line.clear();
+    while (std::getline(in, line)) {
+      if (!line.empty()) {
+        break;
+      }
+    }
+    const auto fail = [&](const std::string& what) {
+      if (error != nullptr) {
+        *error = "cell " + std::to_string(index) + " (shard " +
+                 std::to_string(index % shards) + "): " + what;
+      }
+      return false;
+    };
+    if (line.empty()) {
+      return fail("missing record — incomplete shard, re-run it");
+    }
+    FleetCellRecord record;
+    std::string parse_error;
+    if (!FleetRecordFromLine(line, &record, &parse_error)) {
+      return fail(parse_error);
+    }
+    if (record.index != index) {
+      return fail("record is for cell " + std::to_string(record.index) +
+                  " — shard file out of order");
+    }
+    const FleetCell cell = fleet.CellAt(index);
+    if (record.seed != cell.seed || record.cohort != cell.cohort) {
+      return fail("record seed/cohort does not match this spec");
+    }
+    FleetCohortReport& cohort = result.cohorts[record.cohort];
+    if (cohort.cells == 0) {
+      cohort.speed_mhz_min = record.speed_mhz;
+      cohort.speed_mhz_max = record.speed_mhz;
+    } else {
+      cohort.speed_mhz_min = std::min(cohort.speed_mhz_min, record.speed_mhz);
+      cohort.speed_mhz_max = std::max(cohort.speed_mhz_max, record.speed_mhz);
+    }
+    ++cohort.cells;
+    cohort.counters.Merge(stats::SampleCounters{record.samples, record.stress_hours});
+    cohort.thread.Merge(record.thread);
+    cohort.dpc_interrupt.Merge(record.dpc_interrupt);
+    cohort.thread_sketch.Merge(record.thread_sketch);
+    cohort.fault_cells += record.fault_activations > 0 ? 1 : 0;
+    cohort.fault_activations += record.fault_activations;
+    cohort.anatomy_episodes += record.anatomy_episodes;
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      cohort.anatomy_stage_cycles[s] += record.anatomy_stage_cycles[s];
+    }
+    cohort.speed_mhz_sum += record.speed_mhz;
+  }
+  // Conservation audit, matrix-style: the fold above is the only writer, so
+  // a mismatch can only mean broken merge arithmetic.
+  for (std::size_t c = 0; c < result.cohorts.size(); ++c) {
+    if (result.cohorts[c].cells != fleet.spec().cohorts[c].count) {
+      if (error != nullptr) {
+        *error = "cohort " + result.cohorts[c].name + " folded " +
+                 std::to_string(result.cohorts[c].cells) + " cells, expected " +
+                 std::to_string(fleet.spec().cohorts[c].count);
+      }
+      return false;
+    }
+  }
+  *report = std::move(result);
+  return true;
+}
+
+std::string FleetReportToJson(const FleetReport& report) {
+  std::ostringstream out;
+  out << "{\"format\": \"" << kReportFormat << "\", \"version\": " << kFormatVersion
+      << ",\n\"name\": \"" << Escape(report.name) << "\", \"fingerprint\": \""
+      << U64String(report.fingerprint) << "\", \"cells\": \"" << U64String(report.cells)
+      << "\",\n\"cohorts\": [";
+  for (std::size_t c = 0; c < report.cohorts.size(); ++c) {
+    const FleetCohortReport& cohort = report.cohorts[c];
+    out << (c == 0 ? "\n" : ",\n");
+    out << "{\"name\": \"" << Escape(cohort.name) << "\", \"os\": \"" << Escape(cohort.os)
+        << "\", \"priority\": " << cohort.priority << ", \"cells\": \""
+        << U64String(cohort.cells) << "\", \"samples\": \""
+        << U64String(cohort.counters.samples) << "\", \"stress_hours\": \""
+        << HexDouble(cohort.counters.stress_hours) << "\", \"samples_per_hour\": \""
+        << HexDouble(cohort.counters.SamplesPerHour()) << "\",\n";
+    // Readable tails for humans and dashboards; the exact states below are
+    // the mergeable ground truth.
+    char quantiles[256];
+    std::snprintf(quantiles, sizeof(quantiles),
+                  "\"thread_ms\": {\"p50\": %.6g, \"p99\": %.6g, \"p999\": %.6g, "
+                  "\"p9999\": %.6g, \"max\": %.6g},\n",
+                  cohort.thread.QuantileMs(0.5), cohort.thread.QuantileMs(0.99),
+                  cohort.thread.QuantileMs(0.999), cohort.thread.QuantileMs(0.9999),
+                  cohort.thread.max_ms());
+    out << quantiles;
+    out << "\"speed_mhz\": {\"min\": \"" << HexDouble(cohort.speed_mhz_min)
+        << "\", \"mean\": \""
+        << HexDouble(cohort.cells > 0
+                         ? cohort.speed_mhz_sum / static_cast<double>(cohort.cells)
+                         : 0.0)
+        << "\", \"max\": \"" << HexDouble(cohort.speed_mhz_max) << "\"},\n";
+    out << "\"fault_cells\": \"" << U64String(cohort.fault_cells)
+        << "\", \"fault_activations\": \"" << U64String(cohort.fault_activations)
+        << "\", \"anatomy_episodes\": \"" << U64String(cohort.anatomy_episodes)
+        << "\", \"anatomy_stage_cycles\": [";
+    for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
+      out << (s == 0 ? "" : ", ") << "\"" << U64String(cohort.anatomy_stage_cycles[s])
+          << "\"";
+    }
+    out << "],\n\"histograms\": {";
+    WriteHistogram(out, "thread", cohort.thread);
+    out << ", ";
+    WriteHistogram(out, "dpc_interrupt", cohort.dpc_interrupt);
+    out << "}, ";
+    WriteSketch(out, "thread_sketch", cohort.thread_sketch);
+    out << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace wdmlat::lab

@@ -66,7 +66,10 @@ void RunSupervisedPhase(TestSystem& system, const RunSupervision& sup, double se
 
 LabReport RunLatencyExperiment(const LabConfig& config) {
   TestSystem system(config.os, config.seed, config.options);
+  return RunLatencyExperimentOn(system, config);
+}
 
+LabReport RunLatencyExperimentOn(TestSystem& system, const LabConfig& config) {
   workload::StressLoad load(system.deps(), config.stress, system.ForkRng());
 
   drivers::LatencyDriver::Config driver_config = config.driver;

@@ -165,6 +165,14 @@ struct LabReport {
 
 LabReport RunLatencyExperiment(const LabConfig& config);
 
+// Same experiment, run on a caller-provided machine. `system` must have been
+// freshly constructed — or warm-Reset() — with this config's (os, seed,
+// options) and not advanced since: the run starts at the engine's current
+// time. The fleet's warm cell runner uses this to amortize TestSystem
+// construction across a shard's cells; results are bit-identical to
+// RunLatencyExperiment(config) (fleet golden-checksum test).
+LabReport RunLatencyExperimentOn(TestSystem& system, const LabConfig& config);
+
 }  // namespace wdmlat::lab
 
 #endif  // SRC_LAB_LAB_H_

@@ -14,7 +14,14 @@ namespace {
 constexpr const char* kFormatName = "wdmlat-cell-report";
 constexpr int kFormatVersion = 1;
 
-std::string EscapeJson(const std::string& text) {
+std::string U64String(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+// Shared with the fleet record serialization — see report_io.h.
+namespace report_json {
+
+std::string Escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   for (const char c : text) {
@@ -46,8 +53,6 @@ std::string EscapeJson(const std::string& text) {
   }
   return out;
 }
-
-std::string U64String(std::uint64_t value) { return std::to_string(value); }
 
 bool ParseU64(std::string_view text, std::uint64_t* out) {
   if (text.empty()) {
@@ -261,6 +266,12 @@ bool ReadSketch(const obs::JsonValue& object, const char* name, stats::QuantileS
   return true;
 }
 
+}  // namespace report_json
+
+using namespace report_json;  // NOLINT: same-file dialect helpers
+
+namespace {
+
 void WriteAnatomy(std::ostringstream& out, const std::vector<obs::AnatomyEpisode>& anatomy) {
   out << "\"anatomy\": [";
   for (std::size_t i = 0; i < anatomy.size(); ++i) {
@@ -276,12 +287,12 @@ void WriteAnatomy(std::ostringstream& out, const std::vector<obs::AnatomyEpisode
     out << "], \"stage_blame\": [";
     for (std::size_t s = 0; s < obs::kAnatomyStageCount; ++s) {
       const obs::AnatomyEpisode::Blame& blame = ep.stage_blame[s];
-      out << (s == 0 ? "" : ", ") << "{\"module\": \"" << EscapeJson(blame.module)
-          << "\", \"function\": \"" << EscapeJson(blame.function) << "\", \"cycles\": \""
+      out << (s == 0 ? "" : ", ") << "{\"module\": \"" << Escape(blame.module)
+          << "\", \"function\": \"" << Escape(blame.function) << "\", \"cycles\": \""
           << U64String(blame.cycles) << "\"}";
     }
-    out << "], \"culprit\": {\"module\": \"" << EscapeJson(ep.culprit.module)
-        << "\", \"function\": \"" << EscapeJson(ep.culprit.function) << "\", \"cycles\": \""
+    out << "], \"culprit\": {\"module\": \"" << Escape(ep.culprit.module)
+        << "\", \"function\": \"" << Escape(ep.culprit.function) << "\", \"cycles\": \""
         << U64String(ep.culprit.cycles) << "\"}}";
   }
   out << "]";
@@ -382,15 +393,15 @@ std::string ReportToJson(const LabReport& report) {
   std::ostringstream out;
   out << "{\"format\": \"" << kFormatName << "\", \"version\": " << kFormatVersion
       << ",\n";
-  out << "\"os_name\": \"" << EscapeJson(report.os_name) << "\", \"workload_name\": \""
-      << EscapeJson(report.workload_name)
+  out << "\"os_name\": \"" << Escape(report.os_name) << "\", \"workload_name\": \""
+      << Escape(report.workload_name)
       << "\", \"thread_priority\": " << report.thread_priority
       << ", \"has_interrupt_latency\": " << (report.has_interrupt_latency ? "true" : "false")
       << ",\n";
   out << "\"samples\": \"" << U64String(report.samples) << "\", \"samples_per_hour\": \""
       << HexDouble(report.samples_per_hour) << "\", \"fault_activations\": \""
       << U64String(report.fault_activations) << "\",\n";
-  out << "\"usage\": {\"category\": \"" << EscapeJson(report.usage.category)
+  out << "\"usage\": {\"category\": \"" << Escape(report.usage.category)
       << "\", \"compression\": \"" << HexDouble(report.usage.compression)
       << "\", \"day_hours\": \"" << HexDouble(report.usage.day_hours)
       << "\", \"week_hours\": \"" << HexDouble(report.usage.week_hours) << "\"},\n";
@@ -413,10 +424,10 @@ std::string ReportToJson(const LabReport& report) {
     out << (i == 0 ? "\n" : ",\n");
     out << "{\"latency_ms\": \"" << HexDouble(ep.latency_ms) << "\", \"reported_at_ms\": \""
         << HexDouble(ep.reported_at_ms) << "\", \"true_module\": \""
-        << EscapeJson(ep.true_module) << "\", \"true_function\": \""
-        << EscapeJson(ep.true_function) << "\", \"true_ms\": \"" << HexDouble(ep.true_ms)
-        << "\", \"cause_module\": \"" << EscapeJson(ep.cause_module)
-        << "\", \"cause_function\": \"" << EscapeJson(ep.cause_function)
+        << Escape(ep.true_module) << "\", \"true_function\": \""
+        << Escape(ep.true_function) << "\", \"true_ms\": \"" << HexDouble(ep.true_ms)
+        << "\", \"cause_module\": \"" << Escape(ep.cause_module)
+        << "\", \"cause_function\": \"" << Escape(ep.cause_function)
         << "\", \"cause_samples\": \"" << U64String(ep.cause_samples)
         << "\", \"attributed\": " << (ep.attributed ? "true" : "false")
         << ", \"module_match\": " << (ep.module_match ? "true" : "false") << "}";

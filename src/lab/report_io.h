@@ -16,10 +16,12 @@
 #define SRC_LAB_REPORT_IO_H_
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <string_view>
 
 #include "src/lab/lab.h"
+#include "src/obs/json.h"
 
 namespace wdmlat::lab {
 
@@ -41,6 +43,31 @@ std::string ReportToJson(const LabReport& report);
 // `error` (when non-null) to a one-line description; `report` is left
 // default-constructed. A true return restores the report bit-exactly.
 bool ReportFromJson(std::string_view text, LabReport* report, std::string* error);
+
+// Building blocks of the artifact format, shared with the fleet's per-cell
+// record serialization (src/lab/fleet.cc) so both speak the same bit-exact
+// dialect: hexfloat doubles, decimal-string u64s, histogram/sketch State
+// round trips with conservation validation on import.
+namespace report_json {
+
+std::string Escape(const std::string& text);
+bool ParseU64(std::string_view text, std::uint64_t* out);
+void WriteHistogram(std::ostringstream& out, const char* name,
+                    const stats::LatencyHistogram& hist);
+bool ReadHistogram(const obs::JsonValue& parent, const char* name,
+                   stats::LatencyHistogram* out, std::string* error);
+void WriteSketch(std::ostringstream& out, const char* name,
+                 const stats::QuantileSketch& sketch);
+bool ReadSketch(const obs::JsonValue& parent, const char* name, stats::QuantileSketch* out,
+                std::string* error);
+bool ReadU64Field(const obs::JsonValue& object, const char* key, std::uint64_t* out,
+                  std::string* error);
+bool ReadHexDoubleField(const obs::JsonValue& object, const char* key, double* out,
+                        std::string* error);
+bool ReadStringField(const obs::JsonValue& object, const char* key, std::string* out,
+                     std::string* error);
+
+}  // namespace report_json
 
 }  // namespace wdmlat::lab
 

@@ -7,28 +7,55 @@ namespace wdmlat::lab {
 using kernel::Irql;
 
 TestSystem::TestSystem(kernel::KernelProfile os, std::uint64_t seed, TestSystemOptions options)
-    : rng_(seed), pic_(engine_) {
+    : rng_(seed) {
+  Build(std::move(os), options);
+}
+
+void TestSystem::Reset(kernel::KernelProfile os, std::uint64_t seed,
+                       TestSystemOptions options) {
+  // Teardown in reverse dependency order while the engine is still alive, so
+  // destructors that cancel their pending events do so against a valid pool.
+  sound_scheme_.reset();
+  virus_scanner_.reset();
+  usb_audio_driver_.reset();
+  audio_driver_.reset();
+  nic_driver_.reset();
+  disk_driver_.reset();
+  kernel_.reset();
+  usb_audio_.reset();
+  audio_.reset();
+  nic_.reset();
+  disk_.reset();
+  pit_.reset();
+  pic_.reset();
+  engine_.Reset();
+  rng_ = sim::Rng(seed);
+  Build(std::move(os), options);
+}
+
+void TestSystem::Build(kernel::KernelProfile os, const TestSystemOptions& options) {
+  pic_ = std::make_unique<hw::InterruptController>(engine_);
   // IRQL assignments follow the usual x86 HAL ordering: the clock outranks
   // all device interrupts.
-  pit_line_ = pic_.ConnectLine("PIT", Irql::kClock);
-  disk_line_ = pic_.ConnectLine("IDE", static_cast<Irql>(12));
-  nic_line_ = pic_.ConnectLine("NIC", static_cast<Irql>(10));
-  audio_line_ = pic_.ConnectLine("AUDIO", static_cast<Irql>(14));
+  pit_line_ = pic_->ConnectLine("PIT", Irql::kClock);
+  disk_line_ = pic_->ConnectLine("IDE", static_cast<Irql>(12));
+  nic_line_ = pic_->ConnectLine("NIC", static_cast<Irql>(10));
+  audio_line_ = pic_->ConnectLine("AUDIO", static_cast<Irql>(14));
 
-  pit_ = std::make_unique<hw::Pit>(engine_, pic_, pit_line_);
-  disk_ = std::make_unique<hw::IdeDisk>(engine_, pic_, disk_line_, rng_.Fork());
-  nic_ = std::make_unique<hw::Nic>(engine_, pic_, nic_line_, rng_.Fork());
+  pit_ = std::make_unique<hw::Pit>(engine_, *pic_, pit_line_);
+  disk_ = std::make_unique<hw::IdeDisk>(engine_, *pic_, disk_line_, rng_.Fork());
+  nic_ = std::make_unique<hw::Nic>(engine_, *pic_, nic_line_, rng_.Fork());
 
   const bool legacy = os.legacy_vmm;
   // Table 2: "Audio solution — Ensoniq PCI sound card" on NT, "Phillips DSS
   // 350 USB speakers" on Windows 98 (NT 4.0 does not support USB).
   if (legacy) {
-    usb_audio_ = std::make_unique<hw::UhciController>(engine_, pic_, audio_line_);
+    usb_audio_ = std::make_unique<hw::UhciController>(engine_, *pic_, audio_line_);
   } else {
-    audio_ = std::make_unique<hw::AudioDevice>(engine_, pic_, audio_line_);
+    audio_ = std::make_unique<hw::AudioDevice>(engine_, *pic_, audio_line_);
   }
 
-  kernel_ = std::make_unique<kernel::Kernel>(engine_, rng_.Fork(), pic_, *pit_, pit_line_,
+  kernel_ = std::make_unique<kernel::Kernel>(engine_, rng_.Fork(), *pic_, *pit_, pit_line_,
                                              std::move(os));
 
   disk_driver_ = std::make_unique<drivers::DiskDriver>(*kernel_, *disk_, disk_line_);

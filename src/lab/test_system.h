@@ -39,6 +39,15 @@ class TestSystem {
   TestSystem(kernel::KernelProfile os, std::uint64_t seed,
              TestSystemOptions options = TestSystemOptions{});
 
+  // Warm reuse (lab::Fleet): tear down the kernel, devices and drivers,
+  // Reset() the engine — keeping its grown bucket/slab capacity — and
+  // rebuild the machine for a new cell. Bit-identical to constructing a
+  // fresh TestSystem with the same arguments (the engine restarts at time 0
+  // / sequence 0 and the RNG is reseeded), but without reallocating the
+  // event calendar; guarded by the fleet warm-runner golden-checksum test.
+  void Reset(kernel::KernelProfile os, std::uint64_t seed,
+             TestSystemOptions options = TestSystemOptions{});
+
   sim::Engine& engine() { return engine_; }
   kernel::Kernel& kernel() { return *kernel_; }
   hw::IdeDisk& disk() { return *disk_; }
@@ -69,9 +78,13 @@ class TestSystem {
   void RunForMinutes(double minutes) { RunFor(minutes * 60.0); }
 
  private:
+  // Shared tail of the constructor and Reset(): everything downstream of the
+  // engine and RNG (controller, devices, kernel, drivers, self-noise).
+  void Build(kernel::KernelProfile os, const TestSystemOptions& options);
+
   sim::Engine engine_;
   sim::Rng rng_;
-  hw::InterruptController pic_;
+  std::unique_ptr<hw::InterruptController> pic_;
   int pit_line_;
   int disk_line_;
   int nic_line_;

@@ -1,0 +1,124 @@
+#include "src/runtime/shard_runner.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+namespace wdmlat::runtime {
+
+std::string SelfExecutable() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) {
+    return "";
+  }
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+namespace {
+
+bool Spawn(const ShardProcess& process, pid_t* pid, std::string* error) {
+  if (process.argv.empty()) {
+    *error = "shard process has an empty argv";
+    return false;
+  }
+  std::vector<char*> argv;
+  argv.reserve(process.argv.size() + 1);
+  for (const std::string& arg : process.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    *error = std::string("fork failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (child == 0) {
+    ::execv(argv[0], argv.data());
+    // Only reached when execv itself failed; _exit keeps the child from
+    // running the parent's atexit/stdio state.
+    ::_exit(127);
+  }
+  *pid = child;
+  return true;
+}
+
+void Reap(pid_t pid, ShardProcessResult* result) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      result->error = std::string("waitpid failed: ") + std::strerror(errno);
+      return;
+    }
+  }
+  if (WIFEXITED(status)) {
+    result->exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result->signaled = true;
+    result->exit_code = WTERMSIG(status);
+  } else {
+    result->error = "child neither exited nor was signaled";
+  }
+}
+
+}  // namespace
+
+std::vector<ShardProcessResult> RunProcesses(const std::vector<ShardProcess>& processes,
+                                             int max_parallel) {
+  std::vector<ShardProcessResult> results(processes.size());
+  if (max_parallel < 1) {
+    max_parallel = 1;
+  }
+  std::map<pid_t, std::size_t> running;  // pid -> result index
+  std::size_t next = 0;
+  while (next < processes.size() || !running.empty()) {
+    while (next < processes.size() &&
+           running.size() < static_cast<std::size_t>(max_parallel)) {
+      pid_t pid = -1;
+      if (!Spawn(processes[next], &pid, &results[next].error)) {
+        ++next;
+        continue;
+      }
+      running.emplace(pid, next);
+      ++next;
+    }
+    if (running.empty()) {
+      break;
+    }
+    int status = 0;
+    const pid_t done = ::waitpid(-1, &status, 0);
+    if (done < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // Should be unreachable with children outstanding; fail them all
+      // rather than spin.
+      for (const auto& [pid, index] : running) {
+        results[index].error = std::string("waitpid failed: ") + std::strerror(errno);
+      }
+      break;
+    }
+    const auto it = running.find(done);
+    if (it == running.end()) {
+      continue;  // a child we did not spawn (library-forked); ignore
+    }
+    ShardProcessResult& result = results[it->second];
+    if (WIFEXITED(status)) {
+      result.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      result.signaled = true;
+      result.exit_code = WTERMSIG(status);
+    } else {
+      Reap(done, &result);
+    }
+    running.erase(it);
+  }
+  return results;
+}
+
+}  // namespace wdmlat::runtime

@@ -1,0 +1,41 @@
+// runtime::ShardRunner — multi-process fan-out for fleet shards.
+//
+// The orchestrating wdmlat_run re-executes itself (one child per shard,
+// bounded parallelism) so every shard gets its own address space: a cell
+// that corrupts a heap or trips an abort takes down one shard's worker, not
+// the population run — the shard's flushed record prefix survives and a
+// re-run resumes it. fork/execv/waitpid only; no shell, no new dependencies.
+
+#ifndef SRC_RUNTIME_SHARD_RUNNER_H_
+#define SRC_RUNTIME_SHARD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+namespace wdmlat::runtime {
+
+// One child process: argv[0] is the executable path.
+struct ShardProcess {
+  std::vector<std::string> argv;
+};
+
+struct ShardProcessResult {
+  int exit_code = -1;      // child's exit status, or -1 when not exited normally
+  bool signaled = false;   // killed by a signal (exit_code holds the signal)
+  std::string error;       // spawn/wait failure; empty when the child ran
+
+  bool ok() const { return error.empty() && !signaled && exit_code == 0; }
+};
+
+// Absolute path of the current executable (/proc/self/exe), empty on failure.
+std::string SelfExecutable();
+
+// Run every process, at most `max_parallel` concurrently (clamped to >= 1),
+// launching in order and backfilling as children exit. Returns one result
+// per input, same order. Never throws; failures land in the results.
+std::vector<ShardProcessResult> RunProcesses(const std::vector<ShardProcess>& processes,
+                                             int max_parallel);
+
+}  // namespace wdmlat::runtime
+
+#endif  // SRC_RUNTIME_SHARD_RUNNER_H_

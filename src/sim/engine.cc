@@ -27,6 +27,34 @@ void Engine::RunUntil(Cycles deadline) {
   }
 }
 
+void Engine::Reset() {
+  // Drop every stored entry but keep each container's grown capacity: the
+  // next cell's traffic replays into already-sized buckets and slabs, which
+  // is the whole point of warm reuse.
+  for (std::uint32_t word = 0; word < kBucketCount / 64; ++word) {
+    std::uint64_t bits = occupied_[word];
+    while (bits != 0) {
+      const std::uint32_t index =
+          (word << 6) + static_cast<std::uint32_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      buckets_[index].clear();
+    }
+    occupied_[word] = 0;
+  }
+  near_count_ = 0;
+  far_.clear();
+  batch_.clear();
+  batch_pos_ = 0;
+  batch_active_ = false;
+  pool_->ResetAll();
+  now_ = 0;
+  next_seq_ = 0;
+  events_processed_ = 0;
+  compactions_ = 0;
+  stop_requested_ = false;
+  cur_epoch_ = 0;
+}
+
 void Engine::AuditCalendar(std::vector<std::string>* violations) const {
   const auto is_dead = [this](const QueueEntry& entry) {
     return pool_->generation(entry.slot) != entry.generation;

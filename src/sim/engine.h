@@ -170,6 +170,17 @@ class Engine {
   // Abort a RunUntil / RunUntilIdle loop from inside a callback.
   void RequestStop() { stop_requested_ = true; }
 
+  // Warm reuse: return the engine to its freshly constructed state — time 0,
+  // sequence 0, empty calendar — while keeping every tier's grown capacity
+  // (bucket vectors, overflow heap, drain batch, pool slabs). Outstanding
+  // events are cancelled wholesale (their captured state is released and
+  // stale handles read "not pending"), so callers must have torn down
+  // anything that expects its callbacks to still fire. A run on a reset
+  // engine is bit-identical to one on a new engine: fire order is (when,
+  // seq) and both restart from zero (guarded by the fleet golden-checksum
+  // test). Defined in engine.cc.
+  void Reset();
+
   std::uint64_t events_processed() const { return events_processed_; }
 
   // Number of scheduled-and-not-yet-fired events, excluding cancelled ones
@@ -374,9 +385,13 @@ class Engine {
 
   // Empty every tier. Precondition: pool_->live() == 0, so each stored entry
   // is provably dead and no ordering or window state needs preserving.
-  // Out-of-line and cold; returns false so the caller can tail-call it from
-  // the pop path without keeping any state live across the call.
-  __attribute__((cold, noinline)) bool DropAllDead();
+  // Out-of-line (noinline) so the pop fast path stays compact, but NOT
+  // __attribute__((cold)): the cancel-every-event pattern (timer churn,
+  // BM_EngineCancelledEvent) reaches this on the hot path, and cold's
+  // pessimized codegen/layout costs ~10%% there for no icache win.
+  // Returns false so the caller can tail-call it without keeping any state
+  // live across the call.
+  __attribute__((noinline)) bool DropAllDead();
 
   Cycles now_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -162,6 +162,38 @@ class EventPool {
     live_ = 0;
   }
 
+  // Warm reuse (Engine::Reset): cancel every live incarnation like Shutdown,
+  // then rethread the complete free list across the retained slabs so every
+  // slot is allocatable again. Generations keep counting (never rewound), so
+  // handles issued before the reset still read "not pending" afterwards.
+  // Slot numbering and generation values never feed the simulation — fire
+  // order is strictly (when, seq) — so a run on a reset pool is bit-identical
+  // to one on a fresh pool.
+  void ResetAll() {
+    for (auto& slab : slabs_) {
+      for (std::uint32_t i = 0; i < kSlabSize; ++i) {
+        Slot& s = slab[i];
+        if ((s.generation & 1) != 0) {
+          s.callback.reset();
+          ++s.generation;
+        }
+      }
+    }
+    live_ = 0;
+    free_head_ = kInvalidSlot;
+    // Thread slabs back-to-front so the free list walks slot 0 upward, the
+    // same ascending order a freshly grown single slab starts with.
+    for (std::size_t slab_index = slabs_.size(); slab_index-- > 0;) {
+      const std::uint32_t base = static_cast<std::uint32_t>(slab_index) << kSlabBits;
+      Slot* slab = slabs_[slab_index].get();
+      for (std::uint32_t i = 0; i < kSlabSize - 1; ++i) {
+        slab[i].next_free = base + i + 1;
+      }
+      slab[kSlabSize - 1].next_free = free_head_;
+      free_head_ = base;
+    }
+  }
+
  private:
   struct Slot {
     InplaceCallback callback;

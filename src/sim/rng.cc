@@ -138,6 +138,28 @@ DurationDist DurationDist::BoundedPareto(double alpha, double lo_us, double hi_u
   return d;
 }
 
+DurationDist DurationDist::Scaled(double factor) const {
+  DurationDist d = *this;
+  switch (kind_) {
+    case Kind::kZero:
+      break;
+    case Kind::kConstant:
+    case Kind::kExponential:
+    case Kind::kLogNormal:
+      d.a_ *= factor;  // value / mean / median; lognormal shape stays in b_
+      break;
+    case Kind::kUniform:
+      d.a_ *= factor;
+      d.b_ *= factor;
+      break;
+    case Kind::kBoundedPareto:
+      d.b_ *= factor;  // lo/hi bounds; tail index stays in a_
+      d.c_ *= factor;
+      break;
+  }
+  return d;
+}
+
 double DurationDist::SampleUs(Rng& rng) const {
   switch (kind_) {
     case Kind::kZero:

@@ -88,6 +88,13 @@ class DurationDist {
   Kind kind() const { return kind_; }
   bool is_zero() const { return kind_ == Kind::kZero; }
 
+  // A copy with every duration parameter multiplied by `factor` (> 0): the
+  // constant's value, uniform bounds, exponential mean, lognormal median
+  // (shape unchanged), bounded-Pareto bounds (tail index unchanged). The
+  // fleet's hardware-speed model scales kernel cost distributions with this
+  // instead of changing the fixed simulated cycle rate.
+  DurationDist Scaled(double factor) const;
+
   // Sample a duration in cycles.
   Cycles Sample(Rng& rng) const;
 

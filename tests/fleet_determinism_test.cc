@@ -1,0 +1,191 @@
+// The fleet tentpole guarantee: the merged population report is bit-identical
+// at any --shards/--jobs split, and across a killed-and-resumed shard — the
+// grid-order merge folds cell records in global index order no matter how
+// they were produced.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/lab/fleet.h"
+#include "src/lab/report_io.h"
+
+namespace wdmlat::lab {
+namespace {
+
+FleetSpec SmallPopulation() {
+  FleetSpec spec;
+  spec.name = "determinism";
+  spec.master_seed = 1999;
+  FleetCohort nt;
+  nt.name = "nt-mixed";
+  nt.os = "nt4";
+  nt.workloads = {"office", "web"};
+  nt.workload_weights = {2.0, 1.0};
+  nt.count = 7;
+  nt.stress_minutes = 0.002;
+  nt.warmup_seconds = 0.1;
+  nt.pit_hz = 4000.0;  // the screening knob must be shard/jobs-invariant too
+  nt.speed_mhz_lo = 150.0;
+  nt.speed_mhz_hi = 450.0;
+  FleetCohort w98;
+  w98.name = "98-games";
+  w98.os = "win98";
+  w98.workloads = {"games"};
+  w98.count = 6;
+  w98.stress_minutes = 0.002;
+  w98.warmup_seconds = 0.1;
+  w98.fault_plan = "irq_storm";
+  w98.fault_prob = 0.4;
+  w98.sketch = true;
+  spec.cohorts = {nt, w98};
+  return spec;
+}
+
+std::string TempDirFor(const char* name) {
+  const std::filesystem::path dir = std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// Run the whole population split `shards` ways at `jobs` threads per shard
+// and return the serialized merged report.
+std::string RunAndMerge(const Fleet& fleet, const std::string& dir, std::size_t shards,
+                        int jobs) {
+  std::vector<std::string> paths;
+  for (std::size_t k = 0; k < shards; ++k) {
+    FleetShardOptions options;
+    options.shard = k;
+    options.shards = shards;
+    options.jobs = jobs;
+    options.out_path = FleetShardPath(dir, k, shards);
+    const FleetShardResult result = RunFleetShard(fleet, options);
+    EXPECT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.cells_restored, 0u);
+    paths.push_back(options.out_path);
+  }
+  FleetReport report;
+  std::string error;
+  EXPECT_TRUE(MergeFleetShards(fleet, paths, &report, &error)) << error;
+  return FleetReportToJson(report);
+}
+
+TEST(FleetDeterminism, MergedReportBitIdenticalAcrossShardAndJobCounts) {
+  const Fleet fleet(SmallPopulation());
+  ASSERT_TRUE(fleet.error().empty()) << fleet.error();
+
+  const std::string baseline =
+      RunAndMerge(fleet, TempDirFor("fleet_s1_j1"), 1, 1);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_NE(baseline.find("\"determinism\""), std::string::npos);
+
+  const struct {
+    std::size_t shards;
+    int jobs;
+  } grid[] = {{1, 4}, {3, 1}, {3, 4}, {8, 1}, {8, 4}};
+  for (const auto& point : grid) {
+    SCOPED_TRACE("shards=" + std::to_string(point.shards) +
+                 " jobs=" + std::to_string(point.jobs));
+    const std::string dir = TempDirFor(
+        ("fleet_s" + std::to_string(point.shards) + "_j" + std::to_string(point.jobs))
+            .c_str());
+    EXPECT_EQ(baseline, RunAndMerge(fleet, dir, point.shards, point.jobs));
+  }
+}
+
+TEST(FleetDeterminism, KilledShardResumesToBitIdenticalReport) {
+  const Fleet fleet(SmallPopulation());
+  ASSERT_TRUE(fleet.error().empty());
+  const std::string baseline =
+      RunAndMerge(fleet, TempDirFor("fleet_resume_base"), 1, 1);
+
+  const std::string dir = TempDirFor("fleet_resume");
+  const std::size_t shards = 3;
+  std::vector<std::string> paths;
+  for (std::size_t k = 0; k < shards; ++k) {
+    FleetShardOptions options;
+    options.shard = k;
+    options.shards = shards;
+    options.out_path = FleetShardPath(dir, k, shards);
+    ASSERT_TRUE(RunFleetShard(fleet, options).ok());
+    paths.push_back(options.out_path);
+  }
+
+  // Simulate two kinds of death: shard 0 died mid-write (truncated file, last
+  // line torn), shard 1 died before writing anything (file gone).
+  {
+    std::ifstream in(paths[0], std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 100u);
+    std::ofstream out(paths[0], std::ios::trunc | std::ios::binary);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+  std::filesystem::remove(paths[1]);
+
+  // Resume: re-run every shard with the same options. Intact records are
+  // verified and kept (shard 2 executes nothing), torn/missing cells re-run.
+  for (std::size_t k = 0; k < shards; ++k) {
+    FleetShardOptions options;
+    options.shard = k;
+    options.shards = shards;
+    options.out_path = paths[k];
+    const FleetShardResult result = RunFleetShard(fleet, options);
+    ASSERT_TRUE(result.ok()) << result.error;
+    if (k == 2) {
+      EXPECT_EQ(result.cells_executed, 0u);
+      EXPECT_EQ(result.cells_restored, result.cells_total);
+    } else {
+      EXPECT_GT(result.cells_executed, 0u);
+    }
+  }
+
+  FleetReport report;
+  std::string error;
+  ASSERT_TRUE(MergeFleetShards(fleet, paths, &report, &error)) << error;
+  EXPECT_EQ(baseline, FleetReportToJson(report));
+}
+
+TEST(FleetDeterminism, MergeFailsLoudlyOnIncompleteShard) {
+  const Fleet fleet(SmallPopulation());
+  const std::string dir = TempDirFor("fleet_incomplete");
+  const std::size_t shards = 2;
+  std::vector<std::string> paths;
+  for (std::size_t k = 0; k < shards; ++k) {
+    FleetShardOptions options;
+    options.shard = k;
+    options.shards = shards;
+    options.out_path = FleetShardPath(dir, k, shards);
+    ASSERT_TRUE(RunFleetShard(fleet, options).ok());
+    paths.push_back(options.out_path);
+  }
+  // Chop shard 1 to its first line: the merge must fail at the first missing
+  // cell, not silently fold a partial population.
+  {
+    std::ifstream in(paths[1], std::ios::binary);
+    std::string first_line;
+    std::getline(in, first_line);
+    in.close();
+    std::ofstream out(paths[1], std::ios::trunc | std::ios::binary);
+    out << first_line << "\n";
+  }
+  FleetReport report;
+  std::string error;
+  EXPECT_FALSE(MergeFleetShards(fleet, paths, &report, &error));
+  EXPECT_NE(error.find("missing record"), std::string::npos) << error;
+
+  // Wrong shard-count layout must also fail (cell/stream mismatch), not
+  // silently mis-fold.
+  FleetShardOptions solo;
+  solo.shards = 1;
+  solo.out_path = FleetShardPath(dir, 0, 1);
+  ASSERT_TRUE(RunFleetShard(fleet, solo).ok());
+  EXPECT_FALSE(MergeFleetShards(fleet, {paths[0]}, &report, &error));
+}
+
+}  // namespace
+}  // namespace wdmlat::lab
