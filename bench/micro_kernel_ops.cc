@@ -13,6 +13,7 @@
 #include "src/drivers/latency_driver.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/profile.h"
+#include "src/kernel/smp.h"
 #include "src/lab/test_system.h"
 #include "src/sim/engine.h"
 #include "src/sim/rng.h"
@@ -179,6 +180,64 @@ void BM_ThreadWakeRoundTrip(benchmark::State& state) {
   benchmark::DoNotOptimize(wakes);
 }
 BENCHMARK(BM_ThreadWakeRoundTrip);
+
+// Cross-core wake on a 2-core SMP machine: the woken thread is pinned off
+// the boot core, so every KeSetEvent (engine context = core 0) rides a
+// reschedule IPI to core 1 — the full SendIpi/deliver/dispatch path per
+// iteration. Compare against BM_ThreadWakeRoundTrip for the SMP overhead.
+void BM_SmpDispatch(benchmark::State& state) {
+  lab::TestSystemOptions options;
+  options.kernel_self_noise = false;
+  lab::TestSystem system(kernel::MakeNt4SmpProfile(2, false), 42, options);
+  kernel::KEvent event;
+  std::uint64_t wakes = 0;
+  std::function<void()> loop = [&] {
+    system.kernel().Wait(&event, [&] {
+      ++wakes;
+      loop();
+    });
+  };
+  kernel::KThread* thread =
+      system.kernel().PsCreateSystemThread("bm_smp", 28, [&] { loop(); });
+  system.kernel().KeSetAffinityThread(thread, 0b10);  // pin to core 1
+  system.RunFor(0.001);
+  for (auto _ : state) {
+    system.kernel().KeSetEvent(&event);
+    system.RunFor(0.0001);
+  }
+  benchmark::DoNotOptimize(wakes);
+}
+BENCHMARK(BM_SmpDispatch);
+
+// Spinlock handoff: each iteration parks an injected hold on the global
+// dispatcher lock, then wakes a pinned thread — the wake defers behind the
+// hold and is granted FIFO at release, so the loop measures the simulator's
+// contention bookkeeping (waiter queue, spin accounting, deferred grant).
+void BM_SpinlockHandoff(benchmark::State& state) {
+  lab::TestSystemOptions options;
+  options.kernel_self_noise = false;
+  lab::TestSystem system(kernel::MakeNt4SmpProfile(2, false), 42, options);
+  kernel::KEvent event;
+  std::uint64_t wakes = 0;
+  std::function<void()> loop = [&] {
+    system.kernel().Wait(&event, [&] {
+      ++wakes;
+      loop();
+    });
+  };
+  kernel::KThread* thread =
+      system.kernel().PsCreateSystemThread("bm_lock", 28, [&] { loop(); });
+  system.kernel().KeSetAffinityThread(thread, 0b10);
+  system.RunFor(0.001);
+  for (auto _ : state) {
+    system.kernel().smp()->InjectLockHold("dispatcher", sim::UsToCycles(5.0),
+                                          kernel::Label{"BM", "_lockhog"});
+    system.kernel().KeSetEvent(&event);
+    system.RunFor(0.0001);
+  }
+  benchmark::DoNotOptimize(wakes);
+}
+BENCHMARK(BM_SpinlockHandoff);
 
 }  // namespace
 

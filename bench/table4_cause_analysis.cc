@@ -205,5 +205,86 @@ int main() {
                   100.0 * agreement.Accuracy());
     }
   }
+
+  // Phase 4: the same sampler sweep graded against *injected* ground truth.
+  // Phase 3's referee is the anatomy sink (exact, but itself a model); here
+  // the FAULTINJ plan from phase 2 names the culprit a priori, so every
+  // sweep point answers the operational question directly — at this sampler
+  // rate and threshold, how often does the tool catch a known aggressor?
+  // The grid lands in a small CSV (WDMLAT_CSV, default
+  // table4_sampling_sweep.csv) for the EXPERIMENTS.md plotting recipe.
+  const char* csv_path = std::getenv("WDMLAT_CSV");
+  if (csv_path == nullptr || csv_path[0] == '\0') {
+    csv_path = "table4_sampling_sweep.csv";
+  }
+  std::FILE* csv = std::fopen(csv_path, "w");
+  if (csv == nullptr) {
+    std::fprintf(stderr, "table4: cannot open %s for writing\n", csv_path);
+    return 1;
+  }
+  std::fprintf(csv,
+               "sampler,nmi_period_ms,threshold_ms,activations,episodes,"
+               "injected_blamed,attributed,tool_agreed,injected_share,"
+               "tool_accuracy\n");
+  std::printf(
+      "\nSampling sweep vs injected ground truth (%.1f virtual minutes per point):\n"
+      "  %-24s %-9s %-9s %-11s %-9s %s\n",
+      sweep_minutes, "sampler", "thresh", "episodes", "attributed", "agreed",
+      "accuracy");
+  for (const SweepPoint& point : kSamplers) {
+    for (const double threshold_ms : kThresholds) {
+      lab::TestSystem sweep_system(kernel::MakeWin98Profile(), bench::BenchSeed(), options);
+      drivers::LatencyDriver sweep_driver(sweep_system.kernel(),
+                                          drivers::LatencyDriver::Config{});
+      drivers::CauseTool::Config sweep_config;
+      sweep_config.threshold_ms = threshold_ms;
+      sweep_config.sampling = point.sampling;
+      if (point.nmi_period_ms > 0.0) {
+        sweep_config.nmi_period_ms = point.nmi_period_ms;
+      }
+      drivers::CauseTool sweep_tool(sweep_system.kernel(), sweep_driver, sweep_config);
+      obs::EpisodeFlightRecorder::Config sweep_rec_config;
+      sweep_rec_config.threshold_ms = threshold_ms;
+      obs::EpisodeFlightRecorder sweep_recorder(sweep_system.kernel(), sweep_rec_config);
+
+      fault::InjectorTargets sweep_targets;
+      sweep_targets.kernel = &sweep_system.kernel();
+      sweep_targets.disk = &sweep_system.disk_driver();
+      fault::Injector sweep_injector(sweep_targets, plan, bench::BenchSeed());
+
+      workload::StressLoad sweep_load(sweep_system.deps(), workload::OfficeStress(),
+                                      sweep_system.ForkRng());
+
+      sweep_driver.Start();
+      sweep_tool.Start();
+      sweep_recorder.Arm(sweep_driver, &sweep_tool);
+      sweep_system.kernel().dispatcher().set_trace_sink(sweep_recorder.trace_sink());
+      sweep_injector.Start();
+      sweep_load.Start();
+      sweep_system.RunForMinutes(sweep_minutes);
+      sweep_injector.Stop();
+      sweep_system.kernel().dispatcher().set_trace_sink(nullptr);
+
+      const obs::InjectedGroundTruthScore score =
+          obs::ScoreInjectedGroundTruth(sweep_recorder.Summaries());
+      std::printf("  %-24s %5.1f ms %-9llu %-11llu %-9llu %.0f%%\n", point.name,
+                  threshold_ms, static_cast<unsigned long long>(score.episodes),
+                  static_cast<unsigned long long>(score.attributed),
+                  static_cast<unsigned long long>(score.tool_agreed),
+                  100.0 * score.ToolAccuracy());
+      std::fprintf(csv, "%s,%.3f,%.3f,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f\n",
+                   point.sampling == drivers::CauseTool::Sampling::kPitHook ? "pit_hook"
+                                                                            : "nmi",
+                   point.nmi_period_ms, threshold_ms,
+                   static_cast<unsigned long long>(sweep_injector.activation_count()),
+                   static_cast<unsigned long long>(score.episodes),
+                   static_cast<unsigned long long>(score.injected_blamed),
+                   static_cast<unsigned long long>(score.attributed),
+                   static_cast<unsigned long long>(score.tool_agreed),
+                   score.InjectedShare(), score.ToolAccuracy());
+    }
+  }
+  std::fclose(csv);
+  std::printf("\nSweep grid written to %s\n", csv_path);
   return 0;
 }

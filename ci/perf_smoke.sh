@@ -39,11 +39,12 @@ fi
 OUT="$(mktemp -d "${TMPDIR:-/tmp}/wdmlat_perf_smoke.XXXXXX")"
 trap 'rm -rf "${OUT}"' EXIT
 
-# Engine/histogram micro loops only: the full-system benchmarks simulate a
-# virtual second per iteration and would dominate the smoke budget. Note the
-# numeric --benchmark_min_time form (the bundled benchmark library predates
-# the "0.2s" suffix syntax).
-"${BENCH}" --benchmark_filter='BM_Engine|BM_Histogram' \
+# Engine/histogram micro loops plus the SMP round-trip pair (those advance
+# only 100 virtual µs per iteration, so they fit the budget); the remaining
+# full-system benchmarks simulate a virtual second per iteration and would
+# dominate the smoke budget. Note the numeric --benchmark_min_time form (the
+# bundled benchmark library predates the "0.2s" suffix syntax).
+"${BENCH}" --benchmark_filter='BM_Engine|BM_Histogram|BM_SmpDispatch|BM_SpinlockHandoff' \
   --benchmark_min_time=0.2 \
   --benchmark_format=json > "${OUT}/raw.json"
 

@@ -75,6 +75,7 @@ grep -q "requires --episode-threshold-us" "${OUT}/anat_err.log" \
 # CLI contract: --help prints the complete flag table to stdout, exit 0.
 "${RUN}" --help > "${OUT}/help.txt"
 for flag in --os --workload --priority --minutes --seed --scanner --sounds \
+            --cores --dpc-affinity \
             --plot --csv-dir --worst-cases \
             --trace-out --metrics-out --metrics-csv --queue-sample-ms \
             --episode-threshold-us --anatomy-out --sketch \

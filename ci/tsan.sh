@@ -9,7 +9,9 @@
 # job. The batched-dispatch reentrancy fuzz rides along so the engine's drain
 # loop gets an instrumented shakeout in the same build, and the fleet
 # determinism suite covers the shard runner's parallel cells funneling into
-# the ordered record writer.
+# the ordered record writer. The SMP determinism + cross-core fuzz suites run
+# here too: SMP matrix cells exercise the parallel runner with per-core
+# dispatcher state, the most state-rich payload the workers carry.
 #
 #   ci/tsan.sh              # from the repo root
 #   BUILD_DIR=... ci/tsan.sh
@@ -25,7 +27,8 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test histogram_merge_test matrix_determinism_test \
-  batch_dispatch_fuzz_test quantile_sketch_test fleet_determinism_test
+  batch_dispatch_fuzz_test quantile_sketch_test fleet_determinism_test \
+  smp_determinism_test
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest|QuantileSketchTest|FleetDeterminism'
+  -R 'ThreadPoolTest|HistogramMergeTest|SampleCountersTest|MatrixDeterminismTest|BatchDispatchFuzzTest|QuantileSketchTest|FleetDeterminism|SmpDeterminismTest|SmpFuzzTest'

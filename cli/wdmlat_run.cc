@@ -125,13 +125,21 @@ constexpr const char kHelpText[] =
     "usage: wdmlat_run [flags]\n"
     "\n"
     "Experiment cell:\n"
-    "  --os=nt4|win98|w2kbeta     OS personality               (default win98)\n"
+    "  --os=NAME                  OS personality (default win98): nt4|win98|\n"
+    "                             w2kbeta, or an SMP variant nt_smp2|nt_smp4|\n"
+    "                             nt_smp2_migrate|nt_smp4_migrate\n"
     "  --workload=office|workstation|games|web|idle            (default games)\n"
     "  --priority=N               measured RT thread priority 16..31 (default 28)\n"
     "  --minutes=F                virtual measurement minutes  (default 10)\n"
     "  --seed=N                   RNG seed                     (default 1999)\n"
     "  --scanner                  enable the Plus!98 virus scanner (98 only)\n"
     "  --sounds                   enable the default sound scheme  (98 only)\n"
+    "  --cores=N                  simulate an N-core NT SMP machine (default 1;\n"
+    "                             needs --os=nt4; with --matrix adds an NT-SMP\n"
+    "                             column to the grid; fleet specs say os=nt_smp2)\n"
+    "  --dpc-affinity=pinned|migrating\n"
+    "                             SMP DPC routing (default pinned; migrating also\n"
+    "                             round-robins IRQs and enables work stealing)\n"
     "\n"
     "Output:\n"
     "  --plot                     render the log-log distribution panel\n"
@@ -307,6 +315,8 @@ bool MatchValueFlag(int argc, char** argv, int* i, const char* name, std::string
 
 int main(int argc, char** argv) {
   std::string os_name = "win98";
+  int cores = 0;              // 0 = profile default (uniprocessor)
+  std::string dpc_affinity;   // "" = profile default (pinned)
   std::string workload_name = "games";
   int priority = 28;
   double minutes = 10.0;
@@ -361,6 +371,10 @@ int main(int argc, char** argv) {
       trials = static_cast<int>(ParseIntFlag("--trials", value));
     } else if (MatchValueFlag(argc, argv, &i, "--os", &value)) {
       os_name = RequireValue("--os", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--cores", &value)) {
+      cores = static_cast<int>(ParseIntFlag("--cores", value));
+    } else if (MatchValueFlag(argc, argv, &i, "--dpc-affinity", &value)) {
+      dpc_affinity = RequireValue("--dpc-affinity", value);
     } else if (MatchValueFlag(argc, argv, &i, "--workload", &value)) {
       workload_name = RequireValue("--workload", value);
     } else if (MatchValueFlag(argc, argv, &i, "--priority", &value)) {
@@ -437,6 +451,22 @@ int main(int argc, char** argv) {
   }
   if (trials < 1) {
     std::fprintf(stderr, "wdmlat_run: --trials must be at least 1\n");
+    return 2;
+  }
+  if (cores != 0 && (cores < 1 || cores > 32)) {
+    std::fprintf(stderr, "wdmlat_run: --cores must be in 1..32\n");
+    return 2;
+  }
+  if (!dpc_affinity.empty() && dpc_affinity != "pinned" &&
+      dpc_affinity != "migrating") {
+    std::fprintf(stderr,
+                 "wdmlat_run: --dpc-affinity must be pinned or migrating\n");
+    return 2;
+  }
+  if (!dpc_affinity.empty() && cores <= 1) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --dpc-affinity only applies to an SMP cell "
+                 "(pass --cores=N with N > 1)\n");
     return 2;
   }
   if (cell_retries < 1) {
@@ -526,6 +556,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "wdmlat_run: --fleet is a self-contained mode (drop --matrix/"
                    "--differential/--faults; the spec carries its own priors)\n");
+      return 2;
+    }
+    if (cores != 0 || !dpc_affinity.empty()) {
+      std::fprintf(stderr,
+                   "wdmlat_run: --cores/--dpc-affinity are cell flags; fleet "
+                   "cohorts pick SMP via os=nt_smp2|nt_smp4|nt_smp2_migrate|"
+                   "nt_smp4_migrate in the spec\n");
       return 2;
     }
     lab::FleetSpec spec;
@@ -682,6 +719,12 @@ int main(int argc, char** argv) {
 
   if (matrix_mode) {
     lab::MatrixSpec spec = lab::PaperMatrix();
+    if (cores > 1) {
+      // NT-UP vs NT-SMP: add an SMP column to the paper grid (EXPERIMENTS.md
+      // "NT-UP vs NT-SMP" recipe).
+      spec.oses.push_back(
+          kernel::MakeNt4SmpProfile(cores, dpc_affinity == "migrating"));
+    }
     spec.trials = trials;
     spec.stress_minutes = minutes;
     spec.master_seed = seed;
@@ -882,13 +925,31 @@ int main(int argc, char** argv) {
 
   lab::LabConfig config;
   if (os_name == "nt4") {
-    config.os = kernel::MakeNt4Profile();
+    config.os = cores > 1
+                    ? kernel::MakeNt4SmpProfile(cores, dpc_affinity == "migrating")
+                    : kernel::MakeNt4Profile();
   } else if (os_name == "win98") {
     config.os = kernel::MakeWin98Profile();
   } else if (os_name == "w2kbeta") {
     config.os = kernel::MakeWin2000BetaProfile();
+  } else if (os_name == "nt_smp2") {
+    config.os = kernel::MakeNt4SmpProfile(2, false);
+  } else if (os_name == "nt_smp4") {
+    config.os = kernel::MakeNt4SmpProfile(4, false);
+  } else if (os_name == "nt_smp2_migrate") {
+    config.os = kernel::MakeNt4SmpProfile(2, true);
+  } else if (os_name == "nt_smp4_migrate") {
+    config.os = kernel::MakeNt4SmpProfile(4, true);
   } else {
     Usage(("--os=" + os_name).c_str());
+  }
+  if (cores > 1 && os_name != "nt4") {
+    std::fprintf(stderr,
+                 "wdmlat_run: --cores=%d needs --os=nt4 (only the NT kernel "
+                 "model is SMP-capable; the nt_smp* aliases already fix a "
+                 "core count)\n",
+                 cores);
+    return 2;
   }
   if (workload_name == "office") {
     config.stress = workload::OfficeStress();

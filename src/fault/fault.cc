@@ -22,6 +22,8 @@ const char* FaultKindName(FaultKind kind) {
       return "disk_seek_storm";
     case FaultKind::kTimerJitter:
       return "timer_jitter";
+    case FaultKind::kSpinlockContention:
+      return "spinlock_contention";
   }
   return "?";
 }
@@ -95,6 +97,10 @@ std::string ValidatePlan(const FaultPlan& plan) {
     }
     if (spec.kind == FaultKind::kDiskSeekStorm && spec.disk_bytes == 0) {
       error << "disk_bytes must be > 0";
+      return error.str();
+    }
+    if (spec.kind == FaultKind::kSpinlockContention && spec.lock.empty()) {
+      error << "spinlock_contention needs a lock name";
       return error.str();
     }
     if (spec.kind == FaultKind::kTimerJitter) {

@@ -60,12 +60,19 @@ enum class FaultKind : std::uint8_t {
   // tick — quantum accounting, timer expiry, the PIT-hook sampler — slides
   // with it.
   kTimerJitter,
+  // Hold the named simulated spinlock (`lock`: "dispatcher" or "dpc<core>")
+  // at DISPATCH for the sampled duration. On SMP profiles every core that
+  // needs the lock spins (kernel::Smp accounts the contention and emits
+  // spinlock-wait trace events); on uniprocessor profiles this degrades to a
+  // DISPATCH-level kernel section — the same CPU-visible effect a held
+  // spinlock has on one core.
+  kSpinlockContention,
 };
 
 inline constexpr FaultKind kAllFaultKinds[] = {
-    FaultKind::kIrqStorm,      FaultKind::kDpcStorm,       FaultKind::kIsrOverrun,
-    FaultKind::kMaskedWindow,  FaultKind::kLockoutHold,    FaultKind::kPriorityInvert,
-    FaultKind::kDiskSeekStorm, FaultKind::kTimerJitter,
+    FaultKind::kIrqStorm,      FaultKind::kDpcStorm,    FaultKind::kIsrOverrun,
+    FaultKind::kMaskedWindow,  FaultKind::kLockoutHold, FaultKind::kPriorityInvert,
+    FaultKind::kDiskSeekStorm, FaultKind::kTimerJitter, FaultKind::kSpinlockContention,
 };
 
 // Stable snake_case identifier (the JSON schema's "kind" strings).
@@ -105,6 +112,8 @@ struct FaultSpec {
   double spacing_us = 0.0;
   // kDiskSeekStorm: transfer size per request.
   std::uint32_t disk_bytes = 64 * 1024;
+  // kSpinlockContention: simulated lock to hold ("dispatcher", "dpc0", ...).
+  std::string lock = "dispatcher";
 
   // Function name carried by the trace label; defaults to "_<KindName>".
   std::string function;

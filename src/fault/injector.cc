@@ -256,6 +256,20 @@ void Injector::Activate(SpecState& state) {
       // them lazily (per tick), so `duration` here stays 0 like irq_storm.
       state.jitter_ticks_left += static_cast<std::uint64_t>(spec.burst);
       break;
+    case FaultKind::kSpinlockContention: {
+      const double us = spec.duration_us.SampleUs(state.payload_rng);
+      record.duration = sim::UsToCycles(us);
+      if (kernel::Smp* smp = k.smp()) {
+        // Already-held lock: the hold is skipped (one holder at a time),
+        // mirroring InjectKernelSection's overlap behaviour.
+        smp->InjectLockHold(spec.lock, sim::UsToCycles(us), LabelFor(state));
+      } else {
+        // UP degradation: one core holding a DISPATCH spinlock looks exactly
+        // like a DISPATCH-level kernel section.
+        k.InjectKernelSection(kernel::Irql::kDispatch, us, LabelFor(state));
+      }
+      break;
+    }
   }
   log_.push_back(record);
 }

@@ -82,6 +82,7 @@ bool ParseSpec(const obs::JsonValue& value, std::size_t index, FaultSpec* out,
   out->spacing_us = value.NumberOr("spacing_us", 0.0);
   out->disk_bytes =
       static_cast<std::uint32_t>(value.NumberOr("disk_bytes", 64.0 * 1024.0));
+  out->lock = value.StringOr("lock", "dispatcher");
   out->function = value.StringOr("function", "");
   if (const obs::JsonValue* duration = value.Find("duration")) {
     std::string duration_error;

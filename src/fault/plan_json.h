@@ -19,6 +19,7 @@
 //         "burst": 8,                  // irq/dpc/disk storms
 //         "spacing_us": 50.0,
 //         "disk_bytes": 65536,
+//         "lock": "dispatcher",        // spinlock_contention target lock
 //         "function": "_ScanFileBuffer"
 //       }
 //     ]
@@ -32,6 +33,10 @@
 // perturbed per activation and `duration` is the per-tick period drift —
 // which must be a bounded dist (constant, uniform or bounded_pareto;
 // ValidatePlan rejects the open-ended ones).
+//
+// spinlock_contention holds the named simulated `lock` ("dispatcher" or
+// "dpc<core>") at DISPATCH for the sampled duration; on uniprocessor
+// profiles it degrades to a DISPATCH-level kernel section.
 
 #ifndef SRC_FAULT_PLAN_JSON_H_
 #define SRC_FAULT_PLAN_JSON_H_

@@ -24,6 +24,7 @@ void InterruptController::Assert(int line) {
   }
   l.pending = true;
   l.assert_time = engine_.now();
+  l.target_core = irq_router_ ? irq_router_(line) : 0;
   if (pending_notifier_) {
     pending_notifier_();
   }
@@ -34,6 +35,20 @@ int InterruptController::HighestPending(kernel::Irql ceiling) const {
   for (int i = 0; i < line_count(); ++i) {
     const Line& l = lines_[i];
     if (!l.pending || l.irql <= ceiling) {
+      continue;
+    }
+    if (best == kNoLine || l.irql > lines_[best].irql) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int InterruptController::HighestPendingFor(kernel::Irql ceiling, int core) const {
+  int best = kNoLine;
+  for (int i = 0; i < line_count(); ++i) {
+    const Line& l = lines_[i];
+    if (!l.pending || l.target_core != core || l.irql <= ceiling) {
       continue;
     }
     if (best == kNoLine || l.irql > lines_[best].irql) {

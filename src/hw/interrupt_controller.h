@@ -46,6 +46,19 @@ class InterruptController {
   // above `ceiling`, or kNoLine.
   int HighestPending(kernel::Irql ceiling) const;
 
+  // SMP variant: like HighestPending, but only considers lines routed to
+  // `core`. Routing is decided at Assert time (see set_irq_router); lines
+  // that were never routed belong to core 0, so a uniprocessor kernel using
+  // HighestPending never sees a difference.
+  int HighestPendingFor(kernel::Irql ceiling, int core) const;
+
+  // SMP routing hook: called once per latched Assert with the line index;
+  // returns the core the pending interrupt is delivered to. Unset => core 0.
+  void set_irq_router(std::function<int(int)> router) { irq_router_ = std::move(router); }
+
+  // Core the line's current (or last) pending assertion was routed to.
+  int target_core(int line) const { return lines_[line].target_core; }
+
   // CPU side: acknowledge the line, clearing its pending latch. Returns the
   // time at which the line was asserted (for ground-truth latency records).
   sim::Cycles Acknowledge(int line);
@@ -64,11 +77,13 @@ class InterruptController {
     bool pending = false;
     sim::Cycles assert_time = 0;
     std::uint64_t asserts = 0;
+    int target_core = 0;
   };
 
   sim::Engine& engine_;
   std::vector<Line> lines_;
   std::function<void()> pending_notifier_;
+  std::function<int(int)> irq_router_;
   std::uint64_t dropped_edges_ = 0;
 };
 

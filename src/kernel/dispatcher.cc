@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/kernel/smp.h"
+
 namespace wdmlat::kernel {
 
 Dispatcher::Dispatcher(sim::Engine& engine, sim::Rng rng, hw::InterruptController& pic,
@@ -21,6 +23,23 @@ void Dispatcher::RegisterInterrupt(KInterrupt* interrupt) {
   assert(interrupts_[line] == nullptr && "line already connected");
   interrupts_[line] = interrupt;
   Gate gate(this);  // the line may already be pending
+}
+
+void Dispatcher::AttachSmp(Smp* smp, int core) {
+  smp_ = smp;
+  core_ = core;
+}
+
+void Dispatcher::PushCoreContext() {
+  if (smp_ != nullptr) {
+    smp_->PushContext(core_);
+  }
+}
+
+void Dispatcher::PopCoreContext() {
+  if (smp_ != nullptr) {
+    smp_->PopContext();
+  }
 }
 
 void Dispatcher::OnInterruptPending() { Gate gate(this); }
@@ -109,6 +128,9 @@ void Dispatcher::AuditDiscipline(std::vector<std::string>* violations) const {
   }
   if (in_continuation_) {
     violations->push_back("thread continuation marked in-progress at a quiescent point");
+  }
+  if (spin_waiting_ && dpc_frame_) {
+    violations->push_back("core spinning for its DPC queue lock while a DPC frame is active");
   }
   for (std::size_t i = 0; i < stack_.size(); ++i) {
     const Frame& frame = *stack_[i];
@@ -225,23 +247,32 @@ void Dispatcher::RequeueReadyThread(KThread* thread) {
 // --- Core reevaluation -------------------------------------------------------
 
 void Dispatcher::ReevaluateOnce() {
-  // 1. Accept pending interrupts, most privileged first.
+  // 1. Accept pending interrupts, most privileged first. SMP cores only see
+  // the lines the interrupt controller routed to them.
   while (true) {
-    const int line = pic_.HighestPending(EffectiveIrql());
+    const int line = smp_ == nullptr ? pic_.HighestPending(EffectiveIrql())
+                                     : pic_.HighestPendingFor(EffectiveIrql(), core_);
     if (line == hw::InterruptController::kNoLine) {
       break;
     }
     AcceptInterrupt(line);
   }
   // 2. Drain the DPC queue when nothing above DISPATCH is active and the
-  // thread level is below DISPATCH.
+  // thread level is below DISPATCH. On SMP the dequeue takes this core's DPC
+  // queue lock; if a fault-injected hold has it, the core spins (blocking
+  // this step and thread dispatch) until the release pokes it.
   const bool thread_allows_dpc =
       current_ == nullptr || thread_phase_ == ThreadPhase::kNone || thread_irql_ < Irql::kDispatch;
-  if (stack_.empty() && !dpc_frame_ && !dpcs_.empty() && thread_allows_dpc) {
-    StartNextDpc();
+  if (stack_.empty() && !dpc_frame_ && !dpcs_.empty() && thread_allows_dpc && !spin_waiting_) {
+    if (smp_ == nullptr) {
+      StartNextDpc();
+    } else if (smp_->TryAcquireDpcLock(this)) {
+      StartNextDpc();
+      smp_->ReleaseDpcLock(this);
+    }
   }
   // 3. Thread dispatch decisions.
-  if (stack_.empty() && !dpc_frame_) {
+  if (stack_.empty() && !dpc_frame_ && !spin_waiting_) {
     MaybeDispatchThread();
   }
   // 4. Make sure whatever is now on top is actually executing.
@@ -280,10 +311,12 @@ void Dispatcher::IsrEntry(Frame* frame) {
   if (on_isr_entry) {
     on_isr_entry(frame->line, frame->asserted, engine_.now());
   }
+  PushCoreContext();
   for (const auto& hook : ki->pre_hooks_) {
     hook();
   }
   const sim::Cycles body = ki->isr_ ? ki->isr_() : 0;
+  PopCoreContext();
   frame->remaining = body;
   frame->on_elapsed = [this, frame] { PopFrame(frame); };
 }
@@ -324,7 +357,9 @@ void Dispatcher::DpcEntry(Frame* frame, KDpc* dpc, sim::Cycles enqueued) {
   }
   Emit(TraceEventType::kDpcStart, dpc->label(), -1, engine_.now() - enqueued);
   if (dpc->routine_) {
+    PushCoreContext();
     dpc->routine_();
+    PopCoreContext();
   }
   frame->remaining = dpc->body_.Sample(rng_);
   const sim::Cycles started = engine_.now();
@@ -335,14 +370,20 @@ void Dispatcher::FinishDpc(KDpc* dpc, sim::Cycles started) {
   dpc_frame_.reset();
   Emit(TraceEventType::kDpcEnd, dpc->label(), -1, engine_.now() - started);
   if (dpc->on_complete_) {
+    PushCoreContext();
     dpc->on_complete_();
+    PopCoreContext();
   }
 }
 
 void Dispatcher::MaybeDispatchThread() {
   const bool locked = lock_until_ > engine_.now();
   if (current_ == nullptr) {
-    if (locked || ready_.empty()) {
+    if (locked) {
+      return;
+    }
+    // An idle SMP core may steal a ready thread from a loaded sibling.
+    if (ready_.empty() && (smp_ == nullptr || !smp_->StealInto(core_))) {
       return;
     }
     SwitchTo(ready_.Pop());
@@ -379,6 +420,7 @@ void Dispatcher::SwitchTo(KThread* thread) {
   assert(thread->state_ == ThreadState::kReady);
   current_ = thread;
   thread->state_ = ThreadState::kRunning;
+  thread->last_core_ = core_;
   thread_phase_ = ThreadPhase::kSwitch;
   thread_irql_ = Irql::kDispatch;
   switch_remaining_ = cfg_.context_switch_cost.Sample(rng_);
@@ -430,7 +472,9 @@ void Dispatcher::RunContinuation(KThread::Continuation cont) {
   cont_blocked_ = false;
   cont_exited_ = false;
   if (cont) {
+    PushCoreContext();
     cont();
+    PopCoreContext();
   }
   in_continuation_ = false;
   AfterContinuation();

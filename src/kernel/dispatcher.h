@@ -43,6 +43,8 @@
 
 namespace wdmlat::kernel {
 
+class Smp;
+
 class Dispatcher {
  public:
   struct Config {
@@ -60,6 +62,25 @@ class Dispatcher {
 
   // --- Wiring ---------------------------------------------------------------
   void RegisterInterrupt(KInterrupt* interrupt);
+
+  // SMP attachment (kernel::Smp, cores > 1 only). With no Smp attached the
+  // dispatcher runs the exact uniprocessor code path: every SMP hook below
+  // is a null check, interrupt acceptance uses the PIC's unrouted scan, and
+  // emitted trace events carry core 0.
+  void AttachSmp(Smp* smp, int core);
+  int core() const { return core_; }
+
+  // Spin-wait window (set by Smp while this core spins for a held spinlock
+  // at DISPATCH level): DPC drain and thread dispatch are blocked, but
+  // interrupts above DISPATCH are still accepted.
+  void BeginSpinWait() { spin_waiting_ = true; }
+  void EndSpinWait() { spin_waiting_ = false; }
+  bool spin_waiting() const { return spin_waiting_; }
+
+  // Trace emission for Smp (spinlock grants, IPI deliveries on this core).
+  void EmitSmpEvent(TraceEventType type, Label label, sim::Cycles duration) {
+    Emit(type, label, -1, duration);
+  }
 
   // --- Notifications (also wired to the PIC and DPC queue automatically) ---
   void OnInterruptPending();
@@ -200,6 +221,10 @@ class Dispatcher {
   void OnThreadElapsed();
   void OnFrameElapsed(Frame* frame);
 
+  // Current-core context tracking for Smp (no-ops when unattached).
+  void PushCoreContext();
+  void PopCoreContext();
+
   void PauseActive();
   void EnsureActiveRunning();
   void PauseFrame(Frame* frame);
@@ -232,10 +257,14 @@ class Dispatcher {
 
   sim::Cycles lock_until_ = 0;
 
+  Smp* smp_ = nullptr;
+  int core_ = 0;
+  bool spin_waiting_ = false;
+
   TraceSink* trace_sink_ = nullptr;
   void Emit(TraceEventType type, Label label, int arg, sim::Cycles duration) {
     if (trace_sink_ != nullptr) {
-      trace_sink_->OnTraceEvent(TraceEvent{type, engine_.now(), label, arg, duration});
+      trace_sink_->OnTraceEvent(TraceEvent{type, engine_.now(), label, arg, duration, core_});
     }
   }
 

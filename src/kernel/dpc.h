@@ -48,6 +48,7 @@ class KDpc {
  private:
   friend class DpcQueue;
   friend class Dispatcher;
+  friend class Smp;
 
   std::function<void()> routine_;
   std::function<void()> on_complete_;
@@ -59,7 +60,8 @@ class KDpc {
   std::uint64_t dispatch_count_ = 0;
 };
 
-// The single system DPC queue (the testbed is a uniprocessor).
+// A system DPC queue. Uniprocessor profiles have exactly one (the paper's
+// testbed); SMP profiles (kernel::Smp) instantiate one per core.
 class DpcQueue {
  public:
   // Returns false if the DPC is already queued (KeInsertQueueDpc semantics).

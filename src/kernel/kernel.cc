@@ -30,20 +30,44 @@ Kernel::Kernel(sim::Engine& engine, sim::Rng rng, hw::InterruptController& pic, 
 
   worker_thread_ = PsCreateSystemThread("System worker", profile_.worker_thread_priority,
                                         [this] { WorkerLoop(); });
+
+  if (IsSmp(profile_)) {
+    // Construct the SMP extension last: every RNG fork it makes comes after
+    // the uniprocessor forks above, so cores == 1 profiles reproduce the
+    // pre-SMP streams bit for bit. The boot-time threads above started on
+    // core 0, as they should.
+    smp_ = std::make_unique<Smp>(engine_, rng_, pic_, profile_, pit_line, *dispatcher_,
+                                 ready_, dpcs_, config, interrupts_);
+  }
 }
 
 Kernel::~Kernel() = default;
 
 sim::Cycles Kernel::ClockIsr() {
   dispatcher_->OnClockTick(pit_.period());
+  if (smp_) {
+    smp_->OnClockTick(pit_.period());  // quantum broadcast, as a clock IPI
+  }
   const int expired =
       timers_.ExpireDue(engine_.now(), [this](KTimer* /*timer*/, KDpc* dpc) {
         if (dpc != nullptr) {
-          dpcs_.Insert(dpc, engine_.now());
+          QueueDpc(dpc);
         }
       });
   return profile_.clock_isr_body.Sample(rng_) +
          sim::UsToCycles(profile_.clock_isr_per_timer_us * expired);
+}
+
+bool Kernel::QueueDpc(KDpc* dpc) {
+  return smp_ ? smp_->InsertDpc(dpc) : dpcs_.Insert(dpc, engine_.now());
+}
+
+void Kernel::ReadyThread(KThread* thread, sim::Cycles signaled_at) {
+  if (smp_) {
+    smp_->ReadyThread(thread, signaled_at);
+  } else {
+    dispatcher_->ReadyThread(thread, signaled_at);
+  }
 }
 
 void Kernel::KeSetEvent(KEvent* event) {
@@ -61,7 +85,7 @@ void Kernel::KeSetEvent(KEvent* event) {
       waiter->priority_ =
           std::min(kMaxNormalPriority, waiter->base_priority_ + profile_.wait_boost);
     }
-    dispatcher_->ReadyThread(waiter, now);
+    ReadyThread(waiter, now);
   };
   if (event->type_ == EventType::kSynchronization) {
     KThread* waiter = event->waiters_.front();
@@ -71,7 +95,7 @@ void Kernel::KeSetEvent(KEvent* event) {
     event->signaled_ = true;
     // Ready every waiter before any dispatch decision, as the real
     // dispatcher does while holding the dispatcher lock.
-    dispatcher_->RunGated([&] {
+    CurrentDispatcher().RunGated([&] {
       for (KThread* waiter : event->waiters_) {
         wake(waiter);
       }
@@ -86,21 +110,22 @@ bool Kernel::KeReleaseSemaphore(KSemaphore* semaphore, int count) {
     return false;  // STATUS_SEMAPHORE_LIMIT_EXCEEDED
   }
   const sim::Cycles now = engine_.now();
-  dispatcher_->RunGated([&] {
+  CurrentDispatcher().RunGated([&] {
     semaphore->count_ += count;
     while (semaphore->count_ > 0 && !semaphore->waiters_.empty()) {
       KThread* waiter = semaphore->waiters_.front();
       semaphore->waiters_.pop_front();
       --semaphore->count_;
-      dispatcher_->ReadyThread(waiter, now);
+      ReadyThread(waiter, now);
     }
   });
   return true;
 }
 
 void Kernel::WaitForSemaphore(KSemaphore* semaphore, KThread::Continuation resumed) {
-  KThread* current = dispatcher_->current_thread();
-  assert(current != nullptr && dispatcher_->in_thread_continuation());
+  Dispatcher& dispatcher = CurrentDispatcher();
+  KThread* current = dispatcher.current_thread();
+  assert(current != nullptr && dispatcher.in_thread_continuation());
   if (semaphore->count_ > 0) {
     --semaphore->count_;
     resumed();
@@ -109,11 +134,11 @@ void Kernel::WaitForSemaphore(KSemaphore* semaphore, KThread::Continuation resum
   current->priority_ = current->base_priority_;
   semaphore->waiters_.push_back(current);
   current->next_ = std::move(resumed);
-  dispatcher_->CurrentThreadMarkWaiting();
+  dispatcher.CurrentThreadMarkWaiting();
 }
 
 void Kernel::KeReleaseMutex(KMutex* mutex) {
-  [[maybe_unused]] KThread* current = dispatcher_->current_thread();
+  [[maybe_unused]] KThread* current = CurrentDispatcher().current_thread();
   assert(current != nullptr);
   assert(mutex->owner_ == current && "mutex released by non-owner");
   if (--mutex->recursion_ > 0) {
@@ -127,12 +152,13 @@ void Kernel::KeReleaseMutex(KMutex* mutex) {
   mutex->waiters_.pop_front();
   mutex->owner_ = next;
   mutex->recursion_ = 1;
-  dispatcher_->ReadyThread(next, engine_.now());
+  ReadyThread(next, engine_.now());
 }
 
 void Kernel::WaitForMutex(KMutex* mutex, KThread::Continuation resumed) {
-  KThread* current = dispatcher_->current_thread();
-  assert(current != nullptr && dispatcher_->in_thread_continuation());
+  Dispatcher& dispatcher = CurrentDispatcher();
+  KThread* current = dispatcher.current_thread();
+  assert(current != nullptr && dispatcher.in_thread_continuation());
   if (mutex->owner_ == nullptr) {
     mutex->owner_ = current;
     mutex->recursion_ = 1;
@@ -147,7 +173,7 @@ void Kernel::WaitForMutex(KMutex* mutex, KThread::Continuation resumed) {
   current->priority_ = current->base_priority_;
   mutex->waiters_.push_back(current);
   current->next_ = std::move(resumed);
-  dispatcher_->CurrentThreadMarkWaiting();
+  dispatcher.CurrentThreadMarkWaiting();
 }
 
 void Kernel::KeSetTimerMs(KTimer* timer, double ms, KDpc* dpc) {
@@ -164,7 +190,7 @@ KThread* Kernel::PsCreateSystemThread(std::string name, int priority,
   KThread* raw = thread.get();
   raw->next_ = std::move(entry);
   threads_.push_back(std::move(thread));
-  dispatcher_->ReadyThread(raw, engine_.now());
+  ReadyThread(raw, engine_.now());
   return raw;
 }
 
@@ -172,23 +198,40 @@ void Kernel::KeSetPriorityThread(KThread* thread, int priority) {
   assert(priority >= kMinPriority && priority <= kMaxPriority);
   thread->base_priority_ = priority;
   thread->priority_ = priority;
-  dispatcher_->RequeueReadyThread(thread);
-  dispatcher_->Poke();
+  if (smp_) {
+    smp_->RequeueReadyThread(thread);
+    smp_->PokeAll();
+  } else {
+    dispatcher_->RequeueReadyThread(thread);
+    dispatcher_->Poke();
+  }
+}
+
+void Kernel::KeSetAffinityThread(KThread* thread, std::uint32_t affinity) {
+  assert(affinity != 0 && "affinity mask must allow at least one core");
+  if (smp_) {
+    smp_->SetAffinity(thread, affinity);
+  } else {
+    thread->affinity_ = affinity;  // bookkeeping only on UP
+  }
 }
 
 void Kernel::Compute(double us, KThread::Continuation done) {
-  assert(dispatcher_->current_thread() != nullptr);
-  dispatcher_->CurrentThreadSetSegment(sim::UsToCycles(us), Irql::kPassive,
-                                       Label{"THREAD", "_compute"}, std::move(done));
+  Dispatcher& dispatcher = CurrentDispatcher();
+  assert(dispatcher.current_thread() != nullptr);
+  dispatcher.CurrentThreadSetSegment(sim::UsToCycles(us), Irql::kPassive,
+                                     Label{"THREAD", "_compute"}, std::move(done));
 }
 
 void Kernel::ComputeAt(double us, Irql irql, Label label, KThread::Continuation done) {
-  dispatcher_->CurrentThreadSetSegment(sim::UsToCycles(us), irql, label, std::move(done));
+  CurrentDispatcher().CurrentThreadSetSegment(sim::UsToCycles(us), irql, label,
+                                              std::move(done));
 }
 
 void Kernel::Wait(KEvent* event, KThread::Continuation resumed) {
-  KThread* current = dispatcher_->current_thread();
-  assert(current != nullptr && dispatcher_->in_thread_continuation());
+  Dispatcher& dispatcher = CurrentDispatcher();
+  KThread* current = dispatcher.current_thread();
+  assert(current != nullptr && dispatcher.in_thread_continuation());
   if (event->signaled_) {
     if (event->type_ == EventType::kSynchronization) {
       event->signaled_ = false;
@@ -201,7 +244,7 @@ void Kernel::Wait(KEvent* event, KThread::Continuation resumed) {
   current->priority_ = current->base_priority_;
   event->waiters_.push_back(current);
   current->next_ = std::move(resumed);
-  dispatcher_->CurrentThreadMarkWaiting();
+  dispatcher.CurrentThreadMarkWaiting();
 }
 
 namespace {
@@ -216,8 +259,9 @@ void DeliverUserApcs(KThread* thread, std::deque<KThread::Continuation>& queue) 
 }  // namespace
 
 void Kernel::WaitAlertable(KEvent* event, KThread::Continuation resumed) {
-  KThread* current = dispatcher_->current_thread();
-  assert(current != nullptr && dispatcher_->in_thread_continuation());
+  Dispatcher& dispatcher = CurrentDispatcher();
+  KThread* current = dispatcher.current_thread();
+  assert(current != nullptr && dispatcher.in_thread_continuation());
   if (!current->user_apcs_.empty()) {
     // APCs pending: deliver immediately; the wait returns WAIT_IO_COMPLETION.
     DeliverUserApcs(current, current->user_apcs_);
@@ -242,7 +286,7 @@ void Kernel::WaitAlertable(KEvent* event, KThread::Continuation resumed) {
     DeliverUserApcs(thread, thread->user_apcs_);
     resumed();
   };
-  dispatcher_->CurrentThreadMarkWaiting();
+  dispatcher.CurrentThreadMarkWaiting();
 }
 
 void Kernel::QueueUserApc(KThread* thread, KThread::Continuation apc) {
@@ -259,12 +303,12 @@ void Kernel::QueueUserApc(KThread* thread, KThread::Continuation apc) {
         break;
       }
     }
-    dispatcher_->ReadyThread(thread, engine_.now());
+    ReadyThread(thread, engine_.now());
   }
 }
 
 void Kernel::Sleep(double ms, KThread::Continuation resumed) {
-  KThread* current = dispatcher_->current_thread();
+  KThread* current = CurrentDispatcher().current_thread();
   assert(current != nullptr);
   if (!current->sleep_event_) {
     current->sleep_event_ = std::make_unique<KEvent>(EventType::kSynchronization);
@@ -284,6 +328,9 @@ KInterrupt* Kernel::IoConnectInterrupt(int line, Irql irql, Label label,
   KInterrupt* raw = interrupt.get();
   interrupts_.push_back(std::move(interrupt));
   dispatcher_->RegisterInterrupt(raw);
+  if (smp_) {
+    smp_->RegisterInterrupt(raw);  // mirror onto the non-boot cores
+  }
   return raw;
 }
 
@@ -299,18 +346,20 @@ void Kernel::WorkerLoop() {
   }
   const WorkItem item = work_queue_.front();
   work_queue_.pop_front();
-  dispatcher_->CurrentThreadSetSegment(item.duration, Irql::kPassive, item.label,
-                                       [this] { WorkerLoop(); });
+  CurrentDispatcher().CurrentThreadSetSegment(item.duration, Irql::kPassive, item.label,
+                                              [this] { WorkerLoop(); });
 }
 
 bool Kernel::InjectKernelSection(Irql irql, double us, Label label) {
-  return dispatcher_->InjectSection(irql, sim::UsToCycles(us), label);
+  return CurrentDispatcher().InjectSection(irql, sim::UsToCycles(us), label);
 }
 
-void Kernel::LockDispatch(double us) { dispatcher_->LockDispatch(sim::UsToCycles(us)); }
+void Kernel::LockDispatch(double us) {
+  CurrentDispatcher().LockDispatch(sim::UsToCycles(us));
+}
 
 void Kernel::LockDispatch(double us, Label label) {
-  dispatcher_->LockDispatch(sim::UsToCycles(us), label);
+  CurrentDispatcher().LockDispatch(sim::UsToCycles(us), label);
 }
 
 void Kernel::StartSelfNoise() {

@@ -30,6 +30,7 @@
 #include "src/kernel/profile.h"
 #include "src/kernel/semaphore.h"
 #include "src/kernel/ready_queue.h"
+#include "src/kernel/smp.h"
 #include "src/kernel/thread.h"
 #include "src/kernel/timer.h"
 #include "src/sim/engine.h"
@@ -73,11 +74,26 @@ class Kernel {
   void KeReleaseMutex(KMutex* mutex);
 
   // --- DPCs --------------------------------------------------------------------
-  // Returns false if the DPC is already queued.
-  bool KeInsertQueueDpc(KDpc* dpc) { return dpcs_.Insert(dpc, engine_.now()); }
-  std::size_t DpcQueueDepth() const { return dpcs_.size(); }
-  // Ready (not running) threads, all priorities (observability sampling).
-  std::size_t ReadyQueueLength() const { return ready_.size(); }
+  // Returns false if the DPC is already queued. On SMP profiles the target
+  // queue follows the profile's DpcAffinity (pinned to the inserting core,
+  // or migrating round-robin with a cross-core IPI).
+  bool KeInsertQueueDpc(KDpc* dpc) { return QueueDpc(dpc); }
+  // All cores' queues combined (observability sampling).
+  std::size_t DpcQueueDepth() const {
+    std::size_t depth = dpcs_.size();
+    for (int core = 1; core < core_count(); ++core) {
+      depth += smp_->dpc_queue(core).size();
+    }
+    return depth;
+  }
+  // Ready (not running) threads, all priorities and cores.
+  std::size_t ReadyQueueLength() const {
+    std::size_t length = ready_.size();
+    for (int core = 1; core < core_count(); ++core) {
+      length += smp_->ready_queue(core).size();
+    }
+    return length;
+  }
 
   // --- Timers -------------------------------------------------------------------
   // Single-shot timer due `ms` from now; expiry (at the next clock tick at or
@@ -93,7 +109,13 @@ class Kernel {
   // Compute/Wait/Sleep and eventually ExitThread, or wait forever.
   KThread* PsCreateSystemThread(std::string name, int priority, KThread::Continuation entry);
   void KeSetPriorityThread(KThread* thread, int priority);
-  KThread* KeGetCurrentThread() const { return dispatcher_->current_thread(); }
+  // Restrict the thread to the cores set in `affinity` (bit c = core c).
+  // No-op beyond bookkeeping on uniprocessor profiles.
+  void KeSetAffinityThread(KThread* thread, std::uint32_t affinity);
+  KThread* KeGetCurrentThread() const {
+    return smp_ ? smp_->dispatcher(smp_->current_core()).current_thread()
+                : dispatcher_->current_thread();
+  }
 
   // The following must be called from within a thread continuation:
   // Burn `us` microseconds of CPU at PASSIVE level, then run `done`.
@@ -119,7 +141,7 @@ class Kernel {
   void WaitForSemaphore(KSemaphore* semaphore, KThread::Continuation resumed);
   // Acquire the mutex (recursively if already owned by this thread).
   void WaitForMutex(KMutex* mutex, KThread::Continuation resumed);
-  void ExitThread() { dispatcher_->CurrentThreadExit(); }
+  void ExitThread() { CurrentDispatcher().CurrentThreadExit(); }
 
   // --- Interrupts -------------------------------------------------------------------
   // Connect `isr` to a PIC line. The ISR callback runs at the ISR's first
@@ -158,7 +180,25 @@ class Kernel {
   // --- Access ------------------------------------------------------------------------------
   sim::Engine& engine() { return engine_; }
   sim::Rng& rng() { return rng_; }
+  // The boot core's dispatcher (the only one on uniprocessor profiles).
   Dispatcher& dispatcher() { return *dispatcher_; }
+  // Any core's dispatcher (core 0 is the boot dispatcher).
+  Dispatcher& dispatcher(int core) {
+    return core == 0 ? *dispatcher_ : smp_->dispatcher(core);
+  }
+  int core_count() const { return smp_ ? smp_->core_count() : 1; }
+  // Null on uniprocessor profiles.
+  Smp* smp() { return smp_.get(); }
+  const Smp* smp() const { return smp_.get(); }
+  // Install `sink` on every core's dispatcher (tracing must observe all
+  // cores or cross-core wakes look like gaps).
+  void SetTraceSink(TraceSink* sink) {
+    if (smp_) {
+      smp_->SetTraceSink(sink);
+    } else {
+      dispatcher_->set_trace_sink(sink);
+    }
+  }
   hw::Pit& pit() { return pit_; }
   hw::InterruptController& pic() { return pic_; }
   const KernelProfile& profile() const { return profile_; }
@@ -167,6 +207,15 @@ class Kernel {
  private:
   sim::Cycles ClockIsr();
   void WorkerLoop();
+  // The dispatcher of the core whose code is executing (boot core for bare
+  // engine events and all uniprocessor profiles).
+  Dispatcher& CurrentDispatcher() {
+    return smp_ ? smp_->dispatcher(smp_->current_core()) : *dispatcher_;
+  }
+  // Route a wake through the SMP placement policy when present.
+  void ReadyThread(KThread* thread, sim::Cycles signaled_at);
+  // Queue a DPC per the SMP DPC-affinity policy when present.
+  bool QueueDpc(KDpc* dpc);
 
   struct WorkItem {
     sim::Cycles duration;
@@ -184,6 +233,7 @@ class Kernel {
   IoManager io_;
   TimerQueue timers_;
   std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<Smp> smp_;  // cores > 1 only
 
   std::vector<std::unique_ptr<KThread>> threads_;
   std::vector<std::unique_ptr<KInterrupt>> interrupts_;

@@ -34,6 +34,9 @@ inline constexpr Label kIdleLabel{"IDLE", "_idle"};
 inline constexpr Label kDispatcherLabel{"NTOSKRNL", "_SwapContext"};
 inline constexpr Label kClockIsrLabel{"HAL", "_HalpClockInterrupt"};
 inline constexpr Label kTrapDispatchLabel{"HAL", "_KiInterruptDispatch"};
+// SMP (kernel::Smp): inter-processor interrupt delivery and spinlock spin.
+inline constexpr Label kIpiLabel{"HAL", "_HalRequestIpi"};
+inline constexpr Label kSpinlockLabel{"NTOSKRNL", "_KiAcquireSpinLock"};
 
 }  // namespace wdmlat::kernel
 

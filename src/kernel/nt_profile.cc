@@ -59,4 +59,26 @@ KernelProfile MakeNt4Profile() {
   return p;
 }
 
+KernelProfile MakeNt4SmpProfile(int cores, bool migrating_dpcs) {
+  KernelProfile p = MakeNt4Profile();
+  if (cores < 1) {
+    cores = 1;
+  }
+  p.name = "Windows NT 4.0 SMP" + std::to_string(cores) +
+           (migrating_dpcs ? " (migrating DPCs)" : "");
+  p.cores = cores;
+  // ~240 cycles of APIC latching + vector delivery on the 300 MHz testbed.
+  p.ipi_cost = sim::DurationDist::LogNormal(0.8, 0.25);
+  if (migrating_dpcs) {
+    p.dpc_affinity = KernelProfile::DpcAffinity::kMigrating;
+    p.irq_routing = KernelProfile::IrqRouting::kRoundRobin;
+    p.work_stealing = true;
+  } else {
+    p.dpc_affinity = KernelProfile::DpcAffinity::kPinned;
+    p.irq_routing = KernelProfile::IrqRouting::kStatic;
+    p.work_stealing = false;
+  }
+  return p;
+}
+
 }  // namespace wdmlat::kernel

@@ -12,6 +12,7 @@
 #ifndef SRC_KERNEL_PROFILE_H_
 #define SRC_KERNEL_PROFILE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/sim/rng.h"
@@ -86,7 +87,33 @@ struct KernelProfile {
   // Priority boost applied to normal-band threads when an event wait is
   // satisfied (decays at the next wait).
   int wait_boost = 1;
+
+  // --- SMP topology ---------------------------------------------------------
+  // Simulated core count. 1 (every stock profile) runs the exact uniprocessor
+  // code path the golden checksums pin; >1 instantiates kernel::Smp with one
+  // dispatcher/DPC queue/runqueue per core.
+  int cores = 1;
+  // Where device DPCs run relative to the ISR that queued them.
+  enum class DpcAffinity : std::uint8_t {
+    kPinned,     // DPC runs on the core that took the interrupt
+    kMigrating,  // DPCs round-robin across cores (cross-core inserts pay an IPI)
+  };
+  DpcAffinity dpc_affinity = DpcAffinity::kPinned;
+  // How the interrupt controller routes device IRQs across cores.
+  enum class IrqRouting : std::uint8_t {
+    kStatic,      // line -> line_index % cores, fixed for the run
+    kRoundRobin,  // each assertion goes to the next core in turn
+  };
+  IrqRouting irq_routing = IrqRouting::kStatic;
+  // Flight time of an inter-processor interrupt (reschedule, DPC-target and
+  // broadcast alike). Cross-core wakes/DPC inserts are delayed by a sample.
+  sim::DurationDist ipi_cost = sim::DurationDist::Constant(0.8);
+  // Idle cores steal ready threads from loaded runqueues (respecting
+  // affinity masks) instead of idling until the next IPI.
+  bool work_stealing = false;
 };
+
+inline bool IsSmp(const KernelProfile& profile) { return profile.cores > 1; }
 
 // The two personalities under study (defined in nt_profile.cc and
 // w98_profile.cc).
@@ -95,6 +122,12 @@ KernelProfile MakeWin98Profile();
 // Windows 2000 Beta — the paper's Section 6.1 monitoring target
 // (w2k_profile.cc): NT architecture with beta-era driver churn.
 KernelProfile MakeWin2000BetaProfile();
+
+// NT 4.0 SMP variant (nt_profile.cc): the uniprocessor NT4 cost model on
+// `cores` simulated CPUs. `migrating_dpcs` selects DpcAffinity::kMigrating
+// (and round-robin IRQ routing + work stealing) — the "NT-SMP, DPCs follow
+// the scheduler" configuration; pinned keeps DPCs on the interrupted core.
+KernelProfile MakeNt4SmpProfile(int cores = 2, bool migrating_dpcs = false);
 
 }  // namespace wdmlat::kernel
 

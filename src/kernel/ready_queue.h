@@ -33,6 +33,17 @@ class ReadyQueue {
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
 
+  // Visit every queued thread, highest priority first (SMP invariant audits
+  // and work stealing need to inspect runqueue contents).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int prio = kMaxPriority; prio >= 0; --prio) {
+      for (KThread* thread : queues_[prio]) {
+        fn(thread);
+      }
+    }
+  }
+
  private:
   std::array<std::deque<KThread*>, kMaxPriority + 1> queues_;
   std::size_t count_ = 0;

@@ -62,10 +62,19 @@ class KThread {
   // of the KeSetEvent that readied it) — ground truth for thread latency.
   sim::Cycles wait_signaled_at() const { return wait_signaled_at_; }
 
+  // --- SMP (ignored on uniprocessor profiles) -------------------------------
+  // Bit `c` set: the thread may run on core `c`. Default: any core.
+  std::uint32_t affinity() const { return affinity_; }
+  // Core the thread last started executing on (-1 before its first dispatch).
+  int last_core() const { return last_core_; }
+  // Core whose runqueue currently holds the thread (meaningful while kReady).
+  int ready_core() const { return ready_core_; }
+
  private:
   friend class Kernel;
   friend class Dispatcher;
   friend class ReadyQueue;
+  friend class Smp;
 
   std::string name_;
   int priority_;
@@ -95,6 +104,10 @@ class KThread {
   sim::Cycles readied_at_ = 0;
   sim::Cycles wait_signaled_at_ = 0;
   std::uint64_t dispatch_count_ = 0;
+
+  std::uint32_t affinity_ = ~0u;
+  int last_core_ = -1;
+  int ready_core_ = 0;
 
   // Private plumbing for Kernel::Sleep.
   std::unique_ptr<KEvent> sleep_event_;

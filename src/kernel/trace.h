@@ -38,6 +38,10 @@ enum class TraceEventType : std::uint8_t {
   kDpcFetch,    // DPC dequeued, dispatch overhead begins (before kDpcStart)
   kThreadRun,   // context-switch overhead done, thread body begins
   kThreadStop,  // thread left the CPU (blocked, exited, or preempted)
+  // SMP events (only emitted with cores > 1): both are "completion" events
+  // whose duration is the wait they report, so UP traces never contain them.
+  kSpinlockWait,  // spinlock granted; duration = cycles spent spinning
+  kIpi,           // inter-processor interrupt delivered; duration = flight time
   // Sentinel — keep last. Sizes every per-type array (TraceSession's
   // counters, exporter tables), so adding an event type above cannot
   // silently under-count.
@@ -75,6 +79,10 @@ constexpr const char* TraceEventName(TraceEventType type) {
       return "thread-run";
     case TraceEventType::kThreadStop:
       return "thread-stop";
+    case TraceEventType::kSpinlockWait:
+      return "spinlock-wait";
+    case TraceEventType::kIpi:
+      return "ipi";
     case TraceEventType::kTraceEventTypeCount:
       break;
   }
@@ -90,8 +98,12 @@ struct TraceEvent {
   int arg = -1;
   // kIsrExit/kSectionEnd/kDpcEnd: wall duration since the matching start;
   // kDispatchLockout: requested lockout length; kThreadRun: wake-to-run
-  // latency (signal to body start) on a fresh dispatch, 0 on a resume.
+  // latency (signal to body start) on a fresh dispatch, 0 on a resume;
+  // kSpinlockWait: cycles spent spinning; kIpi: cross-core flight time.
   sim::Cycles duration = 0;
+  // Core the event happened on. Always 0 on uniprocessor profiles, so UP
+  // trace bytes are unchanged by the SMP refactor.
+  int core = 0;
 };
 
 // Abstract sink; all methods optional.

@@ -50,6 +50,14 @@ bool OsProfileByName(std::string_view name, kernel::KernelProfile* out) {
     *out = kernel::MakeWin98Profile();
   } else if (name == "w2kbeta") {
     *out = kernel::MakeWin2000BetaProfile();
+  } else if (name == "nt_smp2") {
+    *out = kernel::MakeNt4SmpProfile(2, /*migrating_dpcs=*/false);
+  } else if (name == "nt_smp4") {
+    *out = kernel::MakeNt4SmpProfile(4, /*migrating_dpcs=*/false);
+  } else if (name == "nt_smp2_migrate") {
+    *out = kernel::MakeNt4SmpProfile(2, /*migrating_dpcs=*/true);
+  } else if (name == "nt_smp4_migrate") {
+    *out = kernel::MakeNt4SmpProfile(4, /*migrating_dpcs=*/true);
   } else {
     return false;
   }
@@ -96,7 +104,8 @@ std::string ValidateCohort(const FleetCohort& cohort, std::size_t index) {
                             (cohort.name.empty() ? "" : " (" + cohort.name + ")") + ": ";
   kernel::KernelProfile os;
   if (!OsProfileByName(cohort.os, &os)) {
-    return where + "unknown os \"" + cohort.os + "\" (nt4|win98|w2kbeta)";
+    return where + "unknown os \"" + cohort.os +
+           "\" (nt4|win98|w2kbeta|nt_smp2|nt_smp4|nt_smp2_migrate|nt_smp4_migrate)";
   }
   if (cohort.workloads.empty()) {
     return where + "needs at least one workload";

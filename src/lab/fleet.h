@@ -50,7 +50,9 @@ namespace wdmlat::lab {
 // One population cohort: `count` members drawn from shared priors.
 struct FleetCohort {
   std::string name;
-  // OS personality: "nt4", "win98" or "w2kbeta".
+  // OS personality: "nt4", "win98", "w2kbeta", or an SMP variant —
+  // "nt_smp2"/"nt_smp4" (DPC-pinned) / "nt_smp2_migrate"/"nt_smp4_migrate"
+  // (DPC-migrating, round-robin IRQs, work stealing).
   std::string os = "win98";
   // Workload mix: each member samples one entry ("office", "workstation",
   // "games", "web", "idle"), weighted by workload_weights when non-empty

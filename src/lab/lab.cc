@@ -22,9 +22,16 @@ namespace {
 // slicing the span is bit-identical to running it in one call.
 void RunSupervisedPhase(TestSystem& system, const RunSupervision& sup, double seconds) {
   sim::InvariantAuditor auditor(system.engine());
-  kernel::Dispatcher* dispatcher = &system.kernel().dispatcher();
-  auditor.AddCheck("dispatcher",
-                   [dispatcher](std::vector<std::string>* v) { dispatcher->AuditDiscipline(v); });
+  // One IRQL-discipline check per core (exactly one on UP), plus the SMP
+  // cross-core invariants (spinlocks, runqueues, IPI conservation).
+  for (int core = 0; core < system.kernel().core_count(); ++core) {
+    kernel::Dispatcher* dispatcher = &system.kernel().dispatcher(core);
+    auditor.AddCheck(core == 0 ? "dispatcher" : "dispatcher.core" + std::to_string(core),
+                     [dispatcher](std::vector<std::string>* v) { dispatcher->AuditDiscipline(v); });
+  }
+  if (kernel::Smp* smp = system.kernel().smp()) {
+    auditor.AddCheck("smp", [smp](std::vector<std::string>* v) { smp->Audit(v); });
+  }
   if (sup.force_audit_violation) {
     bool fired = false;
     auditor.AddCheck("fixture", [fired](std::vector<std::string>* v) mutable {
@@ -142,7 +149,7 @@ LabReport RunLatencyExperimentOn(TestSystem& system, const LabConfig& config) {
     };
   }
   if (!fanout.empty()) {
-    system.kernel().dispatcher().set_trace_sink(&fanout);
+    system.kernel().SetTraceSink(&fanout);
   }
   // The writer sees counter samples only when both a trace and metrics are
   // requested for the same run (single-cell mode; matrix cells sample into
@@ -191,7 +198,7 @@ LabReport RunLatencyExperimentOn(TestSystem& system, const LabConfig& config) {
     injector->Stop();
     report.fault_activations = injector->activation_count();
   }
-  system.kernel().dispatcher().set_trace_sink(nullptr);
+  system.kernel().SetTraceSink(nullptr);
 
   report.dpc_interrupt = driver.dpc_interrupt_latency();
   report.thread = driver.thread_latency();

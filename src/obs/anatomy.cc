@@ -15,7 +15,8 @@ namespace {
 constexpr bool IsCulpableStage(AnatomyStage stage) {
   return stage == AnatomyStage::kIsrDispatch || stage == AnatomyStage::kMaskedWindow ||
          stage == AnatomyStage::kDpcQueueWait || stage == AnatomyStage::kDpcRun ||
-         stage == AnatomyStage::kLockout;
+         stage == AnatomyStage::kLockout || stage == AnatomyStage::kSpinlockWait ||
+         stage == AnatomyStage::kIpiLatency;
 }
 
 std::string FormatMs(double ms) {
@@ -95,8 +96,49 @@ void LatencyAnatomy::CloseSpan(sim::Cycles now) {
   }
 }
 
+void LatencyAnatomy::Reclassify(sim::Cycles from, sim::Cycles to, AnatomyStage stage,
+                                kernel::Label label) {
+  if (to <= from) {
+    return;
+  }
+  // Walk the trailing spans that overlap [from, to). Only idle-ish time
+  // (ready_wait, lockout) is relabelled: ISR/DPC/thread spans inside the
+  // window were genuinely spent that way (interrupts above DISPATCH are
+  // still taken while a core spins) and keep their own stage.
+  for (std::size_t i = spans_.size(); i-- > 0;) {
+    Span& span = spans_[i];
+    if (span.end <= from) {
+      break;
+    }
+    if (span.begin >= to || (span.stage != AnatomyStage::kReadyWait &&
+                             span.stage != AnatomyStage::kLockout)) {
+      continue;
+    }
+    const sim::Cycles lo = std::max(span.begin, from);
+    const sim::Cycles hi = std::min(span.end, to);
+    if (hi <= lo) {
+      continue;
+    }
+    const Span mid{lo, hi, stage, label};
+    const Span tail{hi, span.end, span.stage, span.label};
+    span.end = lo;  // head keeps the old stage (possibly emptied)
+    auto it = spans_.begin() + static_cast<std::ptrdiff_t>(i);
+    if (it->end <= it->begin) {
+      *it = mid;
+    } else {
+      it = spans_.insert(it + 1, mid);
+    }
+    if (tail.end > tail.begin) {
+      spans_.insert(it + 1, tail);
+    }
+  }
+}
+
 void LatencyAnatomy::OnTraceEvent(const kernel::TraceEvent& event) {
   using kernel::TraceEventType;
+  if (event.core != 0) {
+    return;  // single-core mirror: episodes are measured on core 0
+  }
   CloseSpan(event.tsc);
   switch (event.type) {
     case TraceEventType::kIsrAccept:
@@ -149,6 +191,16 @@ void LatencyAnatomy::OnTraceEvent(const kernel::TraceEvent& event) {
         lock_until_ = until;
         lock_label_ = event.label;
       }
+      break;
+    }
+    case TraceEventType::kSpinlockWait: {
+      const sim::Cycles from = event.duration > event.tsc ? 0 : event.tsc - event.duration;
+      Reclassify(from, event.tsc, AnatomyStage::kSpinlockWait, event.label);
+      break;
+    }
+    case TraceEventType::kIpi: {
+      const sim::Cycles from = event.duration > event.tsc ? 0 : event.tsc - event.duration;
+      Reclassify(from, event.tsc, AnatomyStage::kIpiLatency, event.label);
       break;
     }
     case TraceEventType::kTraceEventTypeCount:

@@ -16,6 +16,17 @@
 //                   style windows) — the ready thread cannot be scheduled
 //   ready_wait      CPU idle or context-switching with the wake pending
 //   thread_run      a thread body on the CPU
+//   spinlock_wait   (SMP) the core spinning at DISPATCH on a held simulated
+//                   spinlock — blamed on the holder's label
+//   ipi_latency     (SMP) cross-core IPI flight delaying a wake or DPC
+//                   targeted at this core
+//
+// The mirror is a single-core state machine: it follows core 0 (where the
+// measurement driver's devices interrupt) and ignores events stamped with
+// another core id. The SMP stages arrive as retrospective kSpinlockWait/kIpi
+// events whose duration covers already-recorded ready_wait/lockout time; the
+// covered spans are relabelled in place (with splitting), so the exact
+// integer-cycle partition is preserved.
 //
 // When the latency driver reports an episode, OnEpisode clips the span
 // timeline to the episode's measurement window [dpc_tsc, thread_tsc] and
@@ -50,6 +61,8 @@ enum class AnatomyStage : std::uint8_t {
   kLockout,
   kReadyWait,
   kThreadRun,
+  kSpinlockWait,
+  kIpiLatency,
   // Sentinel — keep last; sizes every per-stage array.
   kStageCount,
 };
@@ -73,6 +86,10 @@ constexpr const char* AnatomyStageName(AnatomyStage stage) {
       return "ready_wait";
     case AnatomyStage::kThreadRun:
       return "thread_run";
+    case AnatomyStage::kSpinlockWait:
+      return "spinlock_wait";
+    case AnatomyStage::kIpiLatency:
+      return "ipi_latency";
     case AnatomyStage::kStageCount:
       break;
   }
@@ -148,6 +165,11 @@ class LatencyAnatomy : public kernel::TraceSink {
   Span Classify(sim::Cycles at) const;
   void CloseSpan(sim::Cycles now);
   void AppendSpan(Span span);
+  // Relabel the ready_wait/lockout portions of [from, to) to `stage` —
+  // retrospective accounting for SMP spin/IPI windows. Splits spans at the
+  // window edges; never changes total coverage.
+  void Reclassify(sim::Cycles from, sim::Cycles to, AnatomyStage stage,
+                  kernel::Label label);
 
   Config cfg_;
   sim::Cycles retention_cycles_ = 0;

@@ -72,68 +72,95 @@ void ChromeTraceWriter::Push(Event event) {
   events_.push_back(std::move(event));
 }
 
+void ChromeTraceWriter::EnsureCoreTracks(int core) {
+  if (core == 0 || core_tracks_named_[core]) {
+    return;
+  }
+  core_tracks_named_[core] = true;
+  const std::string prefix = "cpu" + std::to_string(core) + ": ";
+  const int base = kCoreTidStride * core;
+  SetThreadName(kSimPid, base + kInterruptTid, prefix + "interrupt stack (ISR + sections)");
+  SetThreadName(kSimPid, base + kDpcTid, prefix + "dpc");
+  SetThreadName(kSimPid, base + kThreadTid, prefix + "thread");
+  SetThreadName(kSimPid, base + kLockoutTid, prefix + "dispatch lockout");
+}
+
 void ChromeTraceWriter::OnTraceEvent(const kernel::TraceEvent& event) {
   using kernel::TraceEventType;
   const double ts = sim::CyclesToUs(event.tsc);
   const double dur = sim::CyclesToUs(event.duration);
+  EnsureCoreTracks(event.core);
+  const int interrupt_tid = kCoreTidStride * event.core + kInterruptTid;
+  const int dpc_tid = kCoreTidStride * event.core + kDpcTid;
+  const int thread_tid = kCoreTidStride * event.core + kThreadTid;
+  const int lockout_tid = kCoreTidStride * event.core + kLockoutTid;
   switch (event.type) {
     case TraceEventType::kIsrEnter:
-      BeginSlice(kSimPid, kInterruptTid, ts, ToString(event.label));
+      BeginSlice(kSimPid, interrupt_tid, ts, ToString(event.label));
       events_.back().number_args.emplace_back("line", event.arg);
       break;
     case TraceEventType::kIsrExit:
-      EndSlice(kSimPid, kInterruptTid, ts);
+      EndSlice(kSimPid, interrupt_tid, ts);
       break;
     case TraceEventType::kSectionStart:
-      BeginSlice(kSimPid, kInterruptTid, ts, ToString(event.label));
+      BeginSlice(kSimPid, interrupt_tid, ts, ToString(event.label));
       events_.back().number_args.emplace_back("requested_us", dur);
       break;
     case TraceEventType::kSectionEnd:
-      EndSlice(kSimPid, kInterruptTid, ts);
+      EndSlice(kSimPid, interrupt_tid, ts);
       break;
     case TraceEventType::kDpcStart:
       // Flow arrow from the enqueue instant (the start's duration is the
       // queueing delay) to the moment the DPC body begins.
-      Flow("dpc-queue", ToString(event.label), kInterruptTid, ts - dur, kDpcTid, ts);
-      BeginSlice(kSimPid, kDpcTid, ts, ToString(event.label));
+      Flow("dpc-queue", ToString(event.label), interrupt_tid, ts - dur, dpc_tid, ts);
+      BeginSlice(kSimPid, dpc_tid, ts, ToString(event.label));
       events_.back().number_args.emplace_back("queue_delay_us", dur);
       break;
     case TraceEventType::kDpcEnd:
-      EndSlice(kSimPid, kDpcTid, ts);
+      EndSlice(kSimPid, dpc_tid, ts);
       break;
     case TraceEventType::kContextSwitch:
-      if (thread_slice_open_) {
-        EndSlice(kSimPid, kThreadTid, ts);
+      if (thread_slice_open_[event.core]) {
+        EndSlice(kSimPid, thread_tid, ts);
       }
-      BeginSlice(kSimPid, kThreadTid, ts, "thread prio " + std::to_string(event.arg));
-      thread_slice_open_ = true;
+      BeginSlice(kSimPid, thread_tid, ts, "thread prio " + std::to_string(event.arg));
+      thread_slice_open_[event.core] = true;
       break;
     case TraceEventType::kThreadReady:
-      Instant(kSimPid, kThreadTid, ts, "ready (prio " + std::to_string(event.arg) + ")");
+      Instant(kSimPid, thread_tid, ts, "ready (prio " + std::to_string(event.arg) + ")");
       break;
     case TraceEventType::kDispatchLockout:
-      CompleteSlice(kSimPid, kLockoutTid, ts, dur, "lockout: " + ToString(event.label));
+      CompleteSlice(kSimPid, lockout_tid, ts, dur, "lockout: " + ToString(event.label));
       break;
     case TraceEventType::kIsrAccept:
-      Instant(kSimPid, kInterruptTid, ts, "irq accept (line " + std::to_string(event.arg) + ")");
+      Instant(kSimPid, interrupt_tid, ts,
+              "irq accept (line " + std::to_string(event.arg) + ")");
       break;
     case TraceEventType::kDpcFetch:
-      Instant(kSimPid, kDpcTid, ts, "dpc fetch");
+      Instant(kSimPid, dpc_tid, ts, "dpc fetch");
       break;
     case TraceEventType::kThreadRun:
       // Fresh dispatches carry the wake-to-run latency; draw the flow from
       // the signalling instant (typically inside the completing DPC) to the
       // point the thread body starts executing.
       if (event.duration > 0) {
-        Flow("thread-wake", "wake prio " + std::to_string(event.arg), kDpcTid, ts - dur,
-             kThreadTid, ts);
+        Flow("thread-wake", "wake prio " + std::to_string(event.arg), dpc_tid, ts - dur,
+             thread_tid, ts);
       }
       break;
     case TraceEventType::kThreadStop:
-      if (thread_slice_open_) {
-        EndSlice(kSimPid, kThreadTid, ts);
-        thread_slice_open_ = false;
+      if (thread_slice_open_[event.core]) {
+        EndSlice(kSimPid, thread_tid, ts);
+        thread_slice_open_[event.core] = false;
       }
+      break;
+    case TraceEventType::kSpinlockWait:
+      // Retrospective: the event fires at grant time and covers the spin.
+      CompleteSlice(kSimPid, lockout_tid, ts - dur, dur, "spin: " + ToString(event.label));
+      break;
+    case TraceEventType::kIpi:
+      // Retrospective: delivery instant, duration is the flight time.
+      CompleteSlice(kSimPid, lockout_tid, ts - dur, dur, "ipi: " + ToString(event.label));
       break;
     case TraceEventType::kTraceEventTypeCount:
       break;

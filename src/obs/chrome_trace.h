@@ -9,7 +9,11 @@
 //   dpc               the running DPC
 //   thread            the scheduled thread (context switches close one slice
 //                     and open the next; thread-ready marks are instants)
-//   dispatch-lockout  Win16Mutex/VMM lockout windows as complete events
+//   dispatch-lockout  Win16Mutex/VMM lockout windows, spinlock spins and IPI
+//                     flights as complete events
+// On SMP profiles each core gets its own four tracks (tid = base + 10*core,
+// named lazily on the core's first event); core 0 keeps the base tids, so a
+// uniprocessor run serializes byte-identically to the pre-SMP writer.
 // Cause→effect is drawn with Perfetto flow arrows ('s'/'f' event pairs):
 // every DPC start gets a "dpc-queue" flow from its enqueue instant on the
 // interrupt track, and every fresh thread dispatch gets a "thread-wake" flow
@@ -41,11 +45,12 @@ class ChromeTraceWriter : public kernel::TraceSink {
   // Process ids.
   static constexpr int kSimPid = 1;
   static constexpr int kHostPid = 2;
-  // Simulated-CPU track ids within kSimPid.
+  // Simulated-CPU track ids within kSimPid (core 0; core c adds kCoreTidStride*c).
   static constexpr int kInterruptTid = 1;
   static constexpr int kDpcTid = 2;
   static constexpr int kThreadTid = 3;
   static constexpr int kLockoutTid = 4;
+  static constexpr int kCoreTidStride = 10;
 
   struct Event {
     char phase = 'i';  // B, E, X, i, C, M, s (flow start), f (flow finish)
@@ -99,11 +104,16 @@ class ChromeTraceWriter : public kernel::TraceSink {
   void Flow(const std::string& cat, std::string name, int from_tid, double from_ts_us,
             int to_tid, double to_ts_us);
 
+  // Name core `core`'s four tracks on its first event (no-op for core 0,
+  // whose tracks are named in the constructor).
+  void EnsureCoreTracks(int core);
+
   std::vector<Event> events_;
   // Open B-slice depth per (pid, tid); consulted to synthesize closing E
   // events during serialization.
   std::map<std::pair<int, int>, int> open_slices_;
-  bool thread_slice_open_ = false;
+  std::map<int, bool> thread_slice_open_;  // per core
+  std::map<int, bool> core_tracks_named_;
   double last_ts_us_ = 0.0;
   std::uint64_t next_flow_id_ = 1;
 };

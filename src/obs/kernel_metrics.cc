@@ -51,6 +51,15 @@ void KernelMetricsCollector::OnTraceEvent(const kernel::TraceEvent& event) {
         registry_.Observe("kernel.thread_wake.ms", ms);
       }
       break;
+    case TraceEventType::kSpinlockWait:
+      registry_.Add("kernel.spinlock.wait_count");
+      registry_.Add("kernel.spinlock.wait_ms_total", ms);
+      registry_.Observe("kernel.spinlock.wait_ms", ms);
+      break;
+    case TraceEventType::kIpi:
+      registry_.Add("kernel.ipi.count");
+      registry_.Observe("kernel.ipi.flight_ms", ms);
+      break;
     case TraceEventType::kTraceEventTypeCount:
       break;
   }
@@ -83,19 +92,39 @@ void QueueDepthSampler::Sample() {
 }
 
 void CollectRunCounters(kernel::Kernel& kernel, MetricsRegistry& registry) {
-  const kernel::Dispatcher& dispatcher = kernel.dispatcher();
-  registry.Add("dispatcher.interrupts_accepted",
-               static_cast<double>(dispatcher.interrupts_accepted()));
-  registry.Add("dispatcher.spurious_interrupts",
-               static_cast<double>(dispatcher.spurious_interrupts()));
-  registry.Add("dispatcher.context_switches",
-               static_cast<double>(dispatcher.context_switches()));
-  registry.Add("dispatcher.dpcs_dispatched",
-               static_cast<double>(dispatcher.dpcs_dispatched()));
-  registry.Add("dispatcher.sections_run", static_cast<double>(dispatcher.sections_run()));
-  registry.Add("dispatcher.sections_skipped",
-               static_cast<double>(dispatcher.sections_skipped()));
+  // Dispatcher counters sum over every core (one dispatcher on UP).
+  for (int core = 0; core < kernel.core_count(); ++core) {
+    const kernel::Dispatcher& dispatcher = kernel.dispatcher(core);
+    registry.Add("dispatcher.interrupts_accepted",
+                 static_cast<double>(dispatcher.interrupts_accepted()));
+    registry.Add("dispatcher.spurious_interrupts",
+                 static_cast<double>(dispatcher.spurious_interrupts()));
+    registry.Add("dispatcher.context_switches",
+                 static_cast<double>(dispatcher.context_switches()));
+    registry.Add("dispatcher.dpcs_dispatched",
+                 static_cast<double>(dispatcher.dpcs_dispatched()));
+    registry.Add("dispatcher.sections_run", static_cast<double>(dispatcher.sections_run()));
+    registry.Add("dispatcher.sections_skipped",
+                 static_cast<double>(dispatcher.sections_skipped()));
+  }
   registry.Add("sim.events_processed", static_cast<double>(kernel.engine().events_processed()));
+  if (const kernel::Smp* smp = kernel.smp()) {
+    registry.Add("smp.ipis_sent", static_cast<double>(smp->ipis_sent()));
+    registry.Add("smp.ipis_delivered", static_cast<double>(smp->ipis_delivered()));
+    registry.Add("smp.dpc_migrations", static_cast<double>(smp->dpc_migrations()));
+    registry.Add("smp.cross_core_wakes", static_cast<double>(smp->cross_core_wakes()));
+    registry.Add("smp.steals", static_cast<double>(smp->steals()));
+    double contentions = 0.0;
+    double spin_ms = 0.0;
+    contentions += static_cast<double>(smp->dispatcher_lock().contentions());
+    spin_ms += sim::CyclesToMs(smp->dispatcher_lock().total_spin_cycles());
+    for (int core = 0; core < smp->core_count(); ++core) {
+      contentions += static_cast<double>(smp->dpc_lock(core).contentions());
+      spin_ms += sim::CyclesToMs(smp->dpc_lock(core).total_spin_cycles());
+    }
+    registry.Add("smp.spinlock_contentions", contentions);
+    registry.Add("smp.spinlock_spin_ms", spin_ms);
+  }
 }
 
 }  // namespace wdmlat::obs
