@@ -12,7 +12,11 @@
 //
 //   WDMLAT_CELLS=1024 WDMLAT_CELL_MINUTES=0.0002 WDMLAT_JOBS=1 fleet_throughput
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +31,7 @@
 #include "src/lab/fleet.h"
 #include "src/lab/lab.h"
 #include "src/lab/report_io.h"
+#include "src/runtime/fleet_supervisor.h"
 #include "src/runtime/thread_pool.h"
 
 namespace {
@@ -211,7 +216,110 @@ int main() {
               static_cast<double>(matrix_samples) /
                   static_cast<double>(fleet.cell_count()));
 
+  // --- Supervised-mode overhead: the same single-shard run driven through
+  // runtime::SuperviseFleet (fork()ed worker, liveness heartbeat armed, the
+  // production poll cadence) against a bare fork + waitpid of the identical
+  // worker. The supervisor's per-poll cost is a stat() of the shard file
+  // plus a WNOHANG waitpid; the bar is < 5% cells/sec — fault tolerance
+  // must be close to free when nothing faults. A longer population than the
+  // amortization trials (8x) keeps the one-time end-of-run cost — the
+  // supervisor learns of the exit up to one poll interval late — from
+  // masquerading as per-cell watching cost.
+  const lab::Fleet sup_fleet(Population(cells * 8, cell_minutes, pit_hz));
+  if (!sup_fleet.error().empty()) {
+    std::fprintf(stderr, "fleet_throughput: %s\n", sup_fleet.error().c_str());
+    return 1;
+  }
+  const auto fork_worker = [&](const std::string& out_path, std::uint64_t lo,
+                               std::uint64_t hi) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      lab::FleetShardOptions options;
+      options.jobs = jobs;
+      options.out_path = out_path;
+      options.cell_lo = lo;
+      options.cell_hi = hi;
+      const lab::FleetShardResult result = RunFleetShard(sup_fleet, options);
+      std::_Exit(result.ok() ? 0 : 3);
+    }
+    return pid;
+  };
+  const std::string plain_path = (dir / "plain_shard.jsonl").string();
+  const std::string sup_path = (dir / "sup_shard.jsonl").string();
+  bool supervised_failed = false;
+  const auto run_plain_trial = [&]() {
+    std::filesystem::remove(plain_path);
+    const Clock::time_point start = Clock::now();
+    const pid_t pid = fork_worker(plain_path, 0, 0);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      supervised_failed = true;
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  const auto run_supervised_trial = [&]() {
+    std::filesystem::remove(sup_path);
+    runtime::FleetSupervisorOptions sup;
+    sup.shards = 1;
+    sup.cell_count = static_cast<std::size_t>(sup_fleet.cell_count());
+    sup.max_parallel = 1;
+    sup.shard_timeout_s = 30.0;  // armed: every poll stats the shard file
+    sup.shard_path = [&](std::size_t) { return sup_path; };
+    sup.cell_seed = [&](std::size_t cell) { return sup_fleet.CellAt(cell).seed; };
+    sup.spawn = [&](const runtime::FleetWorkerRequest& request, pid_t* pid,
+                    std::string* error) {
+      *pid = fork_worker(request.out_path, request.cell_lo,
+                         request.cell_hi < sup_fleet.cell_count() ? request.cell_hi
+                                                                  : 0);
+      if (*pid < 0) {
+        *error = "fork failed";
+        return false;
+      }
+      return true;
+    };
+    const Clock::time_point start = Clock::now();
+    const runtime::FleetSupervisorResult result = runtime::SuperviseFleet(sup);
+    if (!result.ok()) {
+      std::fprintf(stderr, "fleet_throughput: supervised run failed: %s\n",
+                   result.error.c_str());
+      supervised_failed = true;
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  std::vector<double> plain_walls;
+  std::vector<double> sup_walls;
+  for (int trial = 0; trial < 3; ++trial) {
+    plain_walls.push_back(run_plain_trial());
+    sup_walls.push_back(run_supervised_trial());
+    if (supervised_failed) {
+      return 1;
+    }
+  }
+  const double plain_seconds = median3(plain_walls);
+  const double sup_seconds = median3(sup_walls);
+  const double plain_rate =
+      static_cast<double>(sup_fleet.cell_count()) / plain_seconds;
+  const double sup_rate =
+      static_cast<double>(sup_fleet.cell_count()) / sup_seconds;
+  const double sup_cost = sup_rate / plain_rate;
+  std::printf("\n  %-28s %12s %12s\n", "worker-process path", "median s/3",
+              "cells/sec");
+  std::printf("  %-28s %12.3f %12.1f\n", "plain fork + waitpid", plain_seconds,
+              plain_rate);
+  std::printf("  %-28s %12.3f %12.1f\n", "supervised (heartbeat on)", sup_seconds,
+              sup_rate);
+  std::printf("\n  supervised/plain cells-per-second: %.3fx (bar: >= 0.95x)\n",
+              sup_cost);
+
   std::filesystem::remove_all(dir);
+  if (sup_cost < 0.95) {
+    std::fprintf(stderr,
+                 "fleet_throughput: FAIL — heartbeat watching costs more than "
+                 "5%% cells/sec\n");
+    return 1;
+  }
   if (matrix_samples == 0) {
     // A regime so short the driver's 16-sample PIT-reprogram discard eats
     // everything measures nothing — cells must keep real samples for the

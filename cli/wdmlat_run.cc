@@ -88,6 +88,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -101,6 +102,7 @@
 #include "src/lab/csv_export.h"
 #include "src/lab/differential.h"
 #include "src/lab/fleet.h"
+#include "src/lab/host_chaos.h"
 #include "src/lab/lab.h"
 #include "src/lab/matrix.h"
 #include "src/obs/anatomy.h"
@@ -108,6 +110,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/report/loglog_plot.h"
+#include "src/runtime/fleet_supervisor.h"
 #include "src/runtime/shard_runner.h"
 #include "src/runtime/supervisor.h"
 #include "src/runtime/thread_pool.h"
@@ -197,6 +200,28 @@ constexpr const char kHelpText[] =
     "                             shard record file (spawned by the orchestrator;\n"
     "                             --jobs threads within the shard)\n"
     "  --fleet-out=DIR            fleet artifact directory (default fleet_out)\n"
+    "  --shard-timeout-s=F        supervisor liveness deadline: SIGKILL and retry\n"
+    "                             a worker whose shard file stops growing for F\n"
+    "                             host seconds (0 = off; classified host_transient)\n"
+    "  --shard-retries=N          attempts per shard window before poisoned-cell\n"
+    "                             bisection starts (default 3)\n"
+    "  --speculate                re-dispatch the slowest shard's remaining cells\n"
+    "                             to an idle slot near the end of the run\n"
+    "  --chaos-seed=N             deterministic host-chaos harness: kill, truncate,\n"
+    "                             bit-flip and delay workers; the run self-heals to\n"
+    "                             a byte-identical fleet.json\n"
+    "  --poison-cell=N            CI fixture: abort() the worker while it executes\n"
+    "                             cell N (bisection isolates it into the\n"
+    "                             quarantine manifest)\n"
+    "  --cell-lo=N / --cell-hi=M  worker mode: restrict the shard to cells [N,M)\n"
+    "                             (spawned by the supervisor's bisection probes)\n"
+    "  --quarantine=FILE          worker mode: skip cells listed in this JSONL\n"
+    "                             quarantine manifest\n"
+    "  --shard-out=FILE           worker mode: write shard records to FILE instead\n"
+    "                             of the canonical shard path (speculative copies)\n"
+    "  --chaos-kill-after-cells=N worker mode: raise(SIGKILL) after executing N\n"
+    "                             cells (chaos harness internals)\n"
+    "  --chaos-delay-ms=F         worker mode: sleep F host ms before starting\n"
     "\n"
     "  --help, -h                 print this flag table and exit 0\n"
     "\n"
@@ -352,6 +377,18 @@ int main(int argc, char** argv) {
   std::string shard_arg;
   std::uint64_t shards = 1;
   std::string fleet_out = "fleet_out";
+  double shard_timeout_s = 0.0;
+  int shard_retries = 3;
+  bool speculate = false;
+  std::uint64_t chaos_seed = 0;
+  bool have_chaos_seed = false;
+  long poison_cell = -1;
+  std::uint64_t cell_lo = 0;
+  std::uint64_t cell_hi = 0;
+  std::string quarantine_file;
+  std::string shard_out;
+  std::uint64_t chaos_kill_after_cells = 0;
+  double chaos_delay_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -367,6 +404,29 @@ int main(int argc, char** argv) {
       shard_arg = RequireValue("--shard", value);
     } else if (MatchValueFlag(argc, argv, &i, "--fleet-out", &value)) {
       fleet_out = RequireValue("--fleet-out", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--shard-timeout-s", &value)) {
+      shard_timeout_s = ParseDoubleFlag("--shard-timeout-s", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--shard-retries", &value)) {
+      shard_retries = static_cast<int>(ParseIntFlag("--shard-retries", value));
+    } else if (MatchFlag(argv[i], "--speculate", &value)) {
+      speculate = true;
+    } else if (MatchValueFlag(argc, argv, &i, "--chaos-seed", &value)) {
+      chaos_seed = ParseU64Flag("--chaos-seed", value);
+      have_chaos_seed = true;
+    } else if (MatchValueFlag(argc, argv, &i, "--poison-cell", &value)) {
+      poison_cell = ParseIntFlag("--poison-cell", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--cell-lo", &value)) {
+      cell_lo = ParseU64Flag("--cell-lo", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--cell-hi", &value)) {
+      cell_hi = ParseU64Flag("--cell-hi", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--quarantine", &value)) {
+      quarantine_file = RequireValue("--quarantine", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--shard-out", &value)) {
+      shard_out = RequireValue("--shard-out", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--chaos-kill-after-cells", &value)) {
+      chaos_kill_after_cells = ParseU64Flag("--chaos-kill-after-cells", value);
+    } else if (MatchValueFlag(argc, argv, &i, "--chaos-delay-ms", &value)) {
+      chaos_delay_ms = ParseDoubleFlag("--chaos-delay-ms", value);
     } else if (MatchValueFlag(argc, argv, &i, "--trials", &value)) {
       trials = static_cast<int>(ParseIntFlag("--trials", value));
     } else if (MatchValueFlag(argc, argv, &i, "--os", &value)) {
@@ -551,6 +611,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wdmlat_run: --shard is a worker flag and requires --fleet\n");
     return 2;
   }
+  const bool fleet_worker_flags = cell_lo != 0 || cell_hi != 0 ||
+                                  !quarantine_file.empty() || !shard_out.empty() ||
+                                  chaos_kill_after_cells > 0 || chaos_delay_ms > 0.0;
+  const bool fleet_supervisor_flags = shard_timeout_s > 0.0 || shard_retries != 3 ||
+                                      speculate || have_chaos_seed || poison_cell >= 0;
+  if ((fleet_worker_flags || fleet_supervisor_flags) && fleet_spec_path.empty()) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --shard-timeout-s/--shard-retries/--speculate/"
+                 "--chaos-seed/--poison-cell/--cell-lo/--cell-hi/--quarantine/"
+                 "--shard-out/--chaos-kill-after-cells/--chaos-delay-ms are fleet "
+                 "flags and require --fleet\n");
+    return 2;
+  }
+  if (fleet_worker_flags && shard_arg.empty()) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --cell-lo/--cell-hi/--quarantine/--shard-out/"
+                 "--chaos-kill-after-cells/--chaos-delay-ms are worker flags and "
+                 "require --shard (the supervisor passes them)\n");
+    return 2;
+  }
+  if (!shard_arg.empty() &&
+      (shard_timeout_s > 0.0 || shard_retries != 3 || speculate || have_chaos_seed)) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --shard-timeout-s/--shard-retries/--speculate/"
+                 "--chaos-seed are supervisor flags; drop --shard\n");
+    return 2;
+  }
+  if (shard_retries < 1) {
+    std::fprintf(stderr, "wdmlat_run: --shard-retries must be at least 1\n");
+    return 2;
+  }
+  if (shard_timeout_s < 0.0 || chaos_delay_ms < 0.0) {
+    std::fprintf(stderr,
+                 "wdmlat_run: --shard-timeout-s and --chaos-delay-ms must be >= 0\n");
+    return 2;
+  }
+  if (cell_hi != 0 && cell_lo >= cell_hi) {
+    std::fprintf(stderr, "wdmlat_run: --cell-lo must be below --cell-hi\n");
+    return 2;
+  }
   if (!fleet_spec_path.empty()) {
     if (matrix_mode || differential || have_faults) {
       std::fprintf(stderr,
@@ -595,9 +695,28 @@ int main(int argc, char** argv) {
       options.shard = static_cast<std::size_t>(worker_shard);
       options.shards = static_cast<std::size_t>(worker_shards);
       options.jobs = jobs;
-      options.out_path = lab::FleetShardPath(fleet_out, options.shard, options.shards);
+      options.out_path = shard_out.empty()
+                             ? lab::FleetShardPath(fleet_out, options.shard, options.shards)
+                             : shard_out;
       options.supervision.cell_timeout_ms = cell_timeout_ms;
       options.supervision.max_attempts = cell_retries;
+      options.cell_lo = cell_lo;
+      options.cell_hi = cell_hi;
+      options.poison_cell = poison_cell;
+      options.chaos_kill_after_cells = chaos_kill_after_cells;
+      options.chaos_delay_ms = chaos_delay_ms;
+      if (!quarantine_file.empty()) {
+        std::vector<lab::FleetQuarantineEntry> manifest;
+        std::string qerror;
+        if (!lab::LoadFleetQuarantine(quarantine_file, &manifest, &qerror)) {
+          std::fprintf(stderr, "wdmlat_run: --quarantine=%s: %s\n",
+                       quarantine_file.c_str(), qerror.c_str());
+          return 2;
+        }
+        for (const lab::FleetQuarantineEntry& entry : manifest) {
+          options.skip_cells.push_back(entry.cell);
+        }
+      }
       const lab::FleetShardResult result = lab::RunFleetShard(fleet, options);
       for (const std::string& warning : result.warnings) {
         std::fprintf(stderr, "wdmlat_run: shard %llu: warning: %s\n",
@@ -637,6 +756,23 @@ int main(int argc, char** argv) {
     if (self.empty()) {
       self = argv[0];
     }
+
+    // The quarantine manifest survives re-runs: cells isolated by a previous
+    // invocation stay skipped, so resume converges instead of re-tripping.
+    const std::string quarantine_manifest = fleet_out + "/quarantine.jsonl";
+    std::vector<lab::FleetQuarantineEntry> quarantined;
+    {
+      std::ifstream probe(quarantine_manifest);
+      if (probe) {
+        std::string qerror;
+        if (!lab::LoadFleetQuarantine(quarantine_manifest, &quarantined, &qerror)) {
+          std::fprintf(stderr, "wdmlat_run: %s: %s\n", quarantine_manifest.c_str(),
+                       qerror.c_str());
+          return 2;
+        }
+      }
+    }
+
     std::printf(
         "wdmlat_run --fleet: \"%s\", %llu cells in %zu cohort(s), fingerprint %016llx,\n"
         "%llu shard process(es) (max %d concurrent) -> %s\n\n",
@@ -644,42 +780,112 @@ int main(int argc, char** argv) {
         fleet.spec().cohorts.size(), static_cast<unsigned long long>(fleet.fingerprint()),
         static_cast<unsigned long long>(shards), jobs, fleet_out.c_str());
 
-    std::vector<runtime::ShardProcess> workers(static_cast<std::size_t>(shards));
-    for (std::uint64_t k = 0; k < shards; ++k) {
-      workers[k].argv = {self,
-                         "--fleet=" + fleet_spec_path,
-                         "--shard=" + std::to_string(k) + "/" + std::to_string(shards),
-                         "--fleet-out=" + fleet_out,
-                         "--jobs=1"};
+    // Supervised fleet: per-shard liveness deadlines, bounded retry with
+    // backoff, poisoned-cell bisection and (optionally) straggler
+    // speculation and the deterministic host-chaos harness. --jobs bounds
+    // concurrent worker *processes*; each worker runs its shard
+    // single-threaded (the shard file contract is per-process anyway).
+    const lab::HostChaos host_chaos(chaos_seed);
+    const std::string canonical_quarantine = quarantine_manifest;
+    runtime::FleetSupervisorOptions sup;
+    sup.shards = static_cast<std::size_t>(shards);
+    sup.cell_count = static_cast<std::size_t>(fleet.cell_count());
+    sup.max_parallel = static_cast<std::size_t>(jobs);
+    sup.shard_timeout_s = shard_timeout_s;
+    sup.max_attempts = shard_retries;
+    sup.speculate = speculate;
+    if (!quarantined.empty()) {
+      sup.quarantine_path = canonical_quarantine;
+    }
+    sup.shard_path = [&](std::size_t k) {
+      return lab::FleetShardPath(fleet_out, k, static_cast<std::size_t>(shards));
+    };
+    sup.cell_seed = [&](std::size_t cell) { return fleet.CellAt(cell).seed; };
+    if (have_chaos_seed) {
+      sup.chaos = [&](std::size_t k, int attempt) { return host_chaos.PlanFor(k, attempt); };
+    }
+    sup.spawn = [&](const runtime::FleetWorkerRequest& request, pid_t* pid,
+                    std::string* spawn_error) {
+      runtime::ShardProcess process;
+      process.argv = {self,
+                      "--fleet=" + fleet_spec_path,
+                      "--shard=" + std::to_string(request.shard) + "/" +
+                          std::to_string(shards),
+                      "--fleet-out=" + fleet_out,
+                      "--jobs=1"};
       if (cell_timeout_ms > 0.0) {
-        workers[k].argv.push_back("--cell-timeout-ms=" + std::to_string(cell_timeout_ms));
+        process.argv.push_back("--cell-timeout-ms=" + std::to_string(cell_timeout_ms));
       }
       if (cell_retries != 3) {
-        workers[k].argv.push_back("--cell-retries=" + std::to_string(cell_retries));
+        process.argv.push_back("--cell-retries=" + std::to_string(cell_retries));
       }
+      if (request.cell_lo != 0) {
+        process.argv.push_back("--cell-lo=" + std::to_string(request.cell_lo));
+      }
+      if (request.cell_hi != 0 && request.cell_hi < fleet.cell_count()) {
+        process.argv.push_back("--cell-hi=" + std::to_string(request.cell_hi));
+      }
+      if (!request.quarantine_path.empty()) {
+        process.argv.push_back("--quarantine=" + request.quarantine_path);
+      }
+      const std::string canonical =
+          lab::FleetShardPath(fleet_out, request.shard, static_cast<std::size_t>(shards));
+      if (request.out_path != canonical) {
+        process.argv.push_back("--shard-out=" + request.out_path);
+      }
+      if (poison_cell >= 0) {
+        process.argv.push_back("--poison-cell=" + std::to_string(poison_cell));
+      }
+      if (request.chaos.kill_after_cells > 0) {
+        process.argv.push_back("--chaos-kill-after-cells=" +
+                               std::to_string(request.chaos.kill_after_cells));
+      }
+      if (request.chaos.delay_ms > 0.0) {
+        process.argv.push_back("--chaos-delay-ms=" + std::to_string(request.chaos.delay_ms));
+      }
+      return runtime::SpawnShardProcess(process, pid, spawn_error);
+    };
+    sup.on_quarantine = [&](const runtime::QuarantinedCell& cell) {
+      lab::FleetQuarantineEntry entry;
+      entry.cell = cell.cell;
+      entry.seed = cell.seed;
+      entry.taxonomy = runtime::FailureKindName(cell.kind);
+      entry.attempts = cell.attempts;
+      quarantined.push_back(entry);
+      std::sort(quarantined.begin(), quarantined.end(),
+                [](const lab::FleetQuarantineEntry& a, const lab::FleetQuarantineEntry& b) {
+                  return a.cell < b.cell;
+                });
+      std::string qerror;
+      if (!lab::SaveFleetQuarantine(canonical_quarantine, quarantined, &qerror)) {
+        std::fprintf(stderr, "wdmlat_run: quarantine manifest: %s\n", qerror.c_str());
+      }
+      return canonical_quarantine;
+    };
+    sup.stitch = [&](std::size_t k, const std::string& main_path,
+                     const std::string& spec_path, std::string* stitch_error) {
+      return lab::StitchShardFiles(fleet, k, static_cast<std::size_t>(shards), main_path,
+                                   spec_path, stitch_error);
+    };
+    sup.log = [](const std::string& line) {
+      std::fprintf(stderr, "wdmlat_run: supervisor: %s\n", line.c_str());
+    };
+    const runtime::FleetSupervisorResult supervision = runtime::SuperviseFleet(sup);
+    if (supervision.spawns > shards || supervision.heartbeat_kills > 0 ||
+        supervision.bisect_probes > 0 || supervision.speculative_spawns > 0) {
+      std::printf(
+          "supervisor: %llu spawn(s), %llu retr%s, %llu heartbeat kill(s), "
+          "%llu bisect probe(s), %llu speculative (%llu won)\n",
+          static_cast<unsigned long long>(supervision.spawns),
+          static_cast<unsigned long long>(supervision.retries),
+          supervision.retries == 1 ? "y" : "ies",
+          static_cast<unsigned long long>(supervision.heartbeat_kills),
+          static_cast<unsigned long long>(supervision.bisect_probes),
+          static_cast<unsigned long long>(supervision.speculative_spawns),
+          static_cast<unsigned long long>(supervision.speculative_wins));
     }
-    // --jobs bounds concurrent worker *processes* here; each worker runs its
-    // shard single-threaded (the shard file contract is per-process anyway).
-    const std::vector<runtime::ShardProcessResult> outcomes =
-        runtime::RunProcesses(workers, jobs);
-    bool workers_ok = true;
-    for (std::size_t k = 0; k < outcomes.size(); ++k) {
-      const runtime::ShardProcessResult& outcome = outcomes[k];
-      if (outcome.ok()) {
-        continue;
-      }
-      workers_ok = false;
-      if (!outcome.error.empty()) {
-        std::fprintf(stderr, "wdmlat_run: shard %zu worker: %s\n", k, outcome.error.c_str());
-      } else if (outcome.signaled) {
-        std::fprintf(stderr, "wdmlat_run: shard %zu worker killed by signal %d\n", k,
-                     outcome.exit_code);
-      } else {
-        std::fprintf(stderr, "wdmlat_run: shard %zu worker exited %d\n", k,
-                     outcome.exit_code);
-      }
-    }
-    if (!workers_ok) {
+    if (!supervision.ok()) {
+      std::fprintf(stderr, "wdmlat_run: %s\n", supervision.error.c_str());
       std::fprintf(stderr,
                    "wdmlat_run: fleet workers failed; completed shard records are kept — "
                    "re-run the same command to resume\n");
@@ -691,10 +897,19 @@ int main(int argc, char** argv) {
       shard_paths.push_back(lab::FleetShardPath(fleet_out, static_cast<std::size_t>(k),
                                                 static_cast<std::size_t>(shards)));
     }
+    // Always merge degraded: quarantined cells become explicit coverage gaps
+    // in fleet.json instead of a fatal merge error, and a damaged record that
+    // slipped past the supervisor is quarantined rather than sinking the run.
+    lab::FleetMergeOptions merge_options;
+    merge_options.quarantined = quarantined;
+    merge_options.allow_degraded = true;
     lab::FleetReport report;
-    if (!lab::MergeFleetShards(fleet, shard_paths, &report, &error)) {
+    if (!lab::MergeFleetShards(fleet, shard_paths, merge_options, &report, &error)) {
       std::fprintf(stderr, "wdmlat_run: fleet merge: %s\n", error.c_str());
       return 3;
+    }
+    for (const std::string& warning : report.merge_warnings) {
+      std::fprintf(stderr, "wdmlat_run: merge: %s\n", warning.c_str());
     }
     const std::string report_path = fleet_out + "/fleet.json";
     WriteTextFile(report_path, lab::FleetReportToJson(report), "fleet report JSON");
@@ -709,6 +924,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(cohort.counters.samples),
                   cohort.thread.QuantileMs(0.5), cohort.thread.QuantileMs(0.99),
                   cohort.thread.QuantileMs(0.999), cohort.thread.max_ms());
+    }
+    if (report.cells_quarantined > 0) {
+      std::printf("\nQUARANTINED %llu cell(s) — coverage is degraded (manifest: %s):\n",
+                  static_cast<unsigned long long>(report.cells_quarantined),
+                  canonical_quarantine.c_str());
+      for (const lab::FleetQuarantineEntry& entry : report.quarantine) {
+        std::printf("  cell %llu (seed %llu): %s after %d attempt(s)\n",
+                    static_cast<unsigned long long>(entry.cell),
+                    static_cast<unsigned long long>(entry.seed), entry.taxonomy.c_str(),
+                    entry.attempts);
+      }
     }
     return 0;
   }

@@ -24,6 +24,8 @@ const char* FaultKindName(FaultKind kind) {
       return "timer_jitter";
     case FaultKind::kSpinlockContention:
       return "spinlock_contention";
+    case FaultKind::kMemoryPressure:
+      return "memory_pressure";
   }
   return "?";
 }
@@ -64,6 +66,11 @@ bool TriggerKindFromName(std::string_view name, TriggerKind* out) {
 std::string FaultSpec::LabelFunction() const {
   if (!function.empty()) {
     return function;
+  }
+  if (kind == FaultKind::kMemoryPressure) {
+    // Matches the VMM's own contiguous-scan label so the cause tool and the
+    // flight recorder attribute injected pressure like organic pressure.
+    return "_mmFindContig";
   }
   std::string name = "_";
   name += FaultKindName(kind);
@@ -111,6 +118,18 @@ std::string ValidatePlan(const FaultPlan& plan) {
           dk != sim::DurationDist::Kind::kUniform &&
           dk != sim::DurationDist::Kind::kBoundedPareto) {
         error << "timer_jitter needs a bounded drift distribution "
+                 "(constant, uniform or bounded_pareto)";
+        return error.str();
+      }
+    }
+    if (spec.kind == FaultKind::kMemoryPressure) {
+      // A contiguous-page scan runs at DISPATCH with the thread lockout
+      // held; an unbounded duration would model a wedged VMM, not pressure.
+      const sim::DurationDist::Kind dk = spec.duration_us.kind();
+      if (dk != sim::DurationDist::Kind::kZero && dk != sim::DurationDist::Kind::kConstant &&
+          dk != sim::DurationDist::Kind::kUniform &&
+          dk != sim::DurationDist::Kind::kBoundedPareto) {
+        error << "memory_pressure needs a bounded scan distribution "
                  "(constant, uniform or bounded_pareto)";
         return error.str();
       }

@@ -67,12 +67,21 @@ enum class FaultKind : std::uint8_t {
   // DISPATCH-level kernel section — the same CPU-visible effect a held
   // spinlock has on one core.
   kSpinlockContention,
+  // Memory pressure: `burst` contiguous-page scans through the VMM's
+  // _mmFindContig path per activation, each a DISPATCH-level kernel section
+  // of the sampled duration followed by a 1.5x thread-dispatch lockout —
+  // the same shape the sound-scheme buffer allocation exercises, but driven
+  // directly so pressure studies need no audio device (fault-library
+  // backlog item). Bounded duration distributions only (ValidatePlan): an
+  // unbounded scan under Dispatch would stall DPC drain indefinitely.
+  kMemoryPressure,
 };
 
 inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kIrqStorm,      FaultKind::kDpcStorm,    FaultKind::kIsrOverrun,
     FaultKind::kMaskedWindow,  FaultKind::kLockoutHold, FaultKind::kPriorityInvert,
     FaultKind::kDiskSeekStorm, FaultKind::kTimerJitter, FaultKind::kSpinlockContention,
+    FaultKind::kMemoryPressure,
 };
 
 // Stable snake_case identifier (the JSON schema's "kind" strings).

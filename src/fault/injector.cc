@@ -202,7 +202,8 @@ void Injector::Activate(SpecState& state) {
   switch (spec.kind) {
     case FaultKind::kIrqStorm:
     case FaultKind::kDpcStorm:
-    case FaultKind::kDiskSeekStorm: {
+    case FaultKind::kDiskSeekStorm:
+    case FaultKind::kMemoryPressure: {
       if (spec.kind == FaultKind::kDiskSeekStorm && targets_.disk == nullptr) {
         ++skipped_no_disk_;
         return;
@@ -295,6 +296,15 @@ void Injector::RunBurst(SpecState& state, int index) {
     case FaultKind::kDiskSeekStorm:
       targets_.disk->SubmitIo(state.spec->disk_bytes);
       break;
+    case FaultKind::kMemoryPressure: {
+      // One contiguous-page scan, the sound scheme's long pole driven
+      // directly (sound_scheme.cc): a DISPATCH-level section for the scan
+      // plus a 1.5x thread-dispatch lockout while the VMM walks page lists.
+      const double us = state.spec->duration_us.SampleUs(state.payload_rng);
+      k.InjectKernelSection(kernel::Irql::kDispatch, us, LabelFor(state));
+      k.LockDispatch(us * 1.5, LabelFor(state));
+      break;
+    }
     default:
       break;
   }

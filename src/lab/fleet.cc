@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <chrono>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "src/kernel/profile.h"
 #include "src/lab/report_io.h"
@@ -850,12 +853,29 @@ FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& opti
     result.error = "fleet shard needs an output path";
     return result;
   }
-
-  std::vector<std::uint64_t> indices;
-  for (std::uint64_t i = options.shard; i < fleet.cell_count(); i += options.shards) {
-    indices.push_back(i);
+  if (options.chaos_delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<long>(options.chaos_delay_ms * 1000.0)));
   }
-  result.cells_total = indices.size();
+
+  // The shard's scope this run: stride cells inside [cell_lo, cell_hi),
+  // minus quarantined cells. A bisection probe narrows the window; the
+  // quarantine manifest removes isolated cells for good.
+  const std::uint64_t window_hi = options.cell_hi == 0
+                                      ? fleet.cell_count()
+                                      : std::min<std::uint64_t>(options.cell_hi,
+                                                                fleet.cell_count());
+  std::vector<std::uint64_t> scope;
+  for (std::uint64_t i = options.shard; i < fleet.cell_count(); i += options.shards) {
+    if (i < options.cell_lo || i >= window_hi) {
+      continue;
+    }
+    if (std::binary_search(options.skip_cells.begin(), options.skip_cells.end(), i)) {
+      continue;
+    }
+    scope.push_back(i);
+  }
+  result.cells_total = scope.size();
 
   // --- Resume pass: trust nothing — a kept record must parse, checksum, and
   // carry the seed this spec derives for its cell. The file is index-sorted
@@ -906,7 +926,7 @@ FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& opti
   result.cells_restored = restored.size();
 
   std::vector<std::uint64_t> missing;
-  for (const std::uint64_t index : indices) {
+  for (const std::uint64_t index : scope) {
     if (!std::binary_search(restored.begin(), restored.end(), index)) {
       missing.push_back(index);
     }
@@ -915,6 +935,15 @@ FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& opti
     // Complete shard: leave the file's bytes exactly as they are.
     return result;
   }
+
+  // The writer emits the union of restored records (wherever they fall —
+  // work from earlier probe windows is preserved) and this run's scope, all
+  // in ascending global-index order.
+  std::vector<std::uint64_t> indices;
+  indices.reserve(restored.size() + scope.size());
+  std::merge(restored.begin(), restored.end(), scope.begin(), scope.end(),
+             std::back_inserter(indices));
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
 
   // Output: fresh shards append straight to the final path (batched flush —
   // a killed worker keeps its prefix up to the last flushed batch); partial
@@ -979,6 +1008,12 @@ FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& opti
     std::string line;
     const auto body = [&](int attempt, runtime::Watchdog& watchdog) {
       (void)attempt;  // the seed is attempt-invariant by design
+      if (options.poison_cell >= 0 &&
+          index == static_cast<std::uint64_t>(options.poison_cell)) {
+        // Poisoned-cell fixture: take the whole process down, like a wild
+        // write would — the in-process exception barrier cannot catch this.
+        std::abort();
+      }
       LabConfig config = fleet.CellConfig(cell);
       if (watchdog.armed()) {
         config.supervision.watchdog = &watchdog;
@@ -999,6 +1034,12 @@ FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& opti
           write_error = error;
         }
       }
+    }
+    if (options.chaos_kill_after_cells > 0 &&
+        result.cells_executed >= options.chaos_kill_after_cells) {
+      // Host-chaos fixture: die the way a crashing host does — mid-run,
+      // after an arbitrary number of flushes, with no cleanup.
+      raise(SIGKILL);
     }
     if (options.on_cell_done) {
       options.on_cell_done(cell, !failure);
@@ -1031,10 +1072,172 @@ FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& opti
   return result;
 }
 
+// --- Quarantine manifest -----------------------------------------------------
+
+bool LoadFleetQuarantine(const std::string& path,
+                         std::vector<FleetQuarantineEntry>* entries,
+                         std::string* error) {
+  entries->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot read quarantine manifest: " + path;
+    }
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const obs::JsonParseResult parsed = obs::ParseJson(line);
+    if (!parsed.valid || !parsed.value.is_object()) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_no) +
+                 ": quarantine line is not a JSON object";
+      }
+      return false;
+    }
+    FleetQuarantineEntry entry;
+    std::string parse_error;
+    if (!ReadU64Field(parsed.value, "cell", &entry.cell, &parse_error) ||
+        !ReadU64Field(parsed.value, "seed", &entry.seed, &parse_error)) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_no) + ": " + parse_error;
+      }
+      return false;
+    }
+    entry.taxonomy = parsed.value.StringOr("taxonomy", "");
+    entry.attempts = static_cast<int>(parsed.value.NumberOr("attempts", 1.0));
+    if (entry.taxonomy.empty()) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(line_no) + ": missing taxonomy";
+      }
+      return false;
+    }
+    entries->push_back(std::move(entry));
+  }
+  std::sort(entries->begin(), entries->end(),
+            [](const FleetQuarantineEntry& a, const FleetQuarantineEntry& b) {
+              return a.cell < b.cell;
+            });
+  return true;
+}
+
+bool SaveFleetQuarantine(const std::string& path,
+                         const std::vector<FleetQuarantineEntry>& entries,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot write quarantine manifest: " + tmp;
+      }
+      return false;
+    }
+    for (const FleetQuarantineEntry& entry : entries) {
+      out << "{\"cell\": \"" << U64String(entry.cell) << "\", \"seed\": \""
+          << U64String(entry.seed) << "\", \"taxonomy\": \"" << Escape(entry.taxonomy)
+          << "\", \"attempts\": " << entry.attempts << "}\n";
+    }
+    out.flush();
+    if (!out) {
+      if (error != nullptr) {
+        *error = "quarantine manifest write failed: " + tmp;
+      }
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + " over " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+// --- Speculative stitch ------------------------------------------------------
+
+bool StitchShardFiles(const Fleet& fleet, std::size_t shard, std::size_t shards,
+                      const std::string& main_path, const std::string& extra_path,
+                      std::string* error) {
+  if (!fleet.error().empty()) {
+    if (error != nullptr) {
+      *error = fleet.error();
+    }
+    return false;
+  }
+  // Verified record lines from both files, main winning duplicates
+  // (map::emplace keeps the first insertion). Torn or foreign lines are
+  // skipped — the completion run's resume pass is the final authority.
+  std::map<std::uint64_t, std::string> lines;
+  const auto collect = [&](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      FleetCellRecord record;
+      std::string parse_error;
+      if (!FleetRecordFromLine(line, &record, &parse_error)) {
+        continue;
+      }
+      if (record.index >= fleet.cell_count() || record.index % shards != shard ||
+          record.seed != fleet.CellAt(record.index).seed) {
+        continue;
+      }
+      lines.emplace(record.index, line);
+    }
+  };
+  collect(main_path);
+  collect(extra_path);
+  const std::string tmp = main_path + ".stitch";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot write stitched shard: " + tmp;
+      }
+      return false;
+    }
+    for (const auto& [index, line] : lines) {
+      out << line << "\n";
+    }
+    out.flush();
+    if (!out) {
+      if (error != nullptr) {
+        *error = "stitched shard write failed: " + tmp;
+      }
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), main_path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + " over " + main_path;
+    }
+    return false;
+  }
+  return true;
+}
+
 // --- Streaming merge ---------------------------------------------------------
 
 bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_paths,
                       FleetReport* report, std::string* error) {
+  return MergeFleetShards(fleet, shard_paths, FleetMergeOptions{}, report, error);
+}
+
+bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_paths,
+                      const FleetMergeOptions& merge_options, FleetReport* report,
+                      std::string* error) {
   *report = FleetReport{};
   if (!fleet.error().empty()) {
     if (error != nullptr) {
@@ -1069,43 +1272,151 @@ bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_
     result.cohorts[c].name = fleet.spec().cohorts[c].name;
     result.cohorts[c].os = fleet.spec().cohorts[c].os;
     result.cohorts[c].priority = fleet.spec().cohorts[c].priority;
+    result.cohorts[c].planned = fleet.spec().cohorts[c].count;
   }
+
+  const bool degraded = merge_options.allow_degraded;
+  std::map<std::uint64_t, const FleetQuarantineEntry*> expected_quarantine;
+  for (const FleetQuarantineEntry& q : merge_options.quarantined) {
+    expected_quarantine.emplace(q.cell, &q);
+  }
+  const auto add_quarantine = [&result](FleetQuarantineEntry entry) {
+    ++result.cells_quarantined;
+    if (entry.cohort < result.cohorts.size()) {
+      ++result.cohorts[entry.cohort].quarantined;
+    }
+    result.quarantine.push_back(std::move(entry));
+  };
+  const auto warn = [&result](std::string what) {
+    result.merge_warnings.push_back(std::move(what));
+  };
+
+  // One buffered (parsed, checksummed) record per stream: the lookahead that
+  // lets the degraded merge distinguish a duplicate/stale record from a
+  // missing one without losing round-robin alignment.
+  struct BufferedRecord {
+    bool has = false;
+    FleetCellRecord record;
+  };
+  std::vector<BufferedRecord> buffered(shards);
 
   // Global grid order: cell i lives at the front of stream i % shards, so
   // the k-way merge is a round-robin walk. Folding in this one fixed order —
   // whatever shard/job split produced the files — is what makes the merged
   // floating-point sums and sketch states bit-identical.
-  std::string line;
   for (std::uint64_t index = 0; index < fleet.cell_count(); ++index) {
-    std::ifstream& in = streams[index % shards];
-    line.clear();
-    while (std::getline(in, line)) {
-      if (!line.empty()) {
-        break;
-      }
-    }
+    const std::size_t k = index % shards;
+    std::ifstream& in = streams[k];
     const auto fail = [&](const std::string& what) {
       if (error != nullptr) {
-        *error = "cell " + std::to_string(index) + " (shard " +
-                 std::to_string(index % shards) + "): " + what;
+        *error = "cell " + std::to_string(index) + " (shard " + std::to_string(k) +
+                 "): " + what;
       }
       return false;
     };
-    if (line.empty()) {
-      return fail("missing record — incomplete shard, re-run it");
+    // The reason the last dropped line would explain this cell's gap.
+    std::string drop_reason;
+    std::string fatal;
+    const auto fill = [&]() -> bool {  // false = strict-mode parse failure
+      while (!buffered[k].has) {
+        std::string line;
+        while (std::getline(in, line)) {
+          if (!line.empty()) {
+            break;
+          }
+        }
+        if (line.empty()) {
+          return true;  // stream exhausted
+        }
+        FleetCellRecord record;
+        std::string parse_error;
+        if (!FleetRecordFromLine(line, &record, &parse_error)) {
+          if (!degraded) {
+            fatal = parse_error;
+            return false;
+          }
+          drop_reason = parse_error.find("checksum mismatch") != std::string::npos
+                            ? "checksum_mismatch"
+                            : "corrupt_record";
+          warn("shard " + std::to_string(k) + ": dropped line (" + parse_error + ")");
+          continue;
+        }
+        buffered[k].has = true;
+        buffered[k].record = std::move(record);
+      }
+      return true;
+    };
+    if (!fill()) {
+      return fail(fatal);
     }
-    FleetCellRecord record;
-    std::string parse_error;
-    if (!FleetRecordFromLine(line, &record, &parse_error)) {
-      return fail(parse_error);
+    if (degraded) {
+      // Duplicate or out-of-order records sort behind the cursor: stale.
+      while (buffered[k].has && buffered[k].record.index < index) {
+        warn("shard " + std::to_string(k) + ": stale record for cell " +
+             std::to_string(buffered[k].record.index) +
+             " (duplicate or out of order); dropped");
+        buffered[k].has = false;
+        if (!fill()) {
+          return fail(fatal);
+        }
+      }
     }
-    if (record.index != index) {
-      return fail("record is for cell " + std::to_string(record.index) +
-                  " — shard file out of order");
+
+    const auto it_expected = expected_quarantine.find(index);
+    const bool have = buffered[k].has && buffered[k].record.index == index;
+    if (!have) {
+      if (it_expected != expected_quarantine.end()) {
+        // A cell the supervisor already isolated: an expected gap in both
+        // strict and degraded mode, reported with its manifest taxonomy.
+        FleetQuarantineEntry entry = *it_expected->second;
+        entry.cohort = fleet.CellAt(index).cohort;
+        add_quarantine(std::move(entry));
+        continue;
+      }
+      if (!degraded) {
+        if (!buffered[k].has) {
+          return fail("missing record — incomplete shard, re-run it");
+        }
+        return fail("record is for cell " + std::to_string(buffered[k].record.index) +
+                    " — shard file out of order");
+      }
+      const FleetCell cell = fleet.CellAt(index);
+      FleetQuarantineEntry entry;
+      entry.cell = index;
+      entry.seed = cell.seed;
+      entry.cohort = cell.cohort;
+      entry.taxonomy = drop_reason.empty() ? "missing_record" : drop_reason;
+      entry.attempts = 1;
+      warn("cell " + std::to_string(index) + " (shard " + std::to_string(k) +
+           ") quarantined by degraded merge: " + entry.taxonomy);
+      add_quarantine(std::move(entry));
+      continue;
     }
+
+    FleetCellRecord record = std::move(buffered[k].record);
+    buffered[k].has = false;
     const FleetCell cell = fleet.CellAt(index);
     if (record.seed != cell.seed || record.cohort != cell.cohort) {
-      return fail("record seed/cohort does not match this spec");
+      if (!degraded) {
+        return fail("record seed/cohort does not match this spec");
+      }
+      FleetQuarantineEntry entry;
+      entry.cell = index;
+      entry.seed = cell.seed;
+      entry.cohort = cell.cohort;
+      entry.taxonomy = "seed_mismatch";
+      entry.attempts = 1;
+      warn("cell " + std::to_string(index) + " (shard " + std::to_string(k) +
+           ") quarantined by degraded merge: seed_mismatch");
+      add_quarantine(std::move(entry));
+      continue;
+    }
+    if (it_expected != expected_quarantine.end()) {
+      // The manifest says poisoned, yet a verified record exists (an earlier
+      // attempt completed it before the cell turned): keep the data, report
+      // the disagreement.
+      warn("cell " + std::to_string(index) +
+           " is quarantined in the manifest but has a valid record; folding it");
     }
     FleetCohortReport& cohort = result.cohorts[record.cohort];
     if (cohort.cells == 0) {
@@ -1127,15 +1438,23 @@ bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_
       cohort.anatomy_stage_cycles[s] += record.anatomy_stage_cycles[s];
     }
     cohort.speed_mhz_sum += record.speed_mhz;
+    ++result.cells_completed;
   }
-  // Conservation audit, matrix-style: the fold above is the only writer, so
-  // a mismatch can only mean broken merge arithmetic.
+  // Conservation audit, matrix-style: completed + quarantined must cover the
+  // plan exactly — the fold above is the only writer, so a mismatch can only
+  // mean broken merge arithmetic.
   for (std::size_t c = 0; c < result.cohorts.size(); ++c) {
-    if (result.cohorts[c].cells != fleet.spec().cohorts[c].count) {
+    const FleetCohortReport& cohort = result.cohorts[c];
+    if (cohort.cells + cohort.quarantined != cohort.planned) {
       if (error != nullptr) {
-        *error = "cohort " + result.cohorts[c].name + " folded " +
-                 std::to_string(result.cohorts[c].cells) + " cells, expected " +
-                 std::to_string(fleet.spec().cohorts[c].count);
+        if (cohort.quarantined == 0) {
+          *error = "cohort " + cohort.name + " folded " + std::to_string(cohort.cells) +
+                   " cells, expected " + std::to_string(cohort.planned);
+        } else {
+          *error = "cohort " + cohort.name + " folded " + std::to_string(cohort.cells) +
+                   " cells + " + std::to_string(cohort.quarantined) +
+                   " quarantined, expected " + std::to_string(cohort.planned);
+        }
       }
       return false;
     }
@@ -1149,13 +1468,25 @@ std::string FleetReportToJson(const FleetReport& report) {
   out << "{\"format\": \"" << kReportFormat << "\", \"version\": " << kFormatVersion
       << ",\n\"name\": \"" << Escape(report.name) << "\", \"fingerprint\": \""
       << U64String(report.fingerprint) << "\", \"cells\": \"" << U64String(report.cells)
-      << "\",\n\"cohorts\": [";
+      << "\",\n\"cells_completed\": \"" << U64String(report.cells_completed)
+      << "\", \"cells_quarantined\": \"" << U64String(report.cells_quarantined)
+      << "\",\n\"quarantine\": [";
+  for (std::size_t q = 0; q < report.quarantine.size(); ++q) {
+    const FleetQuarantineEntry& entry = report.quarantine[q];
+    out << (q == 0 ? "\n" : ",\n") << "{\"cell\": \"" << U64String(entry.cell)
+        << "\", \"seed\": \"" << U64String(entry.seed) << "\", \"cohort\": "
+        << entry.cohort << ", \"taxonomy\": \"" << Escape(entry.taxonomy)
+        << "\", \"attempts\": " << entry.attempts << "}";
+  }
+  out << "],\n\"cohorts\": [";
   for (std::size_t c = 0; c < report.cohorts.size(); ++c) {
     const FleetCohortReport& cohort = report.cohorts[c];
     out << (c == 0 ? "\n" : ",\n");
     out << "{\"name\": \"" << Escape(cohort.name) << "\", \"os\": \"" << Escape(cohort.os)
-        << "\", \"priority\": " << cohort.priority << ", \"cells\": \""
-        << U64String(cohort.cells) << "\", \"samples\": \""
+        << "\", \"priority\": " << cohort.priority << ", \"planned\": \""
+        << U64String(cohort.planned) << "\", \"cells\": \"" << U64String(cohort.cells)
+        << "\", \"quarantined\": \"" << U64String(cohort.quarantined)
+        << "\", \"samples\": \""
         << U64String(cohort.counters.samples) << "\", \"stress_hours\": \""
         << HexDouble(cohort.counters.stress_hours) << "\", \"samples_per_hour\": \""
         << HexDouble(cohort.counters.SamplesPerHour()) << "\",\n";

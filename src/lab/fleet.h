@@ -212,6 +212,22 @@ struct FleetShardOptions {
   // Shard record file (required). An existing file resumes: records that
   // verify (seed + checksum) are kept, only missing cells run.
   std::string out_path;
+  // Cell window [cell_lo, cell_hi): only stride cells inside it run
+  // (cell_hi == 0 means cell_count). The supervisor's quarantine bisection
+  // narrows this to isolate a poisoned cell; records outside the window
+  // that already verify are preserved, so probe work accumulates.
+  std::uint64_t cell_lo = 0;
+  std::uint64_t cell_hi = 0;
+  // Quarantined cells (sorted ascending): never executed, excluded from
+  // cells_total. A verified record for one is still preserved.
+  std::vector<std::uint64_t> skip_cells;
+  // Test/CI fixture: abort() the worker when this cell executes (simulates
+  // a poisoned cell that takes the process down). < 0 disables.
+  std::int64_t poison_cell = -1;
+  // Host-chaos hooks (lab::HostChaos): raise(SIGKILL) after this many
+  // freshly executed cells (0 = never), and/or sleep before starting.
+  std::uint64_t chaos_kill_after_cells = 0;
+  double chaos_delay_ms = 0.0;
   // Per-cell exception barrier / watchdog / retry.
   runtime::SupervisorOptions supervision;
   // Progress hook, serialized under the writer lock (completion order).
@@ -236,12 +252,44 @@ struct FleetShardResult {
 // partial files are stream-rewritten to a temp file and atomically renamed.
 FleetShardResult RunFleetShard(const Fleet& fleet, const FleetShardOptions& options);
 
+// One quarantined cell, as persisted in the manifest and reported in the
+// merged fleet.json coverage section. `taxonomy` is a runtime::FailureKind
+// name when the supervisor isolated the cell (exception/timeout), or a
+// merge-detected reason ("missing_record", "corrupt_record",
+// "checksum_mismatch", "seed_mismatch") when degradation quarantined it.
+struct FleetQuarantineEntry {
+  std::uint64_t cell = 0;
+  std::uint64_t seed = 0;
+  std::size_t cohort = 0;  // filled by the merge; not persisted
+  std::string taxonomy;
+  int attempts = 1;
+};
+
+// Quarantine manifest: one JSONL line per cell —
+// {"cell": "N", "seed": "N", "taxonomy": "...", "attempts": N}.
+bool LoadFleetQuarantine(const std::string& path,
+                         std::vector<FleetQuarantineEntry>* entries,
+                         std::string* error);
+bool SaveFleetQuarantine(const std::string& path,
+                         const std::vector<FleetQuarantineEntry>& entries,
+                         std::string* error);
+
+// Merge a speculative suffix file into the main shard file: verified records
+// from both, main winning duplicates, written ascending via tmp + rename.
+// Tolerates a missing or torn main file (a killed straggler). The result is
+// a normal partial shard file a completion run can resume from.
+bool StitchShardFiles(const Fleet& fleet, std::size_t shard, std::size_t shards,
+                      const std::string& main_path, const std::string& extra_path,
+                      std::string* error);
+
 // Per-cohort accumulators — the O(cohorts) working set of the merge.
 struct FleetCohortReport {
   std::string name;
   std::string os;
   int priority = 0;
-  std::uint64_t cells = 0;
+  std::uint64_t planned = 0;      // cells the spec promised this cohort
+  std::uint64_t cells = 0;        // cells actually folded (completed)
+  std::uint64_t quarantined = 0;  // planned - cells, by taxonomy in the report
   stats::SampleCounters counters;
   stats::LatencyHistogram thread;
   stats::LatencyHistogram dpc_interrupt;
@@ -258,8 +306,24 @@ struct FleetCohortReport {
 struct FleetReport {
   std::string name;
   std::uint64_t fingerprint = 0;
-  std::uint64_t cells = 0;
+  std::uint64_t cells = 0;             // planned population size
+  std::uint64_t cells_completed = 0;   // records folded
+  std::uint64_t cells_quarantined = 0; // explicit coverage gap, never silent
+  std::vector<FleetQuarantineEntry> quarantine;  // cell-ascending
+  // Degradation diagnostics (dropped lines, stale records). Printed by the
+  // CLI, deliberately NOT serialized into fleet.json.
+  std::vector<std::string> merge_warnings;
   std::vector<FleetCohortReport> cohorts;
+};
+
+struct FleetMergeOptions {
+  // Cells known-missing before the merge starts (the supervisor's quarantine
+  // manifest): expected gaps, skipped without complaint in either mode.
+  std::vector<FleetQuarantineEntry> quarantined;
+  // Degraded mode: a corrupt / duplicate / missing record quarantines its
+  // cell (recorded in the report's coverage manifest) instead of failing the
+  // merge. Strict mode (default) fails on the first unexpected anomaly.
+  bool allow_degraded = false;
 };
 
 // Streaming grid-order merge: consume the shard record streams strictly in
@@ -269,6 +333,13 @@ struct FleetReport {
 // shard must be re-run, never silently skipped.
 bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_paths,
                       FleetReport* report, std::string* error);
+
+// Same merge with an expected-quarantine list and optional graceful
+// degradation; the report's coverage manifest (cells planned / completed /
+// quarantined, per cohort) makes any gap loud.
+bool MergeFleetShards(const Fleet& fleet, const std::vector<std::string>& shard_paths,
+                      const FleetMergeOptions& merge_options, FleetReport* report,
+                      std::string* error);
 
 // Serialize the merged report: exact histogram/sketch states in the
 // report_io dialect plus human-readable per-cohort quantiles. Deterministic

@@ -1,0 +1,52 @@
+#include "src/lab/host_chaos.h"
+
+#include "src/sim/rng.h"
+
+namespace wdmlat::lab {
+
+runtime::FleetChaosPlan HostChaos::PlanFor(std::size_t shard, int attempt) const {
+  runtime::FleetChaosPlan plan;
+  if (attempt > kMaxChaosAttempts) {
+    return plan;  // clean: the supervisor's retries always converge
+  }
+  // Coordinate hash chain, like FleetCellSeed: the plan depends only on
+  // (seed, shard, attempt), never on timing or interleaving.
+  std::uint64_t state = seed_;
+  sim::SplitMix64(state);
+  state ^= 0x686f7374636f73ull;  // "hostcos" domain tag
+  sim::SplitMix64(state);
+  state ^= static_cast<std::uint64_t>(shard);
+  sim::SplitMix64(state);
+  state ^= static_cast<std::uint64_t>(attempt);
+  const std::uint64_t h = sim::SplitMix64(state);
+
+  // Eight equally likely actions: 2x plain kill, kill+truncate, kill+bitflip,
+  // 2x delay, 2x clean. Sabotage always rides a kill because the supervisor
+  // only tears files after a failed attempt — a cleanly exited worker's file
+  // is never corrupted (real crashes tear mid-write, not post-hoc).
+  switch (h % 8) {
+    case 0:
+    case 1:
+      plan.kill_after_cells = 1 + (h >> 8) % 24;
+      break;
+    case 2:
+      plan.kill_after_cells = 1 + (h >> 8) % 24;
+      plan.sabotage = runtime::FleetChaosPlan::Sabotage::kTruncate;
+      plan.sabotage_param = h >> 16;
+      break;
+    case 3:
+      plan.kill_after_cells = 1 + (h >> 8) % 24;
+      plan.sabotage = runtime::FleetChaosPlan::Sabotage::kBitFlip;
+      plan.sabotage_param = h >> 16;
+      break;
+    case 4:
+    case 5:
+      plan.delay_ms = 40.0 + static_cast<double>((h >> 8) % 400);
+      break;
+    default:
+      break;  // clean
+  }
+  return plan;
+}
+
+}  // namespace wdmlat::lab

@@ -1,0 +1,48 @@
+// lab::HostChaos — deterministic host-failure injection for fleet runs.
+//
+// The fleet's crash-safety story (flushed record prefixes + verify-and-keep
+// resume + degraded merge) is only credible if it survives the failures real
+// multi-host runs hit: workers killed mid-flush, shard files truncated or
+// bit-rotted by a dying disk, and stragglers delayed by a loaded host. This
+// harness derives a perturbation plan for every (shard, attempt) pair from
+// one chaos seed — a SplitMix64 hash chain over the coordinates, the same
+// construction the fleet uses for cell seeds — so a chaos run is exactly
+// reproducible from `--chaos-seed N`.
+//
+// Convergence is guaranteed by construction: attempts beyond
+// kMaxChaosAttempts draw a clean plan, so with the supervisor's default
+// three attempts per window every shard eventually runs unperturbed. The
+// chaos determinism test then asserts the strongest possible property: a
+// chaos run (plus resume) produces fleet.json byte-identical to an
+// unperturbed run whenever nothing was quarantined.
+
+#ifndef SRC_LAB_HOST_CHAOS_H_
+#define SRC_LAB_HOST_CHAOS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/runtime/fleet_supervisor.h"
+
+namespace wdmlat::lab {
+
+class HostChaos {
+ public:
+  // Attempts beyond this always draw a clean plan (see above).
+  static constexpr int kMaxChaosAttempts = 2;
+
+  explicit HostChaos(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // The perturbation for `attempt` (1-based, counting every spawn of the
+  // shard) of `shard`. Pure function of (seed, shard, attempt).
+  runtime::FleetChaosPlan PlanFor(std::size_t shard, int attempt) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace wdmlat::lab
+
+#endif  // SRC_LAB_HOST_CHAOS_H_

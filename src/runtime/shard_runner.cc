@@ -1,5 +1,6 @@
 #include "src/runtime/shard_runner.h"
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -11,7 +12,10 @@ namespace wdmlat::runtime {
 
 std::string SelfExecutable() {
   char buffer[4096];
-  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  ssize_t n = -1;
+  do {
+    n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  } while (n < 0 && errno == EINTR);
   if (n <= 0) {
     return "";
   }
@@ -21,7 +25,31 @@ std::string SelfExecutable() {
 
 namespace {
 
-bool Spawn(const ShardProcess& process, pid_t* pid, std::string* error) {
+void FillFromStatus(int status, ShardProcessResult* result) {
+  if (WIFEXITED(status)) {
+    result->exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result->signaled = true;
+    result->exit_code = WTERMSIG(status);
+  } else {
+    result->error = "child neither exited nor was signaled";
+  }
+}
+
+void Reap(pid_t pid, ShardProcessResult* result) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      result->error = std::string("waitpid failed: ") + std::strerror(errno);
+      return;
+    }
+  }
+  FillFromStatus(status, result);
+}
+
+}  // namespace
+
+bool SpawnShardProcess(const ShardProcess& process, pid_t* pid, std::string* error) {
   if (process.argv.empty()) {
     *error = "shard process has an empty argv";
     return false;
@@ -48,25 +76,29 @@ bool Spawn(const ShardProcess& process, pid_t* pid, std::string* error) {
   return true;
 }
 
-void Reap(pid_t pid, ShardProcessResult* result) {
+bool PollShardProcess(pid_t pid, ShardProcessResult* result) {
   int status = 0;
-  while (::waitpid(pid, &status, 0) < 0) {
-    if (errno != EINTR) {
-      result->error = std::string("waitpid failed: ") + std::strerror(errno);
-      return;
-    }
+  pid_t done = -1;
+  do {
+    done = ::waitpid(pid, &status, WNOHANG);
+  } while (done < 0 && errno == EINTR);
+  if (done == 0) {
+    return false;  // still running
   }
-  if (WIFEXITED(status)) {
-    result->exit_code = WEXITSTATUS(status);
-  } else if (WIFSIGNALED(status)) {
-    result->signaled = true;
-    result->exit_code = WTERMSIG(status);
-  } else {
-    result->error = "child neither exited nor was signaled";
+  if (done < 0) {
+    result->error = std::string("waitpid failed: ") + std::strerror(errno);
+    return true;
   }
+  FillFromStatus(status, result);
+  return true;
 }
 
-}  // namespace
+void KillShardProcess(pid_t pid, ShardProcessResult* result) {
+  // ESRCH just means the child already exited; the reap below collects it
+  // either way (the parent has not waited yet, so the zombie persists).
+  (void)::kill(pid, SIGKILL);
+  Reap(pid, result);
+}
 
 std::vector<ShardProcessResult> RunProcesses(const std::vector<ShardProcess>& processes,
                                              int max_parallel) {
@@ -76,16 +108,35 @@ std::vector<ShardProcessResult> RunProcesses(const std::vector<ShardProcess>& pr
   }
   std::map<pid_t, std::size_t> running;  // pid -> result index
   std::size_t next = 0;
+  bool aborted = false;
   while (next < processes.size() || !running.empty()) {
-    while (next < processes.size() &&
+    while (!aborted && next < processes.size() &&
            running.size() < static_cast<std::size_t>(max_parallel)) {
       pid_t pid = -1;
-      if (!Spawn(processes[next], &pid, &results[next].error)) {
+      if (!SpawnShardProcess(processes[next], &pid, &results[next].error)) {
+        // A failed spawn aborts the batch: kill and reap what is running so
+        // no orphan worker keeps writing shard files after we return, and
+        // mark everything not yet started. Flushed shard prefixes survive;
+        // the caller re-runs the same command to resume.
+        aborted = true;
         ++next;
-        continue;
+        break;
       }
       running.emplace(pid, next);
       ++next;
+    }
+    if (aborted) {
+      for (const auto& [pid, index] : running) {
+        KillShardProcess(pid, &results[index]);
+        if (results[index].error.empty()) {
+          results[index].error = "aborted: a later worker failed to spawn";
+        }
+      }
+      running.clear();
+      for (; next < processes.size(); ++next) {
+        results[next].error = "not started: an earlier worker failed to spawn";
+      }
+      break;
     }
     if (running.empty()) {
       break;
@@ -107,15 +158,7 @@ std::vector<ShardProcessResult> RunProcesses(const std::vector<ShardProcess>& pr
     if (it == running.end()) {
       continue;  // a child we did not spawn (library-forked); ignore
     }
-    ShardProcessResult& result = results[it->second];
-    if (WIFEXITED(status)) {
-      result.exit_code = WEXITSTATUS(status);
-    } else if (WIFSIGNALED(status)) {
-      result.signaled = true;
-      result.exit_code = WTERMSIG(status);
-    } else {
-      Reap(done, &result);
-    }
+    FillFromStatus(status, &results[it->second]);
     running.erase(it);
   }
   return results;

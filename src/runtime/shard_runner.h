@@ -5,9 +5,20 @@
 // that corrupts a heap or trips an abort takes down one shard's worker, not
 // the population run — the shard's flushed record prefix survives and a
 // re-run resumes it. fork/execv/waitpid only; no shell, no new dependencies.
+//
+// Two layers:
+//   - RunProcesses: fire-and-collect batch semantics (launch all, bounded
+//     parallelism, one result per input). A mid-launch spawn failure aborts
+//     the batch: already-running children are SIGKILLed and reaped so no
+//     orphan worker outlives the orchestrator.
+//   - Spawn/Poll/Kill ShardProcess: non-blocking primitives for a supervisor
+//     that needs to watch liveness, enforce deadlines, and retry — see
+//     runtime::FleetSupervisor.
 
 #ifndef SRC_RUNTIME_SHARD_RUNNER_H_
 #define SRC_RUNTIME_SHARD_RUNNER_H_
+
+#include <sys/types.h>
 
 #include <string>
 #include <vector>
@@ -30,9 +41,27 @@ struct ShardProcessResult {
 // Absolute path of the current executable (/proc/self/exe), empty on failure.
 std::string SelfExecutable();
 
+// fork+execv one process. On success stores the child's pid and returns
+// true; on failure fills *error and returns false (no child left behind —
+// an execv failure inside the child _exit(127)s and surfaces via wait).
+bool SpawnShardProcess(const ShardProcess& process, pid_t* pid, std::string* error);
+
+// Non-blocking wait: returns true when the child was reaped (result filled),
+// false while it is still running. EINTR-safe; an unexpected waitpid error
+// reaps as an error result (returns true) so callers never spin on a lost pid.
+bool PollShardProcess(pid_t pid, ShardProcessResult* result);
+
+// SIGKILL the child and block until it is reaped (EINTR-safe). The result
+// records the termination signal like any other signaled exit.
+void KillShardProcess(pid_t pid, ShardProcessResult* result);
+
 // Run every process, at most `max_parallel` concurrently (clamped to >= 1),
 // launching in order and backfilling as children exit. Returns one result
 // per input, same order. Never throws; failures land in the results.
+//
+// If a spawn fails mid-launch the batch aborts: children already running are
+// SIGKILLed and reaped (their results record the abort), processes not yet
+// started are marked "not started". Callers treat the batch as all-or-retry.
 std::vector<ShardProcessResult> RunProcesses(const std::vector<ShardProcess>& processes,
                                              int max_parallel);
 

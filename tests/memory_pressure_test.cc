@@ -1,0 +1,137 @@
+// The memory_pressure fault kind: drives the VMM's _mmFindContig contiguous-
+// page-scan shape (DISPATCH-level scan + 1.5x thread-dispatch lockout, the
+// sound scheme's long pole) directly from a fault plan, so pressure studies
+// need no audio device. Contracts: ValidatePlan rejects unbounded scan
+// distributions, the default trace label matches the VMM's own so cause
+// attribution pools, a never-firing spec is bit-passive, and a firing plan
+// visibly stretches thread latency while logging its activations.
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault.h"
+#include "src/fault/injector.h"
+#include "src/fault/plan_json.h"
+#include "src/kernel/profile.h"
+#include "src/lab/lab.h"
+#include "src/workload/stress_profile.h"
+
+namespace wdmlat::fault {
+namespace {
+
+FaultSpec PressureSpec() {
+  FaultSpec spec;
+  spec.kind = FaultKind::kMemoryPressure;
+  spec.trigger = TriggerKind::kPeriodic;
+  spec.at_ms = 5.0;
+  spec.period_ms = 20.0;
+  spec.burst = 3;
+  spec.spacing_us = 150.0;
+  spec.duration_us = sim::DurationDist::Uniform(150.0, 600.0);
+  return spec;
+}
+
+TEST(MemoryPressure, NameRoundTripsAndLabelsLikeTheVmm) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kMemoryPressure), "memory_pressure");
+  FaultKind kind = FaultKind::kIrqStorm;
+  ASSERT_TRUE(FaultKindFromName("memory_pressure", &kind));
+  EXPECT_EQ(kind, FaultKind::kMemoryPressure);
+
+  // The default label matches the VMM's organic contiguous-scan label, so
+  // the cause tool attributes injected pressure exactly like real pressure.
+  FaultSpec spec = PressureSpec();
+  EXPECT_EQ(spec.LabelFunction(), "_mmFindContig");
+  spec.function = "_custom";
+  EXPECT_EQ(spec.LabelFunction(), "_custom");
+}
+
+TEST(MemoryPressure, ValidatePlanRequiresBoundedScanDistribution) {
+  FaultPlan plan;
+  plan.specs = {PressureSpec()};
+  EXPECT_TRUE(ValidatePlan(plan).empty()) << ValidatePlan(plan);
+
+  plan.specs[0].duration_us = sim::DurationDist::Constant(250.0);
+  EXPECT_TRUE(ValidatePlan(plan).empty());
+  plan.specs[0].duration_us = sim::DurationDist::BoundedPareto(1.1, 50.0, 5000.0);
+  EXPECT_TRUE(ValidatePlan(plan).empty());
+
+  // Unbounded tails model a wedged VMM, not pressure: rejected.
+  plan.specs[0].duration_us = sim::DurationDist::Exponential(200.0);
+  const std::string error = ValidatePlan(plan);
+  EXPECT_NE(error.find("memory_pressure"), std::string::npos) << error;
+  EXPECT_NE(error.find("bounded scan distribution"), std::string::npos) << error;
+}
+
+TEST(MemoryPressure, PlanJsonParsesTheNewKind) {
+  FaultPlan parsed;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(
+      R"({"name": "pressure", "seed": 77, "faults": [
+           {"kind": "memory_pressure", "trigger": "periodic", "at_ms": 5,
+            "period_ms": 20, "burst": 3, "spacing_us": 150,
+            "duration": {"dist": "uniform", "lo_us": 150, "hi_us": 600}}]})",
+      &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.specs.size(), 1u);
+  EXPECT_EQ(parsed.specs[0].kind, FaultKind::kMemoryPressure);
+  EXPECT_EQ(parsed.specs[0].burst, 3);
+
+  // An unbounded scan fails plan validation at parse time.
+  EXPECT_FALSE(ParseFaultPlan(
+      R"({"faults": [{"kind": "memory_pressure", "trigger": "poisson",
+           "rate_per_s": 5,
+           "duration": {"dist": "exponential", "mean_us": 200}}]})",
+      &parsed, &error));
+  EXPECT_NE(error.find("bounded scan distribution"), std::string::npos) << error;
+}
+
+lab::LabConfig BaseConfig() {
+  lab::LabConfig config;
+  config.os = kernel::MakeWin98Profile();
+  config.stress = workload::GamesStress();
+  config.thread_priority = 28;
+  config.stress_minutes = 0.02;
+  config.seed = 1999;
+  return config;
+}
+
+TEST(MemoryPressure, NeverFiringSpecIsBitPassive) {
+  const lab::LabReport baseline = lab::RunLatencyExperiment(BaseConfig());
+
+  // A one-shot far past the end of the run: armed, never fires. The run
+  // must be bit-identical — the injector's streams are derived from the
+  // plan, never drawn from the workload's RNG.
+  FaultPlan plan;
+  plan.name = "never";
+  FaultSpec spec = PressureSpec();
+  spec.trigger = TriggerKind::kOneShot;
+  spec.at_ms = 1e9;
+  plan.specs = {spec};
+
+  lab::LabConfig config = BaseConfig();
+  config.faults = &plan;
+  const lab::LabReport perturbed = lab::RunLatencyExperiment(config);
+  EXPECT_EQ(perturbed.fault_activations, 0u);
+  EXPECT_EQ(baseline.samples, perturbed.samples);
+  EXPECT_EQ(baseline.thread.ToCsv(), perturbed.thread.ToCsv());
+  EXPECT_EQ(baseline.dpc_interrupt.ToCsv(), perturbed.dpc_interrupt.ToCsv());
+}
+
+TEST(MemoryPressure, FiringPlanStretchesThreadLatencyAndLogsActivations) {
+  const lab::LabReport baseline = lab::RunLatencyExperiment(BaseConfig());
+
+  FaultPlan plan;
+  plan.name = "pressure";
+  plan.specs = {PressureSpec()};
+  lab::LabConfig config = BaseConfig();
+  config.faults = &plan;
+  const lab::LabReport perturbed = lab::RunLatencyExperiment(config);
+
+  EXPECT_GT(perturbed.fault_activations, 0u);
+  EXPECT_NE(baseline.thread.ToCsv(), perturbed.thread.ToCsv());
+  // The scan holds the thread-dispatch lockout 1.5x its DISPATCH section, so
+  // the worst observed thread latency cannot shrink.
+  EXPECT_GE(perturbed.thread.max_ms(), baseline.thread.max_ms());
+}
+
+}  // namespace
+}  // namespace wdmlat::fault
